@@ -1,0 +1,19 @@
+//! Figure 4: the L-CSC case-study sweep (per-node efficiency under
+//! tuned / default / fan-corrected configurations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use power_repro::experiments::figure4;
+use std::hint::black_box;
+
+fn bench_figure4_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure4_case_study");
+    for &nodes in &[16usize, 56, 160] {
+        group.bench_function(BenchmarkId::new("nodes", nodes), |b| {
+            b.iter(|| black_box(figure4(nodes)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure4_sweep);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Section 3 gaming: the optimal-interval scan over system traces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use power_bench::fixture;
+use power_method::gaming::optimal_interval;
+use power_method::window::TimingRule;
+use power_repro::experiments::unrestricted_scan;
+use std::hint::black_box;
+
+fn bench_interval_scans(c: &mut Criterion) {
+    let f = fixture(power_sim::systems::lcsc(), 64);
+    let (trace, phases) = f.system_trace();
+    let mut group = c.benchmark_group("gaming_interval_scan");
+    for &placements in &[51usize, 201, 501] {
+        group.bench_function(BenchmarkId::new("level1_placements", placements), |b| {
+            b.iter(|| {
+                black_box(
+                    optimal_interval(&trace, &phases, &TimingRule::level1(), placements)
+                        .unwrap(),
+                )
+            });
+        });
+    }
+    group.bench_function("unrestricted_201", |b| {
+        b.iter(|| black_box(unrestricted_scan(&trace, &phases, 0.2, 201)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_interval_scans);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Section 1: rank-stability Monte Carlo over the synthetic Nov-2014 list.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use power_green500::list::{november_2014_top, RankedList};
+use power_green500::perturb::{rank_stability, PerturbConfig};
+use std::hint::black_box;
+
+fn bench_rank_stability(c: &mut Criterion) {
+    let list = RankedList::new(november_2014_top()).unwrap();
+    let mut group = c.benchmark_group("green500_rank_stability");
+    for &reps in &[1_000usize, 5_000] {
+        group.bench_function(BenchmarkId::new("replications", reps), |b| {
+            let cfg = PerturbConfig {
+                measured_spread: 0.20,
+                replications: reps,
+                seed: 5,
+            };
+            b.iter(|| black_box(rank_stability(&list, &cfg).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_list_construction(c: &mut Criterion) {
+    c.bench_function("green500_rank_build", |b| {
+        b.iter(|| black_box(RankedList::new(november_2014_top()).unwrap()));
+    });
+}
+
+criterion_group!(benches, bench_rank_stability, bench_list_construction);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Measurement-methodology execution: full `measure()` pipelines under
+//! every level, plus submission validation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use power_bench::{bench_sim_config, fixture};
+use power_method::level::Methodology;
+use power_method::measure::{measure, MeasurementPlan};
+use power_method::report::Submission;
+use power_method::validate::validate;
+use std::hint::black_box;
+
+fn bench_measure_levels(c: &mut Criterion) {
+    let f = fixture(power_sim::systems::lcsc(), 64);
+    let workload = f.preset.workload.workload();
+    let mut group = c.benchmark_group("measure_pipeline");
+    group.sample_size(10);
+    for methodology in Methodology::all() {
+        group.bench_function(BenchmarkId::from_parameter(methodology), |b| {
+            let plan = MeasurementPlan::honest(methodology, 3);
+            b.iter(|| {
+                black_box(
+                    measure(
+                        &f.cluster,
+                        workload,
+                        f.preset.balance,
+                        bench_sim_config(f.dt),
+                        &plan,
+                    )
+                    .unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_validate(c: &mut Criterion) {
+    let f = fixture(power_sim::systems::lcsc(), 64);
+    let workload = f.preset.workload.workload();
+    let phases = workload.phases();
+    let m = measure(
+        &f.cluster,
+        workload,
+        f.preset.balance,
+        bench_sim_config(f.dt),
+        &MeasurementPlan::honest(Methodology::Level1, 3),
+    )
+    .unwrap();
+    let submission = Submission::from_measurement("bench", &m);
+    c.bench_function("validate_submission", |b| {
+        b.iter(|| {
+            for methodology in Methodology::all() {
+                black_box(validate(&submission, &methodology.spec(), &phases));
+            }
+        });
+    });
+}
+
+criterion_group!(benches, bench_measure_levels, bench_validate);
+criterion_main!(benches);

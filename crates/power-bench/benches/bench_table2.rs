@@ -1,0 +1,56 @@
+//! Table 2 / Figure 1: whole-system HPL trace generation and segment
+//! averaging for each of the four trace systems.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use power_bench::{bench_sim_config, fixture};
+use power_sim::engine::{MeterScope, Simulator};
+use power_sim::systems;
+use std::hint::black_box;
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_trace_generation");
+    group.sample_size(10);
+    for preset in [
+        systems::colosse(),
+        systems::sequoia25(),
+        systems::piz_daint(),
+        systems::lcsc(),
+    ] {
+        let name = preset.name;
+        let f = fixture(preset, 64);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let workload = f.preset.workload.workload();
+                let sim = Simulator::new(
+                    &f.cluster,
+                    workload,
+                    f.preset.balance,
+                    bench_sim_config(f.dt),
+                )
+                .unwrap();
+                black_box(sim.system_trace(MeterScope::Wall).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_segment_averaging(c: &mut Criterion) {
+    let f = fixture(systems::lcsc(), 64);
+    let (trace, phases) = f.system_trace();
+    c.bench_function("table2_segment_averages", |b| {
+        b.iter(|| {
+            let core = trace
+                .window_average(phases.core_start(), phases.core_end())
+                .unwrap();
+            let (a1, b1) = phases.core_segment(0.0, 0.2);
+            let first = trace.window_average(a1, b1).unwrap();
+            let (a2, b2) = phases.core_segment(0.8, 1.0);
+            let last = trace.window_average(a2, b2).unwrap();
+            black_box((core, first, last))
+        });
+    });
+}
+
+criterion_group!(benches, bench_trace_generation, bench_segment_averaging);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Table 4 / Figure 2: per-node time-averaged power statistics and
+//! histogram construction across the six node-variability systems.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use power_bench::{bench_sim_config, fixture};
+use power_sim::engine::Simulator;
+use power_sim::systems::SystemPreset;
+use power_stats::histogram::{Binning, Histogram};
+use power_stats::summary::Summary;
+use std::hint::black_box;
+
+fn bench_node_averages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_node_averages");
+    group.sample_size(10);
+    for preset in SystemPreset::variability_presets() {
+        let name = preset.name;
+        let scope = preset.scope;
+        let f = fixture(preset, 96);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let workload = f.preset.workload.workload();
+                let sim = Simulator::new(
+                    &f.cluster,
+                    workload,
+                    f.preset.balance,
+                    bench_sim_config(f.dt * 1.0371),
+                )
+                .unwrap();
+                let phases = workload.phases();
+                let avgs = sim
+                    .node_averages(
+                        phases.core_start() + 0.1 * phases.core(),
+                        phases.core_end(),
+                        scope,
+                    )
+                    .unwrap();
+                let s = Summary::from_slice(&avgs);
+                black_box((s.mean(), s.coefficient_of_variation().unwrap()))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_figure2_histograms(c: &mut Criterion) {
+    // Statistics layer only: histogram binning over a realistic dataset.
+    let f = fixture(power_sim::systems::tu_dresden(), 128);
+    let workload = f.preset.workload.workload();
+    let sim = Simulator::new(&f.cluster, workload, f.preset.balance, bench_sim_config(f.dt))
+        .unwrap();
+    let phases = workload.phases();
+    let avgs = sim
+        .node_averages(phases.core_start(), phases.core_end(), f.preset.scope)
+        .unwrap();
+    let mut group = c.benchmark_group("figure2_histograms");
+    for binning in [Binning::Fixed(16), Binning::Sturges, Binning::FreedmanDiaconis] {
+        group.bench_function(format!("{binning:?}"), |b| {
+            b.iter(|| black_box(Histogram::new(&avgs, binning).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_node_averages, bench_figure2_histograms);
+criterion_main!(benches);

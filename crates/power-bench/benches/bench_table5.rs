@@ -1,0 +1,69 @@
+//! Table 5 and the statistical kernels behind it: sample-size planning
+//! (Eq. 4/5), quantile functions, and confidence intervals.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use power_stats::ci::{mean_ci_t, mean_ci_z};
+use power_stats::normal::{standard_quantile, z_critical};
+use power_stats::sample_size::{chernoff_hoeffding_nodes, paper_table5, SampleSizePlan};
+use power_stats::student_t::t_critical;
+use power_stats::summary::Summary;
+use std::hint::black_box;
+
+fn bench_table5_grid(c: &mut Criterion) {
+    c.bench_function("table5_full_grid", |b| {
+        b.iter(|| black_box(paper_table5().unwrap()));
+    });
+}
+
+fn bench_sample_size_kernels(c: &mut Criterion) {
+    let plan = SampleSizePlan::new(0.95, 0.01, 0.02).unwrap();
+    c.bench_function("eq5_required_nodes", |b| {
+        b.iter(|| black_box(plan.required_nodes(black_box(10_000)).unwrap()));
+    });
+    c.bench_function("hoeffding_baseline", |b| {
+        b.iter(|| black_box(chernoff_hoeffding_nodes(0.95, 0.01, 0.12).unwrap()));
+    });
+}
+
+fn bench_quantiles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantiles");
+    group.bench_function("normal_quantile", |b| {
+        b.iter(|| black_box(standard_quantile(black_box(0.975)).unwrap()));
+    });
+    group.bench_function("z_critical", |b| {
+        b.iter(|| black_box(z_critical(black_box(0.95)).unwrap()));
+    });
+    for nu in [3.0f64, 14.0, 100.0] {
+        group.bench_function(BenchmarkId::new("t_critical", nu as u64), |b| {
+            b.iter(|| black_box(t_critical(black_box(0.95), black_box(nu)).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_confidence_intervals(c: &mut Criterion) {
+    let data: Vec<f64> = (0..512)
+        .map(|i| 400.0 + 8.0 * ((i as f64) * 0.71).sin())
+        .collect();
+    let summary = Summary::from_slice(&data);
+    let mut group = c.benchmark_group("confidence_intervals");
+    group.bench_function("summary_build_512", |b| {
+        b.iter(|| black_box(Summary::from_slice(black_box(&data))));
+    });
+    group.bench_function("ci_t", |b| {
+        b.iter(|| black_box(mean_ci_t(&summary, 0.95).unwrap()));
+    });
+    group.bench_function("ci_z", |b| {
+        b.iter(|| black_box(mean_ci_z(&summary, 0.95).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table5_grid,
+    bench_sample_size_kernels,
+    bench_quantiles,
+    bench_confidence_intervals
+);
+criterion_main!(benches);

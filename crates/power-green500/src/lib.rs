@@ -1,0 +1,45 @@
+//! Ranked energy-efficiency list simulation.
+//!
+//! The paper's Section 1 motivation is rank fragility: "the advantage of
+//! the current 1st ranked system over the current 3rd ranked system is
+//! less than 20%" while Level 1 measurements of the *same* system have
+//! been observed to differ by more than 20%. This crate builds ranked
+//! lists from submissions and quantifies how measurement variability
+//! perturbs rankings:
+//!
+//! * [`list`] — list construction and ranking by FLOPS/W;
+//! * [`perturb`] — Monte-Carlo rank-stability analysis under measurement
+//!   spread.
+
+#![warn(missing_docs)]
+
+pub mod list;
+pub mod perturb;
+pub mod synthesize;
+
+pub use list::{ListEntry, RankedList};
+pub use perturb::{rank_stability, RankStability};
+pub use synthesize::{synthesize, synthesize_nov2014, ListComposition};
+
+/// Errors produced by list operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ListError {
+    /// The list has no entries.
+    Empty,
+    /// A parameter was out of range.
+    InvalidParameter(&'static str),
+}
+
+impl std::fmt::Display for ListError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ListError::Empty => write!(f, "list has no entries"),
+            ListError::InvalidParameter(p) => write!(f, "invalid parameter: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for ListError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ListError>;

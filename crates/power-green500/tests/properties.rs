@@ -1,0 +1,90 @@
+//! Property-based tests for list ranking and perturbation.
+
+use proptest::prelude::*;
+
+use power_green500::list::{ListEntry, PowerSource, RankedList};
+use power_green500::perturb::{rank_stability, PerturbConfig};
+use power_method::level::Methodology;
+
+fn arb_entries() -> impl Strategy<Value = Vec<ListEntry>> {
+    prop::collection::vec(
+        (1.0..1e6f64, 1e3..1e8f64, prop::bool::ANY).prop_map(|(rmax_tf, power, measured)| {
+            ListEntry {
+                system: String::new(), // named after generation
+                rmax_flops: rmax_tf * 1e12,
+                power_w: power,
+                source: if measured {
+                    PowerSource::Measured(Methodology::Level1)
+                } else {
+                    PowerSource::Derived
+                },
+            }
+        }),
+        2..20,
+    )
+    .prop_map(|mut v| {
+        for (i, e) in v.iter_mut().enumerate() {
+            e.system = format!("sys-{i}");
+        }
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ranking_is_a_sorted_permutation(entries in arb_entries()) {
+        let n = entries.len();
+        let list = RankedList::new(entries.clone()).unwrap();
+        prop_assert_eq!(list.len(), n);
+        // Sorted by efficiency.
+        let effs: Vec<f64> = list.entries().iter().map(|e| e.flops_per_watt()).collect();
+        for w in effs.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+        // A permutation: every input system appears exactly once.
+        for e in &entries {
+            prop_assert!(list.rank_of(&e.system).is_some());
+        }
+        // Advantage of rank 1 over any lower rank is non-negative.
+        for r in 2..=n {
+            prop_assert!(list.advantage(1, r).unwrap() >= -1e-12);
+        }
+    }
+
+    #[test]
+    fn stability_bounded_and_deterministic(entries in arb_entries(), spread in 0.0..0.5f64, seed in 0u64..100) {
+        let list = RankedList::new(entries).unwrap();
+        let cfg = PerturbConfig {
+            measured_spread: spread,
+            replications: 200,
+            seed,
+        };
+        let a = rank_stability(&list, &cfg).unwrap();
+        let b = rank_stability(&list, &cfg).unwrap();
+        prop_assert_eq!(a.clone(), b);
+        for v in [a.top1_retention, a.top3_set_retention, a.top3_order_retention] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        // Order retention implies set retention.
+        prop_assert!(a.top3_set_retention >= a.top3_order_retention - 1e-12);
+        prop_assert!(a.mean_displacement >= 0.0);
+    }
+
+    #[test]
+    fn zero_spread_never_moves_anything(entries in arb_entries(), seed in 0u64..100) {
+        let list = RankedList::new(entries).unwrap();
+        let s = rank_stability(
+            &list,
+            &PerturbConfig {
+                measured_spread: 0.0,
+                replications: 50,
+                seed,
+            },
+        )
+        .unwrap();
+        prop_assert_eq!(s.top1_retention, 1.0);
+        prop_assert_eq!(s.mean_displacement, 0.0);
+    }
+}

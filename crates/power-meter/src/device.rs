@@ -1,0 +1,380 @@
+//! Meter device models.
+//!
+//! A [`MeterModel`] describes an accuracy *class* (systematic gain error
+//! bound, per-sample noise, quantization, sample rate); instantiating it
+//! draws one concrete [`SamplingMeter`] whose gain error is fixed for its
+//! lifetime — exactly how real instruments behave, and why the paper's
+//! "standard variance of power measurement equipment of 1-1.5%" matters
+//! when different nodes are metered by different devices.
+
+use crate::reading::Reading;
+use crate::{MeterError, Result};
+use power_stats::rng::StandardNormal;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An accuracy class of sampling power meters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeterModel {
+    /// Bound on the systematic gain error (e.g. `0.01` = ±1%); each
+    /// instrument draws its error uniformly within the bound.
+    pub accuracy_class: f64,
+    /// Per-sample multiplicative noise sigma.
+    pub noise_sigma: f64,
+    /// Reading quantization in watts (0 disables).
+    pub quantization_w: f64,
+    /// Sampling interval in seconds (Level 1/2 require at least 1 Hz,
+    /// i.e. `<= 1.0`).
+    pub sample_interval_s: f64,
+}
+
+impl MeterModel {
+    /// A revenue-grade meter: ±0.5% class, low noise, 1 Hz.
+    pub fn revenue_grade() -> Self {
+        MeterModel {
+            accuracy_class: 0.005,
+            noise_sigma: 0.001,
+            quantization_w: 0.1,
+            sample_interval_s: 1.0,
+        }
+    }
+
+    /// A typical cluster PDU meter: ±1.5% class (the paper's "standard
+    /// variance of power measurement equipment of 1-1.5%"), 1 W steps,
+    /// 1 Hz.
+    pub fn pdu_grade() -> Self {
+        MeterModel {
+            accuracy_class: 0.015,
+            noise_sigma: 0.004,
+            quantization_w: 1.0,
+            sample_interval_s: 1.0,
+        }
+    }
+
+    /// An ideal meter (for isolating methodology effects from instrument
+    /// effects in experiments).
+    pub fn ideal() -> Self {
+        MeterModel {
+            accuracy_class: 0.0,
+            noise_sigma: 0.0,
+            quantization_w: 0.0,
+            sample_interval_s: 1.0,
+        }
+    }
+
+    /// Validates the class parameters.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.accuracy_class >= 0.0 && self.accuracy_class < 0.2) {
+            return Err(MeterError::InvalidConfig {
+                field: "accuracy_class",
+                reason: "must lie in [0, 0.2)",
+            });
+        }
+        if !(self.noise_sigma >= 0.0 && self.noise_sigma < 0.2) {
+            return Err(MeterError::InvalidConfig {
+                field: "noise_sigma",
+                reason: "must lie in [0, 0.2)",
+            });
+        }
+        if !(self.quantization_w >= 0.0 && self.quantization_w.is_finite()) {
+            return Err(MeterError::InvalidConfig {
+                field: "quantization_w",
+                reason: "must be non-negative",
+            });
+        }
+        if !(self.sample_interval_s > 0.0 && self.sample_interval_s.is_finite()) {
+            return Err(MeterError::InvalidConfig {
+                field: "sample_interval_s",
+                reason: "must be positive",
+            });
+        }
+        Ok(())
+    }
+
+    /// Whether the class satisfies the methodology's "one power sample per
+    /// second" granularity requirement.
+    pub fn meets_1hz_requirement(&self) -> bool {
+        self.sample_interval_s <= 1.0
+    }
+
+    /// Instantiates one physical meter, drawing its systematic gain error.
+    pub fn instantiate<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<SamplingMeter> {
+        self.validate()?;
+        let gain = 1.0 + self.accuracy_class * (rng.random::<f64>() * 2.0 - 1.0);
+        Ok(SamplingMeter {
+            model: *self,
+            gain,
+        })
+    }
+}
+
+/// One physical sampling meter with a fixed systematic gain error.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SamplingMeter {
+    model: MeterModel,
+    gain: f64,
+}
+
+impl SamplingMeter {
+    /// The meter's class.
+    pub fn model(&self) -> &MeterModel {
+        &self.model
+    }
+
+    /// The instrument's systematic gain (1.0 = perfect).
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+
+    /// Measures a true power series (`series[i]` is the average over
+    /// `[t0 + i*dt, t0 + (i+1)*dt)`) over the window `[from, to)`.
+    ///
+    /// The meter samples at its own interval (taking the trace value
+    /// containing each sample instant), applies its gain, per-sample noise
+    /// and quantization, and reports the averaged reading.
+    pub fn measure<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        series: &[f64],
+        t0: f64,
+        dt: f64,
+        from: f64,
+        to: f64,
+    ) -> Result<Reading> {
+        if !(to > from) {
+            return Err(MeterError::InvalidConfig {
+                field: "to",
+                reason: "window end must exceed window start",
+            });
+        }
+        let mut gauss = StandardNormal::new();
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        let mut t = from.max(t0) + self.model.sample_interval_s / 2.0;
+        let t_last = to.min(t0 + series.len() as f64 * dt);
+        while t < t_last {
+            let idx = ((t - t0) / dt) as usize;
+            if idx >= series.len() {
+                break;
+            }
+            let mut w = series[idx] * self.gain;
+            if self.model.noise_sigma > 0.0 {
+                w *= 1.0 + self.model.noise_sigma * gauss.sample(rng);
+            }
+            if self.model.quantization_w > 0.0 {
+                w = (w / self.model.quantization_w).round() * self.model.quantization_w;
+            }
+            sum += w;
+            count += 1;
+            t += self.model.sample_interval_s;
+        }
+        if count == 0 {
+            return Err(MeterError::EmptyWindow);
+        }
+        let average = sum / count as f64;
+        Ok(Reading {
+            t_start: from.max(t0),
+            t_end: t_last,
+            average_w: average,
+            energy_j: average * (t_last - from.max(t0)),
+            samples: count,
+        })
+    }
+}
+
+/// A continuously integrating energy meter — the Level 3 instrument.
+///
+/// Integrates the true series exactly (up to its gain error); reports
+/// energy and derives average power.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IntegratingMeter {
+    gain: f64,
+}
+
+impl IntegratingMeter {
+    /// Creates an integrating meter with the given accuracy class,
+    /// drawing its systematic gain error.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, accuracy_class: f64) -> Result<Self> {
+        if !(0.0..0.2).contains(&accuracy_class) {
+            return Err(MeterError::InvalidConfig {
+                field: "accuracy_class",
+                reason: "must lie in [0, 0.2)",
+            });
+        }
+        Ok(IntegratingMeter {
+            gain: 1.0 + accuracy_class * (rng.random::<f64>() * 2.0 - 1.0),
+        })
+    }
+
+    /// A perfect integrating meter.
+    pub fn ideal() -> Self {
+        IntegratingMeter { gain: 1.0 }
+    }
+
+    /// Integrates the true series over `[from, to)`.
+    pub fn measure(&self, series: &[f64], t0: f64, dt: f64, from: f64, to: f64) -> Result<Reading> {
+        if !(to > from) {
+            return Err(MeterError::InvalidConfig {
+                field: "to",
+                reason: "window end must exceed window start",
+            });
+        }
+        let mut energy = 0.0;
+        let mut covered = 0.0;
+        for (i, &w) in series.iter().enumerate() {
+            let a = t0 + i as f64 * dt;
+            let b = a + dt;
+            let overlap = (b.min(to) - a.max(from)).max(0.0);
+            energy += w * overlap;
+            covered += overlap;
+        }
+        if covered <= 0.0 {
+            return Err(MeterError::EmptyWindow);
+        }
+        let energy = energy * self.gain;
+        Ok(Reading {
+            t_start: from,
+            t_end: from + covered,
+            average_w: energy / covered,
+            energy_j: energy,
+            samples: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use power_stats::rng::seeded;
+
+    fn flat_series(w: f64, n: usize) -> Vec<f64> {
+        vec![w; n]
+    }
+
+    #[test]
+    fn ideal_meter_reads_truth() {
+        let mut rng = seeded(1);
+        let m = MeterModel::ideal().instantiate(&mut rng).unwrap();
+        let r = m
+            .measure(&mut rng, &flat_series(400.0, 100), 0.0, 1.0, 0.0, 100.0)
+            .unwrap();
+        assert!((r.average_w - 400.0).abs() < 1e-9);
+        assert_eq!(r.samples, 100);
+        assert!((r.energy_j - 40_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gain_error_bounded_by_class() {
+        let mut rng = seeded(2);
+        for _ in 0..200 {
+            let m = MeterModel::pdu_grade().instantiate(&mut rng).unwrap();
+            assert!((m.gain() - 1.0).abs() <= 0.015 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn noise_averages_out() {
+        let mut rng = seeded(3);
+        let mut model = MeterModel::pdu_grade();
+        model.accuracy_class = 0.0; // isolate noise
+        let m = model.instantiate(&mut rng).unwrap();
+        let r = m
+            .measure(&mut rng, &flat_series(400.0, 3600), 0.0, 1.0, 0.0, 3600.0)
+            .unwrap();
+        // Noise sigma 0.4% over 3600 samples -> SE ~ 0.0067%.
+        assert!((r.average_w - 400.0).abs() < 0.4, "avg = {}", r.average_w);
+    }
+
+    #[test]
+    fn quantization_rounds() {
+        let mut rng = seeded(4);
+        let model = MeterModel {
+            accuracy_class: 0.0,
+            noise_sigma: 0.0,
+            quantization_w: 10.0,
+            sample_interval_s: 1.0,
+        };
+        let m = model.instantiate(&mut rng).unwrap();
+        let r = m
+            .measure(&mut rng, &flat_series(404.0, 10), 0.0, 1.0, 0.0, 10.0)
+            .unwrap();
+        assert_eq!(r.average_w, 400.0);
+    }
+
+    #[test]
+    fn slow_meter_takes_fewer_samples() {
+        let mut rng = seeded(5);
+        let model = MeterModel {
+            sample_interval_s: 10.0,
+            ..MeterModel::ideal()
+        };
+        let m = model.instantiate(&mut rng).unwrap();
+        let r = m
+            .measure(&mut rng, &flat_series(100.0, 100), 0.0, 1.0, 0.0, 100.0)
+            .unwrap();
+        assert_eq!(r.samples, 10);
+        assert!(!model.meets_1hz_requirement());
+        assert!(MeterModel::pdu_grade().meets_1hz_requirement());
+    }
+
+    #[test]
+    fn window_clipping_and_errors() {
+        let mut rng = seeded(6);
+        let m = MeterModel::ideal().instantiate(&mut rng).unwrap();
+        let series = flat_series(100.0, 10);
+        // Window extends past the series: clipped.
+        let r = m.measure(&mut rng, &series, 0.0, 1.0, 5.0, 50.0).unwrap();
+        assert_eq!(r.samples, 5);
+        // Disjoint window: error.
+        assert!(matches!(
+            m.measure(&mut rng, &series, 0.0, 1.0, 50.0, 60.0),
+            Err(MeterError::EmptyWindow)
+        ));
+        // Degenerate window: error.
+        assert!(m.measure(&mut rng, &series, 0.0, 1.0, 5.0, 5.0).is_err());
+    }
+
+    #[test]
+    fn integrating_meter_exact_partial_overlap() {
+        let m = IntegratingMeter::ideal();
+        let series = [100.0, 200.0, 300.0];
+        let r = m.measure(&series, 0.0, 1.0, 0.5, 2.5).unwrap();
+        // Energy: 0.5*100 + 1.0*200 + 0.5*300 = 400 J over 2 s.
+        assert!((r.energy_j - 400.0).abs() < 1e-9);
+        assert!((r.average_w - 200.0).abs() < 1e-9);
+        assert_eq!(r.samples, 0);
+    }
+
+    #[test]
+    fn integrating_meter_gain() {
+        let mut rng = seeded(7);
+        let m = IntegratingMeter::new(&mut rng, 0.01).unwrap();
+        let r = m.measure(&[100.0; 10], 0.0, 1.0, 0.0, 10.0).unwrap();
+        assert!((r.average_w - 100.0).abs() <= 1.0 + 1e-12);
+        assert!(IntegratingMeter::new(&mut rng, 0.5).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_classes() {
+        let mut bad = MeterModel::ideal();
+        bad.accuracy_class = 0.5;
+        assert!(bad.validate().is_err());
+        let mut bad = MeterModel::ideal();
+        bad.noise_sigma = -0.1;
+        assert!(bad.validate().is_err());
+        let mut bad = MeterModel::ideal();
+        bad.sample_interval_s = 0.0;
+        assert!(bad.validate().is_err());
+        let mut bad = MeterModel::ideal();
+        bad.quantization_w = f64::NAN;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn different_instruments_different_gains() {
+        let mut rng = seeded(8);
+        let a = MeterModel::pdu_grade().instantiate(&mut rng).unwrap();
+        let b = MeterModel::pdu_grade().instantiate(&mut rng).unwrap();
+        assert_ne!(a.gain(), b.gain());
+    }
+}

@@ -1,0 +1,69 @@
+//! Power metering instruments and measurement campaigns.
+//!
+//! The EE HPC WG methodology is ultimately about *instruments*: how often
+//! they sample (Aspect 1a), what they cover (Aspects 2–3), and where they
+//! sit in the conversion chain (Aspect 4). This crate models the
+//! instruments themselves:
+//!
+//! * [`device`] — sampling power meters (rate, accuracy class, per-sample
+//!   noise, quantization) and continuously integrating energy meters (the
+//!   Level 3 requirement);
+//! * [`reading`] — what a meter reports: averaged power, energy, sample
+//!   counts;
+//! * [`campaign`] — attaching a fleet of meters to a node subset, running
+//!   them over a simulated trace, and aggregating the result, including
+//!   the methodology's 2 kW / 10 kW minimum-aggregate-power checks.
+//!
+//! The paper notes "the standard variance of power measurement equipment
+//! of 1-1.5%"; [`device::MeterModel::revenue_grade`] and friends encode
+//! exactly that class structure.
+
+#![warn(missing_docs)]
+// `!(a > b)` comparisons are deliberate throughout: unlike `a <= b` they
+// are true for NaN inputs, so malformed windows/parameters are rejected
+// instead of silently accepted.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+
+pub mod campaign;
+pub mod device;
+pub mod faults;
+pub mod reading;
+
+pub use campaign::{Campaign, CampaignResult};
+pub use device::{IntegratingMeter, MeterModel, SamplingMeter};
+pub use faults::{FaultyMeter, MeterFault};
+pub use reading::Reading;
+
+/// Errors produced by metering.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MeterError {
+    /// A configuration value was out of range.
+    InvalidConfig {
+        /// Offending field.
+        field: &'static str,
+        /// Violated constraint.
+        reason: &'static str,
+    },
+    /// The requested window does not overlap the recorded trace.
+    EmptyWindow,
+    /// Campaign-level failure (e.g. no nodes metered).
+    InvalidCampaign(&'static str),
+}
+
+impl std::fmt::Display for MeterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MeterError::InvalidConfig { field, reason } => {
+                write!(f, "invalid meter config `{field}`: {reason}")
+            }
+            MeterError::EmptyWindow => write!(f, "measurement window overlaps no samples"),
+            MeterError::InvalidCampaign(why) => write!(f, "invalid campaign: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for MeterError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, MeterError>;

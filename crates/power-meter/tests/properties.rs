@@ -1,0 +1,106 @@
+//! Property-based tests for the metering layer.
+
+use proptest::prelude::*;
+
+use power_meter::device::{IntegratingMeter, MeterModel};
+use power_meter::faults::{FaultyMeter, MeterFault};
+use power_meter::reading::Reading;
+use power_stats::rng::seeded;
+
+fn arb_model() -> impl Strategy<Value = MeterModel> {
+    (0.0..0.05f64, 0.0..0.02f64, 0.0..5.0f64, 0.5..10.0f64).prop_map(
+        |(class, noise, quant, interval)| MeterModel {
+            accuracy_class: class,
+            noise_sigma: noise,
+            quantization_w: quant,
+            sample_interval_s: interval,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn reading_bounded_by_class_and_noise(model in arb_model(), w in 10.0..5000.0f64, seed in 0u64..500) {
+        let mut rng = seeded(seed);
+        let meter = model.instantiate(&mut rng).unwrap();
+        prop_assert!((meter.gain() - 1.0).abs() <= model.accuracy_class + 1e-12);
+        let series = vec![w; 600];
+        let r = meter.measure(&mut rng, &series, 0.0, 1.0, 0.0, 600.0).unwrap();
+        // Systematic + noise (many samples) + quantization bound.
+        let bound = w * model.accuracy_class
+            + w * model.noise_sigma * 6.0 / (r.samples as f64).sqrt()
+            + model.quantization_w;
+        prop_assert!(
+            (r.average_w - w).abs() <= bound + 1e-9,
+            "avg {} vs true {w}, bound {bound}",
+            r.average_w
+        );
+        prop_assert!(r.samples >= 1);
+        // Energy is average times duration.
+        prop_assert!((r.energy_j - r.average_w * r.duration_s()).abs() < 1e-6 * r.energy_j.abs().max(1.0));
+    }
+
+    #[test]
+    fn integrating_meter_window_additivity(
+        w1 in 10.0..1000.0f64,
+        w2 in 10.0..1000.0f64,
+        split in 0.1..0.9f64,
+    ) {
+        let m = IntegratingMeter::ideal();
+        let series: Vec<f64> = (0..100).map(|i| if i < 50 { w1 } else { w2 }).collect();
+        let cut = split * 100.0;
+        let whole = m.measure(&series, 0.0, 1.0, 0.0, 100.0).unwrap();
+        let a = m.measure(&series, 0.0, 1.0, 0.0, cut).unwrap();
+        let b = m.measure(&series, 0.0, 1.0, cut, 100.0).unwrap();
+        // Energies add exactly across a window split.
+        prop_assert!((a.energy_j + b.energy_j - whole.energy_j).abs() < 1e-6);
+    }
+
+    #[test]
+    fn drift_bias_scales_with_window(rate in -0.02..0.02f64, hours in 1.0..20.0f64, seed in 0u64..100) {
+        prop_assume!(rate.abs() > 1e-4);
+        let mut rng = seeded(seed);
+        let meter = MeterModel::ideal().instantiate(&mut rng).unwrap();
+        let faulty = FaultyMeter::new(meter, MeterFault::Drift { rate_per_hour: rate }).unwrap();
+        let n = (hours * 3600.0) as usize;
+        let series = vec![500.0; n];
+        let r = faulty
+            .measure(&mut rng, &series, 0.0, 1.0, 0.0, n as f64)
+            .unwrap();
+        let bias = r.average_w / 500.0 - 1.0;
+        let expected = rate * hours / 2.0;
+        prop_assert!(
+            (bias - expected).abs() < 0.1 * expected.abs() + 1e-4,
+            "bias {bias} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn dropped_samples_unbiased_on_flat_load(prob in 0.0..0.9f64, seed in 0u64..100) {
+        let mut rng = seeded(seed);
+        let meter = MeterModel::ideal().instantiate(&mut rng).unwrap();
+        let faulty = FaultyMeter::new(meter, MeterFault::DropSamples { prob }).unwrap();
+        let series = vec![321.0; 2000];
+        if let Ok(r) = faulty.measure(&mut rng, &series, 0.0, 1.0, 0.0, 2000.0) {
+            prop_assert!((r.average_w - 321.0).abs() < 1e-9);
+            prop_assert!(r.samples <= 2000);
+        }
+    }
+
+    #[test]
+    fn reading_sum_is_commutative(a in 1.0..1000.0f64, b in 1.0..1000.0f64) {
+        let mk = |w: f64| Reading {
+            t_start: 0.0,
+            t_end: 10.0,
+            average_w: w,
+            energy_j: w * 10.0,
+            samples: 10,
+        };
+        let x = Reading::sum(&[mk(a), mk(b)]).unwrap();
+        let y = Reading::sum(&[mk(b), mk(a)]).unwrap();
+        prop_assert!((x.average_w - y.average_w).abs() < 1e-12);
+        prop_assert!((x.average_w - (a + b)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for methodology rules.
+
+use proptest::prelude::*;
+
+use power_method::fraction::FractionRule;
+use power_method::level::Methodology;
+use power_method::window::TimingRule;
+use power_workload::RunPhases;
+
+fn arb_phases() -> impl Strategy<Value = RunPhases> {
+    (0.0..500.0f64, 120.0..50_000.0f64, 0.0..500.0f64)
+        .prop_map(|(s, c, t)| RunPhases::new(s, c, t).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn level1_window_always_legal(phases in arb_phases(), placement in 0.0..=1.0f64) {
+        let rule = TimingRule::level1();
+        let w = rule.windows(&phases, placement).unwrap();
+        prop_assert_eq!(w.len(), 1);
+        let (a, b) = w[0];
+        let (lo, hi) = phases.core_middle_80();
+        prop_assert!(a >= lo - 1e-9);
+        prop_assert!(b <= hi + 1e-9);
+        // Window length: the longer of 60 s or 20% of the middle 80%
+        // (clipped when the whole middle 80% is shorter than a minute).
+        let want = rule.window_length(&phases).min(hi - lo);
+        prop_assert!((b - a - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn level2_segments_tile_core(phases in arb_phases()) {
+        let w = TimingRule::level2().windows(&phases, 0.0).unwrap();
+        prop_assert_eq!(w.len(), 10);
+        prop_assert!((w[0].0 - phases.core_start()).abs() < 1e-9);
+        prop_assert!((w[9].1 - phases.core_end()).abs() < 1e-9);
+        for pair in w.windows(2) {
+            prop_assert!((pair[0].1 - pair[1].0).abs() < 1e-9);
+        }
+        let total: f64 = w.iter().map(|(a, b)| b - a).sum();
+        prop_assert!((total - phases.core()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fraction_rules_ordered_by_rigour(total in 1usize..200_000, node_w in 50.0..2000.0f64) {
+        let l1 = FractionRule::level1().required_nodes(total, node_w).unwrap();
+        let l2 = FractionRule::level2().required_nodes(total, node_w).unwrap();
+        let l3 = FractionRule::All.required_nodes(total, node_w).unwrap();
+        prop_assert!(l1 <= l2, "L1 {l1} > L2 {l2}");
+        prop_assert!(l2 <= l3);
+        prop_assert_eq!(l3, total);
+        // Every rule's own requirement satisfies the rule.
+        for rule in [FractionRule::level1(), FractionRule::level2(), FractionRule::revised()] {
+            let req = rule.required_nodes(total, node_w).unwrap();
+            prop_assert!(
+                rule.is_satisfied(total, req, req as f64 * node_w),
+                "{rule:?} total={total} req={req}"
+            );
+        }
+    }
+
+    #[test]
+    fn revised_rule_floors(total in 1usize..200_000) {
+        let req = FractionRule::revised().required_nodes(total, 400.0).unwrap();
+        prop_assert!(req >= 16.min(total));
+        prop_assert!(req as f64 >= (total as f64 * 0.10).ceil().min(total as f64));
+        prop_assert!(req <= total);
+    }
+
+    #[test]
+    fn specs_are_internally_consistent(phases in arb_phases()) {
+        for m in Methodology::all() {
+            let spec = m.spec();
+            // Coverage fraction and covers_full_core agree.
+            let cov = spec.timing.coverage(&phases);
+            if spec.timing.covers_full_core() {
+                prop_assert!((cov - 1.0).abs() < 1e-12);
+            } else {
+                prop_assert!(cov < 1.0);
+            }
+            // Windows are always inside the run.
+            for (a, b) in spec.timing.windows(&phases, 0.5).unwrap() {
+                prop_assert!(a >= 0.0 && b <= phases.total() + 1e-9 && b > a);
+            }
+        }
+    }
+}

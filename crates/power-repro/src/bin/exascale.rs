@@ -1,0 +1,6 @@
+//! The conclusion's exascale caveat, quantified: sweep machine size and
+//! sigma/mu and compare Equation 5 against the revised max(16, 10%) rule.
+use power_repro::{experiments, render};
+fn main() {
+    print!("{}", render::render_exascale(&experiments::exascale_sweep()));
+}

@@ -1,0 +1,7 @@
+//! Reproduces paper Figure 1: system power over time for four HPL runs.
+use power_repro::{experiments, render, RunScale};
+fn main() {
+    let scale = RunScale::from_args(std::env::args().skip(1));
+    let traces = experiments::trace_experiments(&scale);
+    print!("{}", render::render_figure1(&traces));
+}

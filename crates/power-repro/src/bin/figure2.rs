@@ -1,0 +1,6 @@
+//! Reproduces paper Figure 2: per-node power histograms.
+use power_repro::{experiments, render, RunScale};
+fn main() {
+    let scale = RunScale::from_args(std::env::args().skip(1));
+    print!("{}", render::render_figure2(&experiments::table4(&scale)));
+}

@@ -1,0 +1,6 @@
+//! Reproduces paper Figure 3: bootstrap confidence-interval coverage.
+use power_repro::{experiments, render, RunScale};
+fn main() {
+    let scale = RunScale::from_args(std::env::args().skip(1));
+    print!("{}", render::render_figure3(&experiments::figure3(&scale)));
+}

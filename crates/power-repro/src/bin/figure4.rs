@@ -1,0 +1,5 @@
+//! Reproduces paper Figure 4: L-CSC per-node efficiency vs VID.
+use power_repro::{experiments, render};
+fn main() {
+    print!("{}", render::render_figure4(&experiments::figure4(56)));
+}

@@ -1,0 +1,7 @@
+//! Reproduces the balanced-workload precondition study: where the paper's
+//! normal-theory sample sizing breaks (Davis et al.'s data-intensive regime).
+use power_repro::{experiments, render, RunScale};
+fn main() {
+    let scale = RunScale::from_args(std::env::args().skip(1));
+    print!("{}", render::render_imbalance(&experiments::imbalance_study(&scale)));
+}

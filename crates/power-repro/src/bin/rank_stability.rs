@@ -1,0 +1,6 @@
+//! Reproduces the Section 1 motivation: Green500 rank fragility.
+use power_repro::{experiments, render, RunScale};
+fn main() {
+    let scale = RunScale::from_args(std::env::args().skip(1));
+    print!("{}", render::render_rank_stability(&experiments::rank_stability_sweep(&scale)));
+}

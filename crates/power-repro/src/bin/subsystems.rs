@@ -1,0 +1,6 @@
+//! Reproduces the Aspect 3 analysis: subsystem power a compute-only
+//! (Level 1) measurement hides, and the resulting efficiency overstatement.
+use power_repro::{experiments, render};
+fn main() {
+    print!("{}", render::render_subsystems(&experiments::subsystem_overstatement()));
+}

@@ -1,0 +1,5 @@
+//! Reproduces the Section 4.2 t-vs-z under-coverage analysis.
+use power_repro::{experiments, render};
+fn main() {
+    print!("{}", render::render_t_vs_z(&experiments::t_vs_z()));
+}

@@ -1,0 +1,4 @@
+//! Reproduces paper Table 1: methodology requirements by level.
+fn main() {
+    print!("{}", power_repro::render::render_table1());
+}

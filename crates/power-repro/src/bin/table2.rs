@@ -1,0 +1,7 @@
+//! Reproduces paper Table 2: HPL runtime and segment powers.
+use power_repro::{experiments, render, RunScale};
+fn main() {
+    let scale = RunScale::from_args(std::env::args().skip(1));
+    let traces = experiments::trace_experiments(&scale);
+    print!("{}", render::render_table2(&experiments::table2(&traces)));
+}

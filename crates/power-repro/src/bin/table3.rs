@@ -1,0 +1,4 @@
+//! Reproduces paper Table 3: the test-system inventory.
+fn main() {
+    print!("{}", power_repro::render::render_table3());
+}

@@ -1,0 +1,6 @@
+//! Reproduces paper Table 4: per-node power statistics across systems.
+use power_repro::{experiments, render, RunScale};
+fn main() {
+    let scale = RunScale::from_args(std::env::args().skip(1));
+    print!("{}", render::render_table4(&experiments::table4(&scale)));
+}

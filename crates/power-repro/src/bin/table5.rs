@@ -1,0 +1,5 @@
+//! Reproduces paper Table 5: recommended sample sizes (exact match).
+use power_repro::{experiments, render};
+fn main() {
+    print!("{}", render::render_table5(&experiments::table5()));
+}

@@ -1,0 +1,134 @@
+//! Terminal line plots for trace and coverage figures.
+
+/// One series of a line plot.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points, assumed sorted by `x`.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Renders series as an ASCII line plot of `width x height` characters
+/// (plus axes). Each series gets its own glyph.
+pub fn line_plot(series: &[Series], width: usize, height: usize) -> String {
+    const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+    let (width, height) = (width.max(10), height.max(4));
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if all.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let x_min = all.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+    let x_max = all.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+    let y_min = all.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+    let y_max = all.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+    let x_span = (x_max - x_min).max(1e-12);
+    let y_span = (y_max - y_min).max(1e-12);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            let col = (((x - x_min) / x_span) * (width - 1) as f64).round() as usize;
+            let row = (((y - y_min) / y_span) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row.min(height - 1);
+            grid[row][col.min(width - 1)] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{y_max:>12.2} +"));
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    for row in &grid {
+        out.push_str(&" ".repeat(13));
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{y_min:>12.2} +"));
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "{:>14}{:<w$}{:>8}\n",
+        format!("{x_min:.0}"),
+        "",
+        format!("{x_max:.0}"),
+        w = width.saturating_sub(8)
+    ));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "  {} {}\n",
+            GLYPHS[si % GLYPHS.len()],
+            s.label
+        ));
+    }
+    out
+}
+
+/// Downsamples a trace to at most `max_points` evenly spaced points for
+/// plotting.
+pub fn downsample(points: &[(f64, f64)], max_points: usize) -> Vec<(f64, f64)> {
+    if points.len() <= max_points.max(2) {
+        return points.to_vec();
+    }
+    let stride = points.len() as f64 / max_points as f64;
+    (0..max_points)
+        .map(|i| points[(i as f64 * stride) as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plot_contains_glyphs_and_legend() {
+        let s = Series {
+            label: "ramp".into(),
+            points: (0..50).map(|i| (i as f64, i as f64 * 2.0)).collect(),
+        };
+        let art = line_plot(&[s], 40, 10);
+        assert!(art.contains('*'));
+        assert!(art.contains("ramp"));
+        assert!(art.lines().count() > 10);
+    }
+
+    #[test]
+    fn plot_handles_two_series() {
+        let a = Series {
+            label: "a".into(),
+            points: vec![(0.0, 0.0), (1.0, 1.0)],
+        };
+        let b = Series {
+            label: "b".into(),
+            points: vec![(0.0, 1.0), (1.0, 0.0)],
+        };
+        let art = line_plot(&[a, b], 20, 8);
+        assert!(art.contains('*') && art.contains('o'));
+    }
+
+    #[test]
+    fn plot_empty_series() {
+        assert_eq!(line_plot(&[], 20, 8), "(no data)\n");
+    }
+
+    #[test]
+    fn plot_constant_series_no_panic() {
+        let s = Series {
+            label: "flat".into(),
+            points: vec![(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)],
+        };
+        let art = line_plot(&[s], 20, 5);
+        assert!(art.contains('*'));
+    }
+
+    #[test]
+    fn downsample_preserves_length_bound() {
+        let pts: Vec<(f64, f64)> = (0..1000).map(|i| (i as f64, 0.0)).collect();
+        let d = downsample(&pts, 100);
+        assert_eq!(d.len(), 100);
+        let short = downsample(&pts[..50], 100);
+        assert_eq!(short.len(), 50);
+    }
+}

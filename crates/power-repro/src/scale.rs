@@ -1,0 +1,122 @@
+//! Run-scale selection.
+//!
+//! Full-fidelity reproduction simulates machines up to 122 880 nodes and
+//! runs 100 000 bootstrap replications; the quick scale keeps every
+//! experiment's *shape* while completing in seconds. Binaries accept
+//! `--quick` / `--full` (quick is the default; the paper-fidelity numbers
+//! in EXPERIMENTS.md come from `--full`).
+
+/// Scale knobs shared by all experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunScale {
+    /// Cap on simulated machine size (presets are scaled down to this;
+    /// per-node statistics and trace ratios are size-invariant).
+    pub max_nodes: usize,
+    /// Multiplier on the simulation time step (1.0 = 1-second-class
+    /// sampling for short runs; trace presets pick dt so that runs have
+    /// a few thousand samples).
+    pub dt_scale: f64,
+    /// Bootstrap replications per Figure 3 point.
+    pub bootstrap_reps: usize,
+    /// Simulated-machine size N for the Figure 3 coverage study.
+    pub bootstrap_population: usize,
+    /// Monte-Carlo replications for rank stability.
+    pub rank_reps: usize,
+    /// Placements scanned by the optimal-interval search.
+    pub interval_placements: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl RunScale {
+    /// Paper-fidelity scale.
+    pub fn full() -> Self {
+        RunScale {
+            max_nodes: usize::MAX,
+            dt_scale: 1.0,
+            bootstrap_reps: 100_000,
+            bootstrap_population: 9_216,
+            rank_reps: 100_000,
+            interval_placements: 501,
+            seed: 20_150_715,
+        }
+    }
+
+    /// Seconds-not-minutes scale for CI and demos.
+    pub fn quick() -> Self {
+        RunScale {
+            max_nodes: 512,
+            dt_scale: 4.0,
+            bootstrap_reps: 5_000,
+            bootstrap_population: 2_048,
+            rank_reps: 5_000,
+            interval_placements: 101,
+            seed: 20_150_715,
+        }
+    }
+
+    /// Parses `--quick` / `--full` from CLI args (quick by default).
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
+        for a in args {
+            if a == "--full" {
+                return RunScale::full();
+            }
+            if a == "--quick" {
+                return RunScale::quick();
+            }
+        }
+        RunScale::quick()
+    }
+
+    /// Clamps a preset machine size to this scale.
+    pub fn clamp_nodes(&self, preset_nodes: usize) -> usize {
+        preset_nodes.min(self.max_nodes)
+    }
+
+    /// Simulation time step for a run with the given core-phase duration:
+    /// aims at ~2000 samples per run at full scale, scaled by `dt_scale`,
+    /// never below one second.
+    pub fn dt_for_core(&self, core_secs: f64) -> f64 {
+        ((core_secs / 2000.0) * self.dt_scale).max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_parsing() {
+        assert_eq!(
+            RunScale::from_args(vec!["--full".to_string()]),
+            RunScale::full()
+        );
+        assert_eq!(
+            RunScale::from_args(vec!["--quick".to_string()]),
+            RunScale::quick()
+        );
+        assert_eq!(RunScale::from_args(Vec::<String>::new()), RunScale::quick());
+        assert_eq!(
+            RunScale::from_args(vec!["other".to_string()]),
+            RunScale::quick()
+        );
+    }
+
+    #[test]
+    fn clamping() {
+        let q = RunScale::quick();
+        assert_eq!(q.clamp_nodes(122_880), 512);
+        assert_eq!(q.clamp_nodes(100), 100);
+        let f = RunScale::full();
+        assert_eq!(f.clamp_nodes(122_880), 122_880);
+    }
+
+    #[test]
+    fn dt_floors_at_one_second() {
+        let f = RunScale::full();
+        assert_eq!(f.dt_for_core(100.0), 1.0);
+        assert!((f.dt_for_core(100_800.0) - 50.4).abs() < 1e-9);
+        let q = RunScale::quick();
+        assert!((q.dt_for_core(100_800.0) - 201.6).abs() < 1e-9);
+    }
+}

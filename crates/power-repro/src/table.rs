@@ -1,0 +1,133 @@
+//! Aligned-column table rendering for experiment output.
+
+/// A simple text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (padded/truncated to the header width).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                line.push_str(cell);
+                line.push_str(&" ".repeat(widths[i].saturating_sub(cell.chars().count())));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV (no quoting of commas — experiment data is numeric).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.header.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a relative deviation as a signed percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:+.2}%", x * 100.0)
+}
+
+/// Formats watts as kilowatts with one decimal.
+pub fn kw(watts: f64) -> String {
+    format!("{:.1}", watts / 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = TextTable::new(["name", "value"]);
+        t.row(["short", "1"]);
+        t.row(["a-much-longer-name", "12345"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        // All data lines have "value" column starting at the same offset.
+        let col = lines[0].find("value").unwrap();
+        assert_eq!(&lines[2][col..col + 1], "1");
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = TextTable::new(["a", "b", "c"]);
+        t.row(["1"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        let s = t.render();
+        assert!(s.contains('1'));
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["1", "2"]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.0485), "+4.85%");
+        assert_eq!(pct(-0.162), "-16.20%");
+        assert_eq!(kw(59_100.0), "59.1");
+    }
+}

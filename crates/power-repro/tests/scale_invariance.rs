@@ -1,0 +1,96 @@
+//! Scale-invariance checks: the quick scale must preserve every
+//! qualitative conclusion of the full-scale reproduction, because that is
+//! the contract that lets CI run in seconds while EXPERIMENTS.md reports
+//! full fidelity.
+
+use power_repro::experiments;
+use power_repro::RunScale;
+
+fn scale(max_nodes: usize, dt_scale: f64) -> RunScale {
+    RunScale {
+        max_nodes,
+        dt_scale,
+        bootstrap_reps: 300,
+        bootstrap_population: 256,
+        rank_reps: 300,
+        interval_placements: 21,
+        seed: 20_150_715,
+    }
+}
+
+/// Table 2 segment *ratios* are invariant to simulated machine size.
+#[test]
+fn table2_ratios_scale_invariant() {
+    let small = experiments::table2(&experiments::trace_experiments(&scale(32, 24.0)));
+    let large = experiments::table2(&experiments::trace_experiments(&scale(96, 24.0)));
+    for (a, b) in small.iter().zip(&large) {
+        assert_eq!(a.name, b.name);
+        let ra = a.first20_kw / a.core_kw;
+        let rb = b.first20_kw / b.core_kw;
+        assert!(
+            (ra - rb).abs() < 0.01,
+            "{}: first-20% ratio {ra:.4} vs {rb:.4}",
+            a.name
+        );
+        let la = a.last20_kw / a.core_kw;
+        let lb = b.last20_kw / b.core_kw;
+        assert!((la - lb).abs() < 0.01, "{}: last-20% ratio", a.name);
+    }
+}
+
+/// Table 4 per-node means are invariant to both machine size and time
+/// step (the preset's calibration is per-node physics, not tuned totals).
+#[test]
+fn table4_means_scale_invariant() {
+    let coarse = experiments::table4(&scale(64, 32.0));
+    let fine = experiments::table4(&scale(64, 8.0));
+    for (a, b) in coarse.iter().zip(&fine) {
+        assert_eq!(a.name, b.name);
+        assert!(
+            (a.mean_w - b.mean_w).abs() / b.mean_w < 0.01,
+            "{}: {} vs {} W across dt",
+            a.name,
+            a.mean_w,
+            b.mean_w
+        );
+    }
+}
+
+/// The gaming conclusion (GPU systems gameable, Colosse not) holds at any
+/// scale.
+#[test]
+fn gaming_ordering_scale_invariant() {
+    for s in [scale(24, 48.0), scale(64, 16.0)] {
+        let traces = experiments::trace_experiments(&s);
+        let rows = experiments::gaming(&s, &traces);
+        let gain = |name: &str| {
+            rows.iter()
+                .find(|r| r.name == name)
+                .unwrap()
+                .unrestricted
+                .gaming_gain()
+        };
+        assert!(gain("L-CSC") > gain("Piz Daint"));
+        assert!(gain("Piz Daint") > gain("Sequoia-25"));
+        assert!(gain("Sequoia-25") > gain("Colosse"));
+        assert!(gain("Colosse") < 0.02);
+        assert!(gain("L-CSC") > 0.15);
+    }
+}
+
+/// Pure-math experiments are literally identical at every scale.
+#[test]
+fn analytic_experiments_scale_free() {
+    let a = experiments::table5();
+    let b = experiments::table5();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.nodes, y.nodes);
+    }
+    let g1 = experiments::accuracy_gap();
+    let g2 = experiments::accuracy_gap();
+    assert_eq!(g1.small_n, g2.small_n);
+    assert_eq!(g1.large_lambda, g2.large_lambda);
+    let e = experiments::exascale_sweep();
+    assert_eq!(e.len(), 9);
+}

@@ -1,0 +1,544 @@
+//! Time-stepped simulation engine.
+//!
+//! The engine advances each node's thermal state through a run and records
+//! power. Nodes are mutually independent (the workload couples them only
+//! through its deterministic utilization function), so the node loop
+//! parallelizes trivially; crossbeam scoped threads split the node range
+//! and per-node RNG substreams keep results independent of thread count.
+//!
+//! Three products cover the paper's experiments:
+//!
+//! * [`Simulator::system_trace`] — whole-machine power vs time (Figure 1,
+//!   Table 2);
+//! * [`Simulator::node_averages`] — per-node time-averaged power over a
+//!   window (Table 4, Figure 2, the sample-size studies);
+//! * [`Simulator::subset_trace`] — full per-sample traces for a metered
+//!   node subset (the measurement campaigns in `power-meter`).
+
+use crate::cluster::Cluster;
+use crate::node::NodeSpec;
+use crate::thermal::ThermalState;
+use crate::trace::{NodeTrace, SystemTrace};
+use crate::{Result, SimError};
+use power_stats::rng::{substream, StandardNormal};
+use power_workload::{LoadBalance, Workload};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Which part of the node's power a product should report.
+///
+/// The methodology's Aspect 3 ("which subsystems must be included") and the
+/// paper's Titan dataset (GPUs only) both need sub-node scopes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MeterScope {
+    /// AC power at the node wall plug (the canonical scope).
+    Wall,
+    /// DC power downstream of the node PSU.
+    Dc,
+    /// Processor (CPU/GPU board) power only.
+    ProcessorsOnly,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimulationConfig {
+    /// Time step / sample interval in seconds.
+    pub dt: f64,
+    /// Relative per-node per-sample load/measurement fluctuation sigma
+    /// (multiplicative Gaussian noise; 0 disables).
+    pub noise_sigma: f64,
+    /// Relative machine-wide per-sample fluctuation sigma. Per-node noise
+    /// averages out across a 100 000-node machine; this common-mode term
+    /// (interconnect phases, OS jitter, global algorithm steps) is what
+    /// keeps large-system traces realistically jagged, as in the paper's
+    /// Figure 1 Sequoia curve.
+    pub common_noise_sigma: f64,
+    /// RNG seed for the noise streams.
+    pub seed: u64,
+    /// Worker threads (clamped to at least 1).
+    pub threads: usize,
+}
+
+impl SimulationConfig {
+    /// One-second sampling (the methodology's Level 1/2 granularity) with
+    /// mild fluctuation noise.
+    pub fn one_hertz(seed: u64) -> Self {
+        SimulationConfig {
+            dt: 1.0,
+            noise_sigma: 0.01,
+            common_noise_sigma: 0.004,
+            seed,
+            threads: std::thread::available_parallelism().map_or(4, |p| p.get()),
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.dt > 0.0 && self.dt.is_finite()) {
+            return Err(SimError::InvalidConfig {
+                field: "dt",
+                reason: "time step must be positive",
+            });
+        }
+        if !(self.noise_sigma >= 0.0 && self.noise_sigma < 0.5) {
+            return Err(SimError::InvalidConfig {
+                field: "noise_sigma",
+                reason: "noise sigma must lie in [0, 0.5)",
+            });
+        }
+        if !(self.common_noise_sigma >= 0.0 && self.common_noise_sigma < 0.5) {
+            return Err(SimError::InvalidConfig {
+                field: "common_noise_sigma",
+                reason: "common noise sigma must lie in [0, 0.5)",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A simulator binding a machine, a workload and a load-balance policy.
+pub struct Simulator<'a> {
+    cluster: &'a Cluster,
+    workload: &'a dyn Workload,
+    balance: LoadBalance,
+    config: SimulationConfig,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator.
+    pub fn new(
+        cluster: &'a Cluster,
+        workload: &'a dyn Workload,
+        balance: LoadBalance,
+        config: SimulationConfig,
+    ) -> Result<Self> {
+        config.validate()?;
+        Ok(Simulator {
+            cluster,
+            workload,
+            balance,
+            config,
+        })
+    }
+
+    /// The configured time step.
+    pub fn dt(&self) -> f64 {
+        self.config.dt
+    }
+
+    /// Number of samples covering the whole run.
+    pub fn run_steps(&self) -> usize {
+        (self.workload.phases().total() / self.config.dt).ceil() as usize
+    }
+
+    fn scope_value(power: &crate::node::NodePower, scope: MeterScope) -> f64 {
+        match scope {
+            MeterScope::Wall => power.wall_w,
+            MeterScope::Dc => power.dc_w,
+            MeterScope::ProcessorsOnly => power.processors_w(),
+        }
+    }
+
+    /// Per-step machine-wide utilization multipliers (common-mode noise).
+    /// Deterministic in the seed, shared by every node and every product.
+    fn common_noise(&self, steps: usize) -> Vec<f64> {
+        if self.config.common_noise_sigma == 0.0 {
+            return vec![1.0; steps];
+        }
+        // A dedicated substream far away from the per-node streams.
+        let mut rng = substream(self.config.seed ^ 0xC0FF_EE00_D00D_F00Du64, u64::MAX);
+        let mut gauss = StandardNormal::new();
+        (0..steps)
+            .map(|_| 1.0 + self.config.common_noise_sigma * gauss.sample(&mut rng))
+            .collect()
+    }
+
+    /// Simulates one node across `steps` samples starting at t = 0,
+    /// invoking `sink(step, scoped_power)` per sample.
+    fn run_node<F: FnMut(usize, f64)>(
+        &self,
+        node: usize,
+        steps: usize,
+        scope: MeterScope,
+        common: &[f64],
+        rng: &mut StdRng,
+        mut sink: F,
+    ) {
+        let spec = self.cluster.spec();
+        // Per-node inlet temperature: nominal ambient plus the node's
+        // position in the room's thermal gradient.
+        let mut thermal_spec = spec.node.thermal;
+        thermal_spec.t_ambient_c += self.cluster.ambient_offset(node);
+        let mut thermal = ThermalState::at_ambient(&thermal_spec);
+        let mut gauss = StandardNormal::new();
+        let factor = self.balance.factor(node, self.cluster.len());
+        let dt = self.config.dt;
+        for (step, &common_mult) in common.iter().enumerate().take(steps) {
+            let t = step as f64 * dt;
+            let mut u = self.workload.utilization(node, t) * factor * common_mult;
+            if self.config.noise_sigma > 0.0 {
+                u *= 1.0 + self.config.noise_sigma * gauss.sample(rng);
+            }
+            let u = u.clamp(0.0, 1.0);
+            let power = self
+                .cluster
+                .node_power(node, t, u, thermal.temp_c)
+                .expect("node index validated by caller");
+            sink(step, Self::scope_value(&power, scope));
+            let fan_speed = power.fan_speed;
+            thermal.step(&thermal_spec, NodeSpec::heat_w(&power), fan_speed, dt);
+        }
+    }
+
+    /// Whole-machine power vs time over the full run, at the configured
+    /// sampling interval and scope.
+    pub fn system_trace(&self, scope: MeterScope) -> Result<SystemTrace> {
+        let steps = self.run_steps();
+        let n = self.cluster.len();
+        let threads = self.config.threads.max(1).min(n);
+        let chunk = n.div_ceil(threads);
+        let mut partials = vec![vec![0.0f64; steps]; threads];
+        let common = self.common_noise(steps);
+
+        crossbeam::scope(|scope_| {
+            for (w, partial) in partials.iter_mut().enumerate() {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n);
+                let sim = &self;
+                let common = &common;
+                scope_.spawn(move |_| {
+                    for node in lo..hi {
+                        let mut rng = substream(sim.config.seed, node as u64);
+                        sim.run_node(node, steps, scope, common, &mut rng, |step, watts| {
+                            partial[step] += watts;
+                        });
+                    }
+                });
+            }
+        })
+        .expect("simulation worker panicked");
+
+        let mut totals = vec![0.0f64; steps];
+        for partial in partials {
+            for (t, p) in totals.iter_mut().zip(partial) {
+                *t += p;
+            }
+        }
+        SystemTrace::new(0.0, self.config.dt, totals)
+    }
+
+    /// Per-node time-averaged power over the window `[from, to)`, for all
+    /// nodes of the machine.
+    pub fn node_averages(&self, from: f64, to: f64, scope: MeterScope) -> Result<Vec<f64>> {
+        if !(to > from) {
+            return Err(SimError::InvalidConfig {
+                field: "to",
+                reason: "window end must exceed window start",
+            });
+        }
+        let steps = self.run_steps();
+        let n = self.cluster.len();
+        let threads = self.config.threads.max(1).min(n);
+        let chunk = n.div_ceil(threads);
+        let dt = self.config.dt;
+        let mut averages = vec![0.0f64; n];
+        let common = self.common_noise(steps);
+
+        crossbeam::scope(|scope_| {
+            for (w, slot) in averages.chunks_mut(chunk).enumerate() {
+                let lo = w * chunk;
+                let sim = &self;
+                let common = &common;
+                scope_.spawn(move |_| {
+                    for (k, avg) in slot.iter_mut().enumerate() {
+                        let node = lo + k;
+                        let mut rng = substream(sim.config.seed, node as u64);
+                        let mut weighted = 0.0;
+                        let mut weight = 0.0;
+                        sim.run_node(node, steps, scope, common, &mut rng, |step, watts| {
+                            let a = step as f64 * dt;
+                            let b = a + dt;
+                            let overlap = (b.min(to) - a.max(from)).max(0.0);
+                            weighted += watts * overlap;
+                            weight += overlap;
+                        });
+                        *avg = if weight > 0.0 { weighted / weight } else { f64::NAN };
+                    }
+                });
+            }
+        })
+        .expect("simulation worker panicked");
+
+        if averages.iter().any(|a| a.is_nan()) {
+            return Err(SimError::InvalidConfig {
+                field: "window",
+                reason: "window does not overlap the run",
+            });
+        }
+        Ok(averages)
+    }
+
+    /// Full per-sample traces for a metered subset of nodes over the whole
+    /// run.
+    pub fn subset_trace(&self, nodes: &[usize], scope: MeterScope) -> Result<NodeTrace> {
+        let n = self.cluster.len();
+        for &node in nodes {
+            if node >= n {
+                return Err(SimError::NoSuchNode {
+                    index: node,
+                    total: n,
+                });
+            }
+        }
+        let steps = self.run_steps();
+        let mut samples = vec![vec![0.0f64; steps]; nodes.len()];
+        let threads = self.config.threads.max(1).min(nodes.len().max(1));
+        let chunk = nodes.len().div_ceil(threads.max(1)).max(1);
+        let common = self.common_noise(steps);
+
+        crossbeam::scope(|scope_| {
+            for (w, slot) in samples.chunks_mut(chunk).enumerate() {
+                let lo = w * chunk;
+                let sim = &self;
+                let common = &common;
+                scope_.spawn(move |_| {
+                    for (k, series) in slot.iter_mut().enumerate() {
+                        let node = nodes[lo + k];
+                        let mut rng = substream(sim.config.seed, node as u64);
+                        sim.run_node(node, steps, scope, common, &mut rng, |step, watts| {
+                            series[step] = watts;
+                        });
+                    }
+                });
+            }
+        })
+        .expect("simulation worker panicked");
+
+        NodeTrace::new(nodes.to_vec(), 0.0, self.config.dt, samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Cluster, ClusterSpec};
+    use crate::components::{MemorySpec, ProcessorSpec, StaticSpec};
+    use crate::dvfs::{Governor, PState};
+    use crate::fan::{FanPolicy, FanSpec};
+    use crate::thermal::ThermalSpec;
+    use crate::variability::VariabilityModel;
+    use crate::vid::VoltagePolicy;
+    use power_stats::summary::Summary;
+    use power_workload::{Firestarter, Hpl, HplVariant, RunPhases};
+
+    fn spec(nodes: usize) -> ClusterSpec {
+        ClusterSpec {
+            name: "engine-test".into(),
+            total_nodes: nodes,
+            node: NodeSpec {
+                processors: vec![
+                    ProcessorSpec {
+                        dynamic_w: 95.0,
+                        leakage_w: 20.0,
+                        idle_fraction: 0.12,
+                        f_nom_mhz: 2700.0,
+                        v_nom: 1.0,
+                        leakage_temp_coeff: 0.008,
+                        t_ref_c: 60.0,
+                    };
+                    2
+                ],
+                memory: MemorySpec {
+                    idle_w: 15.0,
+                    active_w: 25.0,
+                },
+                static_power: StaticSpec { watts: 40.0 },
+                fan: FanSpec {
+                    max_power_w: 60.0,
+                    min_speed: 0.3,
+                },
+                thermal: ThermalSpec {
+                    t_ambient_c: 25.0,
+                    r_th_max: 0.10,
+                    r_th_min: 0.04,
+                    tau_s: 120.0,
+                },
+                psu_efficiency: 0.92,
+            },
+            variability: VariabilityModel {
+                leakage_sigma: 0.12,
+                node_sigma: 0.015,
+                vid_bins: 6,
+                vid_leakage_corr: 0.7,
+            },
+            governor: Governor::Static(PState {
+                f_mhz: 2700.0,
+                voltage: VoltagePolicy::Fixed(1.0),
+            }),
+            fan_policy: FanPolicy::Pinned { speed: 0.5 },
+            ambient_gradient_c: 0.0,
+            seed: 99,
+        }
+    }
+
+    fn config() -> SimulationConfig {
+        SimulationConfig {
+            dt: 5.0,
+            noise_sigma: 0.01,
+            common_noise_sigma: 0.003,
+            seed: 7,
+            threads: 4,
+        }
+    }
+
+    #[test]
+    fn system_trace_shape_and_magnitude() {
+        let cluster = Cluster::build(spec(32)).unwrap();
+        let phases = RunPhases::new(60.0, 1200.0, 60.0).unwrap();
+        let wl = Firestarter::new(phases);
+        let sim = Simulator::new(&cluster, &wl, LoadBalance::Balanced, config()).unwrap();
+        let trace = sim.system_trace(MeterScope::Wall).unwrap();
+        assert_eq!(trace.len(), sim.run_steps());
+        // Core-phase power: ~32 nodes x ~(2*115 + 40 + 40 + fan)/0.92 W.
+        let core = trace.window_average(200.0, 1200.0).unwrap();
+        let per_node = core / 32.0;
+        assert!(
+            (300.0..450.0).contains(&per_node),
+            "per-node wall = {per_node}"
+        );
+        // Setup phase draws much less than core phase.
+        let setup = trace.window_average(0.0, 50.0).unwrap();
+        assert!(setup < 0.75 * core, "setup={setup} core={core}");
+    }
+
+    #[test]
+    fn results_independent_of_thread_count() {
+        let cluster = Cluster::build(spec(16)).unwrap();
+        let phases = RunPhases::core_only(300.0).unwrap();
+        let wl = Firestarter::new(phases);
+        let mut c1 = config();
+        c1.threads = 1;
+        let mut c8 = config();
+        c8.threads = 8;
+        let t1 = Simulator::new(&cluster, &wl, LoadBalance::Balanced, c1)
+            .unwrap()
+            .system_trace(MeterScope::Wall)
+            .unwrap();
+        let t8 = Simulator::new(&cluster, &wl, LoadBalance::Balanced, c8)
+            .unwrap()
+            .system_trace(MeterScope::Wall)
+            .unwrap();
+        for (a, b) in t1.watts.iter().zip(&t8.watts) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn node_averages_spread_matches_variability_scale() {
+        let cluster = Cluster::build(spec(200)).unwrap();
+        let phases = RunPhases::core_only(600.0).unwrap();
+        let wl = Firestarter::new(phases);
+        let sim = Simulator::new(&cluster, &wl, LoadBalance::Balanced, config()).unwrap();
+        let avgs = sim.node_averages(100.0, 600.0, MeterScope::Wall).unwrap();
+        assert_eq!(avgs.len(), 200);
+        let s = Summary::from_slice(&avgs);
+        let cv = s.coefficient_of_variation().unwrap();
+        // Paper's observed regime: roughly 1-3%.
+        assert!((0.005..0.06).contains(&cv), "cv = {cv}");
+    }
+
+    #[test]
+    fn subset_trace_matches_node_averages() {
+        let cluster = Cluster::build(spec(20)).unwrap();
+        let phases = RunPhases::core_only(300.0).unwrap();
+        let wl = Firestarter::new(phases);
+        let sim = Simulator::new(&cluster, &wl, LoadBalance::Balanced, config()).unwrap();
+        let nodes = vec![3, 7, 11];
+        let trace = sim.subset_trace(&nodes, MeterScope::Wall).unwrap();
+        assert_eq!(trace.node_count(), 3);
+        let from_trace = trace.node_window_averages(50.0, 300.0).unwrap();
+        let all = sim.node_averages(50.0, 300.0, MeterScope::Wall).unwrap();
+        for (k, &node) in nodes.iter().enumerate() {
+            assert!(
+                (from_trace[k] - all[node]).abs() < 1e-9,
+                "node {node}: {} vs {}",
+                from_trace[k],
+                all[node]
+            );
+        }
+    }
+
+    #[test]
+    fn scopes_nest() {
+        let cluster = Cluster::build(spec(8)).unwrap();
+        let phases = RunPhases::core_only(200.0).unwrap();
+        let wl = Firestarter::new(phases);
+        let sim = Simulator::new(&cluster, &wl, LoadBalance::Balanced, config()).unwrap();
+        let wall = sim.node_averages(50.0, 200.0, MeterScope::Wall).unwrap();
+        let dc = sim.node_averages(50.0, 200.0, MeterScope::Dc).unwrap();
+        let procs = sim
+            .node_averages(50.0, 200.0, MeterScope::ProcessorsOnly)
+            .unwrap();
+        for i in 0..8 {
+            assert!(wall[i] > dc[i], "wall > dc at {i}");
+            assert!(dc[i] > procs[i], "dc > processors at {i}");
+        }
+    }
+
+    #[test]
+    fn gpu_hpl_trace_slopes_down() {
+        let cluster = Cluster::build(spec(16)).unwrap();
+        let phases = RunPhases::new(60.0, 3600.0, 60.0).unwrap();
+        let wl = Hpl::new(HplVariant::GpuInCore, phases, 1e15).unwrap();
+        let sim = Simulator::new(&cluster, &wl, LoadBalance::Balanced, config()).unwrap();
+        let trace = sim.system_trace(MeterScope::Wall).unwrap();
+        let (a, b) = phases.core_segment(0.0, 0.2);
+        let first = trace.window_average(a, b).unwrap();
+        let (a, b) = phases.core_segment(0.8, 1.0);
+        let last = trace.window_average(a, b).unwrap();
+        assert!(
+            (first - last) / first > 0.15,
+            "first={first} last={last}"
+        );
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let cluster = Cluster::build(spec(4)).unwrap();
+        let phases = RunPhases::core_only(100.0).unwrap();
+        let wl = Firestarter::new(phases);
+        let mut bad = config();
+        bad.dt = 0.0;
+        assert!(Simulator::new(&cluster, &wl, LoadBalance::Balanced, bad).is_err());
+        let mut bad = config();
+        bad.noise_sigma = 0.9;
+        assert!(Simulator::new(&cluster, &wl, LoadBalance::Balanced, bad).is_err());
+        let sim = Simulator::new(&cluster, &wl, LoadBalance::Balanced, config()).unwrap();
+        assert!(sim.subset_trace(&[99], MeterScope::Wall).is_err());
+        assert!(sim.node_averages(10.0, 10.0, MeterScope::Wall).is_err());
+        assert!(sim
+            .node_averages(5000.0, 6000.0, MeterScope::Wall)
+            .is_err());
+    }
+
+    #[test]
+    fn warmup_transient_visible_in_trace() {
+        // With auto fans and a cold start, power should drift upward over
+        // the first thermal time constants of a constant-load run.
+        let mut s = spec(8);
+        s.fan_policy = FanPolicy::Auto {
+            t_low_c: 40.0,
+            t_high_c: 80.0,
+        };
+        let cluster = Cluster::build(s).unwrap();
+        let phases = RunPhases::core_only(1200.0).unwrap();
+        let wl = Firestarter::new(phases);
+        let mut cfg = config();
+        cfg.noise_sigma = 0.0;
+        let sim = Simulator::new(&cluster, &wl, LoadBalance::Balanced, cfg).unwrap();
+        let trace = sim.system_trace(MeterScope::Wall).unwrap();
+        let early = trace.window_average(10.0, 60.0).unwrap();
+        let late = trace.window_average(900.0, 1200.0).unwrap();
+        assert!(late > early * 1.005, "early={early} late={late}");
+    }
+}

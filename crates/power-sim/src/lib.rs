@@ -1,0 +1,93 @@
+//! Simulated supercomputer power substrate.
+//!
+//! The SC '15 paper draws on proprietary power telemetry from eight
+//! supercomputing centers. This crate replaces that telemetry with a
+//! parametric, physics-flavoured power model detailed enough to exercise
+//! every methodology code path the paper studies:
+//!
+//! * [`components`] — processor / memory / miscellaneous component power;
+//! * [`variability`] — manufacturing spread: per-ASIC leakage factors,
+//!   voltage-ID (VID) bins, and per-node efficiency multipliers;
+//! * [`vid`] — VID-to-voltage tables and fixed-voltage operating points;
+//! * [`dvfs`] — P-states and frequency/voltage governors;
+//! * [`fan`] — fan power (cubic in speed) and automatic vs pinned control,
+//!   the paper's dominant node-variability source on L-CSC (>100 W);
+//! * [`thermal`] — first-order node thermal dynamics (warm-up transients,
+//!   temperature-dependent leakage);
+//! * [`node`] — a node assembly turning (utilization, P-state, fan, temp)
+//!   into watts at the wall;
+//! * [`cluster`] — a machine: N nodes with sampled per-ASIC variability;
+//! * [`engine`] — time-stepped simulation producing system traces, subset
+//!   traces, and per-node time-averaged powers;
+//! * [`trace`] — trace containers and the segment-average math behind the
+//!   paper's Table 2;
+//! * [`hierarchy`] — the power-conversion chain (node PSU → PDU → UPS →
+//!   transformer) that defines the methodology's "point of measurement";
+//! * [`systems`] — calibrated presets for the paper's test systems.
+//!
+//! Calibration targets and the substitution argument are documented in the
+//! workspace `DESIGN.md`.
+
+#![warn(missing_docs)]
+// `!(a > b)` comparisons are deliberate throughout: unlike `a <= b` they
+// are true for NaN inputs, so malformed windows/parameters are rejected
+// instead of silently accepted.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+
+pub mod cluster;
+pub mod components;
+pub mod dvfs;
+pub mod engine;
+pub mod facility;
+pub mod fan;
+pub mod hierarchy;
+pub mod node;
+pub mod systems;
+pub mod thermal;
+pub mod trace;
+pub mod variability;
+pub mod vid;
+
+pub use cluster::{Cluster, ClusterSpec};
+pub use engine::{SimulationConfig, Simulator};
+pub use node::NodeSpec;
+pub use systems::SystemPreset;
+pub use trace::{NodeTrace, SystemTrace};
+
+/// Errors produced by the simulation substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A configuration value was out of its valid range.
+    InvalidConfig {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Constraint that was violated.
+        reason: &'static str,
+    },
+    /// A referenced node index does not exist.
+    NoSuchNode {
+        /// The offending index.
+        index: usize,
+        /// Number of nodes in the machine.
+        total: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::InvalidConfig { field, reason } => {
+                write!(f, "invalid simulation config `{field}`: {reason}")
+            }
+            SimError::NoSuchNode { index, total } => {
+                write!(f, "node index {index} out of range (machine has {total})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SimError>;

@@ -1,0 +1,337 @@
+//! Power traces.
+//!
+//! Two containers cover every analysis in the paper:
+//!
+//! * [`SystemTrace`] — whole-machine power vs time (Figure 1, Table 2);
+//! * [`NodeTrace`] — per-node power samples for a metered subset (the
+//!   methodology's machine-fraction rules, Figures 2 and 4, Table 4).
+//!
+//! Both store regularly sampled data (`t0 + i * dt`), matching the
+//! methodology's "one power sample per second" granularity requirement.
+
+use crate::{Result, SimError};
+use serde::{Deserialize, Serialize};
+
+/// Whole-machine power versus time, regularly sampled.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemTrace {
+    /// Time of the first sample (seconds).
+    pub t0: f64,
+    /// Sample interval (seconds).
+    pub dt: f64,
+    /// Total machine power at each sample (watts).
+    pub watts: Vec<f64>,
+}
+
+impl SystemTrace {
+    /// Creates a trace; `dt` must be positive.
+    pub fn new(t0: f64, dt: f64, watts: Vec<f64>) -> Result<Self> {
+        if !(dt > 0.0 && dt.is_finite()) {
+            return Err(SimError::InvalidConfig {
+                field: "dt",
+                reason: "sample interval must be positive",
+            });
+        }
+        Ok(SystemTrace { t0, dt, watts })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.watts.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.watts.is_empty()
+    }
+
+    /// Time of sample `i`.
+    pub fn time_at(&self, i: usize) -> f64 {
+        self.t0 + i as f64 * self.dt
+    }
+
+    /// End time (one interval past the last sample).
+    pub fn t_end(&self) -> f64 {
+        self.t0 + self.watts.len() as f64 * self.dt
+    }
+
+    /// Average power over the time window `[from, to)` in seconds.
+    ///
+    /// Samples are treated as averages over `[t_i, t_i + dt)`; partial
+    /// overlap at the window edges is weighted accordingly.
+    pub fn window_average(&self, from: f64, to: f64) -> Result<f64> {
+        if !(to > from) {
+            return Err(SimError::InvalidConfig {
+                field: "to",
+                reason: "window end must exceed window start",
+            });
+        }
+        let mut weighted = 0.0;
+        let mut weight = 0.0;
+        for (i, &w) in self.watts.iter().enumerate() {
+            let a = self.time_at(i);
+            let b = a + self.dt;
+            let overlap = (b.min(to) - a.max(from)).max(0.0);
+            weighted += w * overlap;
+            weight += overlap;
+        }
+        if weight <= 0.0 {
+            return Err(SimError::InvalidConfig {
+                field: "window",
+                reason: "window does not overlap the trace",
+            });
+        }
+        Ok(weighted / weight)
+    }
+
+    /// Energy in joules over `[from, to)`.
+    pub fn window_energy(&self, from: f64, to: f64) -> Result<f64> {
+        let mut energy = 0.0;
+        for (i, &w) in self.watts.iter().enumerate() {
+            let a = self.time_at(i);
+            let b = a + self.dt;
+            let overlap = (b.min(to) - a.max(from)).max(0.0);
+            energy += w * overlap;
+        }
+        if !(to > from) {
+            return Err(SimError::InvalidConfig {
+                field: "to",
+                reason: "window end must exceed window start",
+            });
+        }
+        Ok(energy)
+    }
+
+    /// Average power over the whole trace.
+    pub fn mean(&self) -> f64 {
+        if self.watts.is_empty() {
+            return f64::NAN;
+        }
+        self.watts.iter().sum::<f64>() / self.watts.len() as f64
+    }
+
+    /// Peak power over the whole trace.
+    pub fn peak(&self) -> f64 {
+        self.watts.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// Per-node power samples for a metered subset of nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeTrace {
+    /// Global indices of the metered nodes.
+    pub node_ids: Vec<usize>,
+    /// Time of the first sample (seconds).
+    pub t0: f64,
+    /// Sample interval (seconds).
+    pub dt: f64,
+    /// `samples[k]` holds the trace of `node_ids[k]`.
+    pub samples: Vec<Vec<f64>>,
+}
+
+impl NodeTrace {
+    /// Creates a trace; all node series must have equal length.
+    pub fn new(node_ids: Vec<usize>, t0: f64, dt: f64, samples: Vec<Vec<f64>>) -> Result<Self> {
+        if !(dt > 0.0 && dt.is_finite()) {
+            return Err(SimError::InvalidConfig {
+                field: "dt",
+                reason: "sample interval must be positive",
+            });
+        }
+        if node_ids.len() != samples.len() {
+            return Err(SimError::InvalidConfig {
+                field: "samples",
+                reason: "one series per node id is required",
+            });
+        }
+        if let Some(first) = samples.first() {
+            if samples.iter().any(|s| s.len() != first.len()) {
+                return Err(SimError::InvalidConfig {
+                    field: "samples",
+                    reason: "all node series must have equal length",
+                });
+            }
+        }
+        Ok(NodeTrace {
+            node_ids,
+            t0,
+            dt,
+            samples,
+        })
+    }
+
+    /// Number of metered nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_ids.len()
+    }
+
+    /// Number of samples per node.
+    pub fn sample_count(&self) -> usize {
+        self.samples.first().map_or(0, Vec::len)
+    }
+
+    /// Time-averaged power of each metered node over the whole trace.
+    pub fn node_averages(&self) -> Vec<f64> {
+        self.samples
+            .iter()
+            .map(|s| {
+                if s.is_empty() {
+                    f64::NAN
+                } else {
+                    s.iter().sum::<f64>() / s.len() as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Time-averaged power of each node over the window `[from, to)`.
+    pub fn node_window_averages(&self, from: f64, to: f64) -> Result<Vec<f64>> {
+        if !(to > from) {
+            return Err(SimError::InvalidConfig {
+                field: "to",
+                reason: "window end must exceed window start",
+            });
+        }
+        let mut out = Vec::with_capacity(self.samples.len());
+        for series in &self.samples {
+            let mut weighted = 0.0;
+            let mut weight = 0.0;
+            for (i, &w) in series.iter().enumerate() {
+                let a = self.t0 + i as f64 * self.dt;
+                let b = a + self.dt;
+                let overlap = (b.min(to) - a.max(from)).max(0.0);
+                weighted += w * overlap;
+                weight += overlap;
+            }
+            if weight <= 0.0 {
+                return Err(SimError::InvalidConfig {
+                    field: "window",
+                    reason: "window does not overlap the trace",
+                });
+            }
+            out.push(weighted / weight);
+        }
+        Ok(out)
+    }
+
+    /// Sum across metered nodes at each sample — the aggregate a shared
+    /// PDU meter would report.
+    pub fn aggregate(&self) -> Result<SystemTrace> {
+        let len = self.sample_count();
+        let mut total = vec![0.0; len];
+        for series in &self.samples {
+            for (t, &w) in total.iter_mut().zip(series) {
+                *t += w;
+            }
+        }
+        SystemTrace::new(self.t0, self.dt, total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_trace() -> SystemTrace {
+        // 10 samples, watts = 100, 110, ..., 190, dt = 1 s, t0 = 0.
+        SystemTrace::new(0.0, 1.0, (0..10).map(|i| 100.0 + 10.0 * i as f64).collect()).unwrap()
+    }
+
+    #[test]
+    fn window_average_whole_trace() {
+        let t = ramp_trace();
+        assert!((t.window_average(0.0, 10.0).unwrap() - 145.0).abs() < 1e-12);
+        assert!((t.mean() - 145.0).abs() < 1e-12);
+        assert_eq!(t.peak(), 190.0);
+    }
+
+    #[test]
+    fn window_average_partial_samples() {
+        let t = ramp_trace();
+        // Window [0.5, 1.5): half of sample 0 (100) + half of sample 1 (110).
+        assert!((t.window_average(0.5, 1.5).unwrap() - 105.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_average_beyond_trace_clips() {
+        let t = ramp_trace();
+        // Window [8, 100) only overlaps samples 8 and 9.
+        assert!((t.window_average(8.0, 100.0).unwrap() - 185.0).abs() < 1e-12);
+        // Entirely outside: error.
+        assert!(t.window_average(50.0, 60.0).is_err());
+        // Degenerate: error.
+        assert!(t.window_average(3.0, 3.0).is_err());
+    }
+
+    #[test]
+    fn window_energy() {
+        let t = ramp_trace();
+        // First two seconds: 100 + 110 J.
+        assert!((t.window_energy(0.0, 2.0).unwrap() - 210.0).abs() < 1e-12);
+        // Whole trace: sum = 1450 J.
+        assert!((t.window_energy(0.0, 10.0).unwrap() - 1450.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_accessors() {
+        let t = SystemTrace::new(100.0, 2.0, vec![1.0; 5]).unwrap();
+        assert_eq!(t.time_at(0), 100.0);
+        assert_eq!(t.time_at(4), 108.0);
+        assert_eq!(t.t_end(), 110.0);
+        assert_eq!(t.len(), 5);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_dt() {
+        assert!(SystemTrace::new(0.0, 0.0, vec![]).is_err());
+        assert!(SystemTrace::new(0.0, -1.0, vec![]).is_err());
+        assert!(NodeTrace::new(vec![], 0.0, 0.0, vec![]).is_err());
+    }
+
+    #[test]
+    fn node_trace_shape_checks() {
+        assert!(NodeTrace::new(vec![0, 1], 0.0, 1.0, vec![vec![1.0]]).is_err());
+        assert!(NodeTrace::new(vec![0, 1], 0.0, 1.0, vec![vec![1.0], vec![1.0, 2.0]]).is_err());
+        let t = NodeTrace::new(
+            vec![3, 7],
+            0.0,
+            1.0,
+            vec![vec![100.0, 110.0], vec![200.0, 190.0]],
+        )
+        .unwrap();
+        assert_eq!(t.node_count(), 2);
+        assert_eq!(t.sample_count(), 2);
+    }
+
+    #[test]
+    fn node_averages_and_aggregate() {
+        let t = NodeTrace::new(
+            vec![3, 7],
+            0.0,
+            1.0,
+            vec![vec![100.0, 110.0], vec![200.0, 190.0]],
+        )
+        .unwrap();
+        let avg = t.node_averages();
+        assert!((avg[0] - 105.0).abs() < 1e-12);
+        assert!((avg[1] - 195.0).abs() < 1e-12);
+        let agg = t.aggregate().unwrap();
+        assert_eq!(agg.watts, vec![300.0, 300.0]);
+    }
+
+    #[test]
+    fn node_window_averages() {
+        let t = NodeTrace::new(
+            vec![0],
+            0.0,
+            1.0,
+            vec![vec![100.0, 200.0, 300.0, 400.0]],
+        )
+        .unwrap();
+        let w = t.node_window_averages(1.0, 3.0).unwrap();
+        assert!((w[0] - 250.0).abs() < 1e-12);
+        assert!(t.node_window_averages(10.0, 20.0).is_err());
+        assert!(t.node_window_averages(2.0, 2.0).is_err());
+    }
+}

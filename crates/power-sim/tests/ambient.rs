@@ -1,0 +1,124 @@
+//! Ambient-gradient experiments: temperature as a node-variability source
+//! (one of the paper's "secondary causes" slated for future work).
+
+use power_sim::cluster::{Cluster, ClusterSpec};
+use power_sim::engine::{MeterScope, SimulationConfig, Simulator};
+use power_sim::fan::FanPolicy;
+use power_sim::systems;
+use power_stats::summary::Summary;
+
+fn sim_config() -> SimulationConfig {
+    SimulationConfig {
+        dt: 17.3,
+        noise_sigma: 0.0,
+        common_noise_sigma: 0.0,
+        seed: 55,
+        threads: 4,
+    }
+}
+
+fn node_averages(spec: ClusterSpec) -> Vec<f64> {
+    let preset = systems::tu_dresden();
+    let cluster = Cluster::build(spec).unwrap();
+    let workload = preset.workload.workload();
+    let sim = Simulator::new(&cluster, workload, preset.balance, sim_config()).unwrap();
+    let phases = workload.phases();
+    sim.node_averages(
+        phases.core_start() + 0.3 * phases.core(),
+        phases.core_end(),
+        MeterScope::Wall,
+    )
+    .unwrap()
+}
+
+fn base_spec() -> ClusterSpec {
+    let mut spec = systems::tu_dresden().cluster_spec;
+    // Isolate the thermal effect: no manufacturing spread at all.
+    spec.variability = power_sim::variability::VariabilityModel::none();
+    spec
+}
+
+#[test]
+fn gradient_increases_node_spread_via_leakage() {
+    let flat = node_averages(base_spec());
+    let mut hot = base_spec();
+    hot.ambient_gradient_c = 10.0;
+    let graded = node_averages(hot);
+
+    let cv_flat = Summary::from_slice(&flat)
+        .coefficient_of_variation()
+        .unwrap();
+    let cv_graded = Summary::from_slice(&graded)
+        .coefficient_of_variation()
+        .unwrap();
+    assert!(
+        cv_graded > 4.0 * cv_flat.max(1e-6),
+        "gradient should dominate: flat {cv_flat:.5} vs graded {cv_graded:.5}"
+    );
+    // Hot-aisle nodes draw more (leakage rises with temperature).
+    assert!(graded.last().unwrap() > graded.first().unwrap());
+}
+
+#[test]
+fn auto_fans_amplify_the_gradient() {
+    // With automatic fans, hot-aisle nodes also spin fans faster; the
+    // spread must exceed the pinned-fan case (the paper: fan effects are
+    // "many times more significant than the variability of the GPUs").
+    let mut pinned = base_spec();
+    pinned.ambient_gradient_c = 12.0;
+    let mut auto = pinned.clone();
+    auto.fan_policy = FanPolicy::Auto {
+        t_low_c: 45.0,
+        t_high_c: 75.0,
+    };
+    // Give the fans real authority so regulation is visible.
+    auto.node.fan.max_power_w = 120.0;
+    let mut pinned_authority = pinned.clone();
+    pinned_authority.node.fan.max_power_w = 120.0;
+
+    let spread = |avgs: &[f64]| {
+        let s = Summary::from_slice(avgs);
+        s.max() - s.min()
+    };
+    let spread_pinned = spread(&node_averages(pinned_authority));
+    let spread_auto = spread(&node_averages(auto));
+    assert!(
+        spread_auto > spread_pinned * 1.5,
+        "auto {spread_auto:.2} W vs pinned {spread_pinned:.2} W"
+    );
+}
+
+#[test]
+fn contiguous_subsets_are_biased_under_gradient() {
+    // A FirstN-style subset at the cold end underestimates the machine;
+    // one more reason the methodology wants random selection.
+    let mut spec = base_spec();
+    spec.ambient_gradient_c = 10.0;
+    let avgs = node_averages(spec);
+    let n = avgs.len();
+    let cold: f64 = avgs[..n / 5].iter().sum::<f64>() / (n / 5) as f64;
+    let all: f64 = avgs.iter().sum::<f64>() / n as f64;
+    let bias = 1.0 - cold / all;
+    assert!(
+        bias > 0.001,
+        "cold-end subset should understate power: bias {bias:.5}"
+    );
+}
+
+#[test]
+fn gradient_validation() {
+    let mut spec = base_spec();
+    spec.ambient_gradient_c = -1.0;
+    assert!(Cluster::build(spec).is_err());
+    let mut spec = base_spec();
+    spec.ambient_gradient_c = 35.0;
+    assert!(Cluster::build(spec).is_err());
+    // Offsets are linear in node index.
+    let mut spec = base_spec();
+    spec.ambient_gradient_c = 10.0;
+    spec.total_nodes = 11;
+    let c = Cluster::build(spec).unwrap();
+    assert_eq!(c.ambient_offset(0), 0.0);
+    assert!((c.ambient_offset(10) - 10.0).abs() < 1e-12);
+    assert!((c.ambient_offset(5) - 5.0).abs() < 1e-12);
+}

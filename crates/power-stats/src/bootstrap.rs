@@ -1,0 +1,352 @@
+//! Bootstrap re-sampling and the confidence-interval coverage study.
+//!
+//! Section 4.2 of the paper validates its normal-theory sample-size
+//! procedure with a simulation: 100 000 times per sample size, (1) simulate
+//! a complete supercomputer of `N` nodes by resampling with replacement from
+//! the observed pilot data, (2) draw `n` nodes without replacement from the
+//! simulated machine, (3) form 80%/95%/99% t-intervals from the sample
+//! (Equation 1), and (4) check whether each interval contains the simulated
+//! machine's true mean. Figure 3 plots the resulting coverage, showing good
+//! calibration down to `n = 5`.
+//!
+//! [`coverage_study`] reproduces that procedure exactly, parallelized over
+//! replications with crossbeam scoped threads and deterministic per-worker
+//! RNG substreams so results are independent of thread count.
+
+use crate::ci::mean_ci_t;
+use crate::empirical::Empirical;
+use crate::rng::substream;
+use crate::summary::Summary;
+use crate::{Result, StatsError};
+use rand::Rng;
+
+/// Configuration for the coverage simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageConfig {
+    /// Size `N` of each simulated complete machine.
+    pub population_size: usize,
+    /// Sample sizes `n` to evaluate.
+    pub sample_sizes: Vec<usize>,
+    /// Confidence levels to check (the paper uses 0.80, 0.95, 0.99).
+    pub confidences: Vec<f64>,
+    /// Replications per sample size (the paper uses 100 000).
+    pub replications: usize,
+    /// Worker threads; clamped to at least 1.
+    pub threads: usize,
+    /// Root RNG seed.
+    pub seed: u64,
+}
+
+impl CoverageConfig {
+    /// The paper's Figure 3 configuration scaled by `replications`
+    /// (use 100 000 for the full-fidelity run).
+    pub fn paper_figure3(population_size: usize, replications: usize, seed: u64) -> Self {
+        CoverageConfig {
+            population_size,
+            sample_sizes: vec![3, 5, 10, 15, 20, 30, 50],
+            confidences: vec![0.80, 0.95, 0.99],
+            replications,
+            threads: std::thread::available_parallelism().map_or(4, |p| p.get()),
+            seed,
+        }
+    }
+}
+
+/// One point of the coverage curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoveragePoint {
+    /// Sample size `n`.
+    pub n: usize,
+    /// Nominal confidence level.
+    pub confidence: f64,
+    /// Fraction of replications whose interval contained the true mean.
+    pub coverage: f64,
+    /// Number of replications behind this estimate.
+    pub replications: usize,
+}
+
+impl CoveragePoint {
+    /// Monte-Carlo standard error of the coverage estimate.
+    pub fn std_error(&self) -> f64 {
+        (self.coverage * (1.0 - self.coverage) / self.replications as f64).sqrt()
+    }
+
+    /// Calibration error: `coverage - confidence`.
+    pub fn calibration_error(&self) -> f64 {
+        self.coverage - self.confidence
+    }
+}
+
+/// Runs the paper's Figure 3 coverage simulation against a pilot dataset.
+///
+/// Exploits the fact that a without-replacement subsample of an
+/// iid-resampled population is itself iid from the pilot distribution: each
+/// replication draws the `n` sample values directly, then draws the
+/// remaining `N - n` values only to accumulate the simulated machine's true
+/// mean. This keeps memory at `O(n)` per worker while remaining faithful to
+/// the published procedure.
+pub fn coverage_study(pilot: &Empirical, cfg: &CoverageConfig) -> Result<Vec<CoveragePoint>> {
+    if cfg.replications == 0 {
+        return Err(StatsError::InvalidParameter {
+            name: "replications",
+            reason: "at least one replication is required",
+        });
+    }
+    for &n in &cfg.sample_sizes {
+        if n < 2 || n > cfg.population_size {
+            return Err(StatsError::InvalidParameter {
+                name: "sample_sizes",
+                reason: "each n must satisfy 2 <= n <= population_size",
+            });
+        }
+    }
+    for &c in &cfg.confidences {
+        if !(c > 0.0 && c < 1.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "confidences",
+                reason: "confidence levels must lie strictly in (0, 1)",
+            });
+        }
+    }
+
+    let threads = cfg.threads.max(1);
+    let mut results = Vec::with_capacity(cfg.sample_sizes.len() * cfg.confidences.len());
+
+    for (ni, &n) in cfg.sample_sizes.iter().enumerate() {
+        // hits[worker][confidence index]
+        let mut hits = vec![vec![0u64; cfg.confidences.len()]; threads];
+        let reps_per: Vec<usize> = split_evenly(cfg.replications, threads);
+
+        crossbeam::scope(|scope| {
+            for (w, hit_row) in hits.iter_mut().enumerate() {
+                let reps = reps_per[w];
+                let confidences = &cfg.confidences;
+                let population_size = cfg.population_size;
+                let seed = cfg.seed;
+                scope.spawn(move |_| {
+                    let mut rng = substream(seed, (ni as u64) << 32 | w as u64);
+                    let mut sample = vec![0.0f64; n];
+                    for _ in 0..reps {
+                        // (1)+(2) combined: the n-node sample is iid from
+                        // the pilot; the rest of the machine contributes
+                        // only to the true mean.
+                        let mut total = 0.0;
+                        for s in sample.iter_mut() {
+                            *s = pilot.draw(&mut rng);
+                            total += *s;
+                        }
+                        for _ in n..population_size {
+                            total += pilot.draw(&mut rng);
+                        }
+                        let true_mean = total / population_size as f64;
+                        // (3)+(4): t-intervals and containment checks.
+                        let summary = Summary::from_slice(&sample);
+                        for (ci_idx, &conf) in confidences.iter().enumerate() {
+                            let ci = mean_ci_t(&summary, conf)
+                                .expect("n >= 2 guarantees a valid interval");
+                            if ci.contains(true_mean) {
+                                hit_row[ci_idx] += 1;
+                            }
+                        }
+                    }
+                });
+            }
+        })
+        .expect("coverage worker panicked");
+
+        for (ci_idx, &conf) in cfg.confidences.iter().enumerate() {
+            let total_hits: u64 = hits.iter().map(|row| row[ci_idx]).sum();
+            results.push(CoveragePoint {
+                n,
+                confidence: conf,
+                coverage: total_hits as f64 / cfg.replications as f64,
+                replications: cfg.replications,
+            });
+        }
+    }
+    Ok(results)
+}
+
+fn split_evenly(total: usize, parts: usize) -> Vec<usize> {
+    let base = total / parts;
+    let extra = total % parts;
+    (0..parts)
+        .map(|i| base + usize::from(i < extra))
+        .collect()
+}
+
+/// Draws `reps` bootstrap replicates of the sample mean from `data`.
+pub fn bootstrap_means<R: Rng + ?Sized>(rng: &mut R, data: &Empirical, reps: usize) -> Vec<f64> {
+    let n = data.len();
+    (0..reps)
+        .map(|_| {
+            let mut sum = 0.0;
+            for _ in 0..n {
+                sum += data.draw(rng);
+            }
+            sum / n as f64
+        })
+        .collect()
+}
+
+/// Percentile bootstrap confidence interval for the mean of `data`.
+pub fn bootstrap_percentile_ci<R: Rng + ?Sized>(
+    rng: &mut R,
+    data: &Empirical,
+    confidence: f64,
+    reps: usize,
+) -> Result<crate::ci::ConfidenceInterval> {
+    if !(confidence > 0.0 && confidence < 1.0) {
+        return Err(StatsError::InvalidParameter {
+            name: "confidence",
+            reason: "confidence must lie strictly in (0, 1)",
+        });
+    }
+    if reps < 100 {
+        return Err(StatsError::InvalidParameter {
+            name: "reps",
+            reason: "at least 100 bootstrap replicates are required",
+        });
+    }
+    let means = bootstrap_means(rng, data, reps);
+    let dist = Empirical::new(&means)?;
+    let alpha = 1.0 - confidence;
+    let lo = dist.quantile(alpha / 2.0)?;
+    let hi = dist.quantile(1.0 - alpha / 2.0)?;
+    let estimate = 0.5 * (lo + hi);
+    Ok(crate::ci::ConfidenceInterval {
+        estimate,
+        half_width: 0.5 * (hi - lo),
+        confidence,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{normal_draw, seeded};
+
+    fn lrz_like_pilot(n: usize, seed: u64) -> Empirical {
+        // LRZ in Table 4: mu = 209.88 W, sigma = 5.31 W.
+        let mut rng = seeded(seed);
+        let vals: Vec<f64> = (0..n).map(|_| normal_draw(&mut rng, 209.88, 5.31)).collect();
+        Empirical::new(&vals).unwrap()
+    }
+
+    #[test]
+    fn coverage_close_to_nominal_for_normal_pilot() {
+        let pilot = lrz_like_pilot(516, 41);
+        let cfg = CoverageConfig {
+            population_size: 2000,
+            sample_sizes: vec![5, 20],
+            confidences: vec![0.80, 0.95],
+            replications: 4000,
+            threads: 4,
+            seed: 42,
+        };
+        let pts = coverage_study(&pilot, &cfg).unwrap();
+        assert_eq!(pts.len(), 4);
+        for p in &pts {
+            // MC noise at 4000 reps is ~0.6% for 95%; allow 3 sigma plus
+            // small-n miscalibration slack.
+            assert!(
+                (p.coverage - p.confidence).abs() < 0.03,
+                "n={} conf={} coverage={}",
+                p.n,
+                p.confidence,
+                p.coverage
+            );
+        }
+    }
+
+    #[test]
+    fn coverage_deterministic_given_seed_and_threads() {
+        let pilot = lrz_like_pilot(100, 43);
+        let cfg = CoverageConfig {
+            population_size: 500,
+            sample_sizes: vec![10],
+            confidences: vec![0.95],
+            replications: 500,
+            threads: 3,
+            seed: 7,
+        };
+        let a = coverage_study(&pilot, &cfg).unwrap();
+        let b = coverage_study(&pilot, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn coverage_validates_config() {
+        let pilot = lrz_like_pilot(50, 44);
+        let base = CoverageConfig {
+            population_size: 100,
+            sample_sizes: vec![5],
+            confidences: vec![0.95],
+            replications: 10,
+            threads: 1,
+            seed: 0,
+        };
+        let mut bad = base.clone();
+        bad.sample_sizes = vec![1];
+        assert!(coverage_study(&pilot, &bad).is_err());
+        let mut bad = base.clone();
+        bad.sample_sizes = vec![101];
+        assert!(coverage_study(&pilot, &bad).is_err());
+        let mut bad = base.clone();
+        bad.confidences = vec![1.0];
+        assert!(coverage_study(&pilot, &bad).is_err());
+        let mut bad = base;
+        bad.replications = 0;
+        assert!(coverage_study(&pilot, &bad).is_err());
+    }
+
+    #[test]
+    fn point_diagnostics() {
+        let p = CoveragePoint {
+            n: 10,
+            confidence: 0.95,
+            coverage: 0.94,
+            replications: 10_000,
+        };
+        assert!((p.calibration_error() + 0.01).abs() < 1e-12);
+        assert!((p.std_error() - (0.94f64 * 0.06 / 10_000.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_config_shape() {
+        let cfg = CoverageConfig::paper_figure3(9216, 1000, 1);
+        assert_eq!(cfg.population_size, 9216);
+        assert_eq!(cfg.confidences, vec![0.80, 0.95, 0.99]);
+        assert!(cfg.sample_sizes.contains(&5));
+    }
+
+    #[test]
+    fn bootstrap_means_distribution() {
+        let pilot = lrz_like_pilot(200, 45);
+        let mut rng = seeded(46);
+        let means = bootstrap_means(&mut rng, &pilot, 2000);
+        let s = Summary::from_slice(&means);
+        // Bootstrap mean ~ pilot mean; spread ~ sigma/sqrt(200).
+        assert!((s.mean() - 209.88).abs() < 1.0);
+        let se = 5.31 / (200.0f64).sqrt();
+        assert!((s.sample_std_dev().unwrap() - se).abs() < se * 0.25);
+    }
+
+    #[test]
+    fn percentile_ci_contains_true_mean_usually() {
+        let pilot = lrz_like_pilot(200, 47);
+        let mut rng = seeded(48);
+        let ci = bootstrap_percentile_ci(&mut rng, &pilot, 0.95, 2000).unwrap();
+        assert!(ci.contains(pilot.values().iter().sum::<f64>() / pilot.len() as f64));
+        assert!(bootstrap_percentile_ci(&mut rng, &pilot, 0.95, 10).is_err());
+        assert!(bootstrap_percentile_ci(&mut rng, &pilot, 2.0, 1000).is_err());
+    }
+
+    #[test]
+    fn split_evenly_sums() {
+        assert_eq!(split_evenly(10, 3), vec![4, 3, 3]);
+        assert_eq!(split_evenly(9, 3), vec![3, 3, 3]);
+        assert_eq!(split_evenly(2, 5), vec![1, 1, 0, 0, 0]);
+        assert_eq!(split_evenly(0, 2).iter().sum::<usize>(), 0);
+    }
+}

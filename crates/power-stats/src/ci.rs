@@ -1,0 +1,299 @@
+//! Confidence intervals for a population mean.
+//!
+//! Implements the paper's Equation 1 (t-based, exact for normal data) and
+//! Equation 2 (z-based large-sample approximation), plus the
+//! finite-population-corrected variants used when the sampled node count is
+//! not negligible relative to the machine size.
+
+use crate::normal::z_critical;
+use crate::student_t::t_critical;
+use crate::summary::Summary;
+use crate::{Result, StatsError};
+
+/// A two-sided confidence interval for a mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate (sample mean).
+    pub estimate: f64,
+    /// Half-width of the interval (the `+/-` term).
+    pub half_width: f64,
+    /// Confidence level in `(0, 1)`, e.g. `0.95`.
+    pub confidence: f64,
+}
+
+impl ConfidenceInterval {
+    /// Lower bound of the interval.
+    pub fn lower(&self) -> f64 {
+        self.estimate - self.half_width
+    }
+
+    /// Upper bound of the interval.
+    pub fn upper(&self) -> f64 {
+        self.estimate + self.half_width
+    }
+
+    /// Whether the interval contains `value`.
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lower() && value <= self.upper()
+    }
+
+    /// Relative accuracy `lambda = half_width / |estimate|` — the paper's
+    /// headline accuracy number (e.g. "within 3.2% of the true total").
+    pub fn relative_accuracy(&self) -> Result<f64> {
+        if self.estimate == 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "estimate",
+                reason: "relative accuracy undefined for zero estimate",
+            });
+        }
+        Ok(self.half_width / self.estimate.abs())
+    }
+}
+
+impl std::fmt::Display for ConfidenceInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.4} +/- {:.4} ({}% CI)",
+            self.estimate,
+            self.half_width,
+            self.confidence * 100.0
+        )
+    }
+}
+
+/// Paper Equation 1: t-based confidence interval
+/// `mu-hat +/- t_{n-1, 1-alpha/2} * sigma-hat / sqrt(n)`.
+pub fn mean_ci_t(summary: &Summary, confidence: f64) -> Result<ConfidenceInterval> {
+    let n = summary.count();
+    if n < 2 {
+        return Err(StatsError::InsufficientData {
+            needed: 2,
+            got: n as usize,
+        });
+    }
+    let t = t_critical(confidence, n as f64 - 1.0)?;
+    Ok(ConfidenceInterval {
+        estimate: summary.mean(),
+        half_width: t * summary.std_error()?,
+        confidence,
+    })
+}
+
+/// Paper Equation 2: z-based (large-sample) confidence interval
+/// `mu-hat +/- z_{1-alpha/2} * sigma-hat / sqrt(n)`.
+///
+/// For small `n` this interval is too narrow; see
+/// [`crate::student_t::z_undercoverage_ratio`].
+pub fn mean_ci_z(summary: &Summary, confidence: f64) -> Result<ConfidenceInterval> {
+    let n = summary.count();
+    if n < 2 {
+        return Err(StatsError::InsufficientData {
+            needed: 2,
+            got: n as usize,
+        });
+    }
+    let z = z_critical(confidence)?;
+    Ok(ConfidenceInterval {
+        estimate: summary.mean(),
+        half_width: z * summary.std_error()?,
+        confidence,
+    })
+}
+
+/// Finite-population correction factor `sqrt((N - n) / (N - 1))`.
+///
+/// When a sample of `n` nodes is drawn *without replacement* from a machine
+/// of `N` nodes, the standard error shrinks by this factor; it approaches 0
+/// as the sample approaches a census and 1 when `n << N`.
+pub fn fpc_factor(population: u64, sample: u64) -> Result<f64> {
+    if population < 2 {
+        return Err(StatsError::InvalidParameter {
+            name: "population",
+            reason: "population must contain at least 2 units",
+        });
+    }
+    if sample == 0 || sample > population {
+        return Err(StatsError::InvalidParameter {
+            name: "sample",
+            reason: "sample size must be in 1..=population",
+        });
+    }
+    Ok((((population - sample) as f64) / ((population - 1) as f64)).sqrt())
+}
+
+/// t-based confidence interval with the finite-population correction
+/// applied to the standard error.
+pub fn mean_ci_t_finite(
+    summary: &Summary,
+    confidence: f64,
+    population: u64,
+) -> Result<ConfidenceInterval> {
+    let base = mean_ci_t(summary, confidence)?;
+    let fpc = fpc_factor(population, summary.count())?;
+    Ok(ConfidenceInterval {
+        half_width: base.half_width * fpc,
+        ..base
+    })
+}
+
+/// z-based confidence interval with the finite-population correction.
+pub fn mean_ci_z_finite(
+    summary: &Summary,
+    confidence: f64,
+    population: u64,
+) -> Result<ConfidenceInterval> {
+    let base = mean_ci_z(summary, confidence)?;
+    let fpc = fpc_factor(population, summary.count())?;
+    Ok(ConfidenceInterval {
+        half_width: base.half_width * fpc,
+        ..base
+    })
+}
+
+/// Predicted relative accuracy of a mean estimate from `n` sampled nodes,
+/// given an assumed coefficient of variation `cv = sigma/mu`.
+///
+/// This is the inverse view of the sample-size formula: the paper's Section
+/// 4 worked example states that measuring 4 of 210 nodes at `cv = 2%` gives
+/// 95% confidence of being "within 3.2%", while 292 of 18 688 nodes gives
+/// "within 0.2%".
+pub fn predicted_relative_accuracy(
+    confidence: f64,
+    cv: f64,
+    n: u64,
+    use_t: bool,
+) -> Result<f64> {
+    if n < 2 {
+        return Err(StatsError::InsufficientData {
+            needed: 2,
+            got: n as usize,
+        });
+    }
+    if !(cv.is_finite() && cv > 0.0) {
+        return Err(StatsError::InvalidParameter {
+            name: "cv",
+            reason: "coefficient of variation must be positive and finite",
+        });
+    }
+    let crit = if use_t {
+        t_critical(confidence, n as f64 - 1.0)?
+    } else {
+        z_critical(confidence)?
+    };
+    Ok(crit * cv / (n as f64).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_summary() -> Summary {
+        // 20 observations, mean 10, sd ~2.
+        Summary::from_slice(&[
+            8.1, 9.2, 10.3, 11.4, 12.0, 7.9, 10.1, 9.8, 10.5, 11.1, 8.8, 9.9, 10.0, 10.2, 12.3,
+            7.5, 9.4, 10.9, 11.6, 9.0,
+        ])
+    }
+
+    #[test]
+    fn t_interval_wider_than_z() {
+        let s = demo_summary();
+        let t = mean_ci_t(&s, 0.95).unwrap();
+        let z = mean_ci_z(&s, 0.95).unwrap();
+        assert!(t.half_width > z.half_width);
+        assert_eq!(t.estimate, z.estimate);
+    }
+
+    #[test]
+    fn interval_bounds_and_contains() {
+        let s = demo_summary();
+        let ci = mean_ci_t(&s, 0.95).unwrap();
+        assert!(ci.lower() < ci.estimate && ci.estimate < ci.upper());
+        assert!(ci.contains(ci.estimate));
+        assert!(!ci.contains(ci.upper() + 1.0));
+        assert!((ci.upper() - ci.lower() - 2.0 * ci.half_width).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_confidence_wider_interval() {
+        let s = demo_summary();
+        let c80 = mean_ci_t(&s, 0.80).unwrap();
+        let c95 = mean_ci_t(&s, 0.95).unwrap();
+        let c99 = mean_ci_t(&s, 0.99).unwrap();
+        assert!(c80.half_width < c95.half_width);
+        assert!(c95.half_width < c99.half_width);
+    }
+
+    #[test]
+    fn fpc_limits() {
+        // Census: zero sampling error.
+        assert!(fpc_factor(100, 100).unwrap().abs() < 1e-15);
+        // Tiny sample of a huge population: essentially 1.
+        assert!((fpc_factor(1_000_000, 10).unwrap() - 1.0).abs() < 1e-4);
+        // Errors.
+        assert!(fpc_factor(1, 1).is_err());
+        assert!(fpc_factor(100, 0).is_err());
+        assert!(fpc_factor(100, 101).is_err());
+    }
+
+    #[test]
+    fn finite_interval_narrower() {
+        let s = demo_summary();
+        let inf = mean_ci_t(&s, 0.95).unwrap();
+        let fin = mean_ci_t_finite(&s, 0.95, 40).unwrap();
+        assert!(fin.half_width < inf.half_width);
+    }
+
+    #[test]
+    fn paper_worked_example_small_system() {
+        // N = 210, sigma/mu = 2%, Level 1 rule gives n = 4 nodes:
+        // t_{3,0.975} * 0.02 / sqrt(4) ~ 3.18% -> "within 3.2%".
+        let acc = predicted_relative_accuracy(0.95, 0.02, 4, true).unwrap();
+        assert!((acc - 0.0318).abs() < 5e-4, "acc = {acc}");
+    }
+
+    #[test]
+    fn paper_worked_example_large_system() {
+        // N = 18688, n = 292: z * 0.02 / sqrt(292) ~ 0.229% -> "within 0.2%".
+        let acc = predicted_relative_accuracy(0.95, 0.02, 292, false).unwrap();
+        assert!((acc - 0.00229).abs() < 5e-5, "acc = {acc}");
+    }
+
+    #[test]
+    fn relative_accuracy_roundtrip() {
+        let ci = ConfidenceInterval {
+            estimate: 200.0,
+            half_width: 4.0,
+            confidence: 0.95,
+        };
+        assert!((ci.relative_accuracy().unwrap() - 0.02).abs() < 1e-15);
+        let zero = ConfidenceInterval {
+            estimate: 0.0,
+            half_width: 1.0,
+            confidence: 0.95,
+        };
+        assert!(zero.relative_accuracy().is_err());
+    }
+
+    #[test]
+    fn insufficient_data_errors() {
+        let mut s = Summary::new();
+        assert!(mean_ci_t(&s, 0.95).is_err());
+        s.push(1.0);
+        assert!(mean_ci_z(&s, 0.95).is_err());
+        assert!(predicted_relative_accuracy(0.95, 0.02, 1, true).is_err());
+        assert!(predicted_relative_accuracy(0.95, -0.02, 10, true).is_err());
+    }
+
+    #[test]
+    fn display_formatting() {
+        let ci = ConfidenceInterval {
+            estimate: 10.0,
+            half_width: 0.5,
+            confidence: 0.95,
+        };
+        let s = format!("{ci}");
+        assert!(s.contains("95% CI"), "{s}");
+    }
+}

@@ -1,0 +1,306 @@
+//! Histograms of per-node power.
+//!
+//! Figure 2 of the paper shows per-node power histograms for six systems;
+//! this module provides the binning strategies (fixed width, Sturges,
+//! Freedman–Diaconis) and a terminal (ASCII) rendering used by the
+//! reproduction drivers.
+
+use crate::empirical::Empirical;
+use crate::{Result, StatsError};
+
+/// Strategy for choosing the number of histogram bins.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Binning {
+    /// A fixed number of bins.
+    Fixed(usize),
+    /// Sturges' rule: `ceil(log2 n) + 1` bins.
+    Sturges,
+    /// Freedman–Diaconis: bin width `2 IQR / n^{1/3}`.
+    FreedmanDiaconis,
+}
+
+/// A computed histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Builds a histogram of `values` with the chosen binning strategy.
+    pub fn new(values: &[f64], binning: Binning) -> Result<Self> {
+        if values.is_empty() {
+            return Err(StatsError::InsufficientData { needed: 1, got: 0 });
+        }
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(StatsError::InvalidParameter {
+                name: "values",
+                reason: "observations must be finite",
+            });
+        }
+        let n = values.len();
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let bins = match binning {
+            Binning::Fixed(b) => {
+                if b == 0 {
+                    return Err(StatsError::InvalidParameter {
+                        name: "bins",
+                        reason: "bin count must be positive",
+                    });
+                }
+                b
+            }
+            Binning::Sturges => (n as f64).log2().ceil() as usize + 1,
+            Binning::FreedmanDiaconis => {
+                let emp = Empirical::new(values)?;
+                let iqr = emp.iqr();
+                if iqr <= 0.0 || hi <= lo {
+                    1
+                } else {
+                    let width = 2.0 * iqr / (n as f64).cbrt();
+                    (((hi - lo) / width).ceil() as usize).clamp(1, 10_000)
+                }
+            }
+        };
+        let mut h = Histogram {
+            lo,
+            hi: if hi > lo { hi } else { lo + 1.0 },
+            counts: vec![0; bins],
+            total: 0,
+        };
+        for &v in values {
+            h.insert(v);
+        }
+        Ok(h)
+    }
+
+    /// Creates an empty histogram over `[lo, hi)` with `bins` bins.
+    pub fn with_range(lo: f64, hi: f64, bins: usize) -> Result<Self> {
+        if !(hi > lo) {
+            return Err(StatsError::InvalidParameter {
+                name: "hi",
+                reason: "upper bound must exceed lower bound",
+            });
+        }
+        if bins == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "bins",
+                reason: "bin count must be positive",
+            });
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        })
+    }
+
+    /// Inserts one observation; values outside the range clamp to the edge
+    /// bins (so totals always balance).
+    pub fn insert(&mut self, v: f64) {
+        let bins = self.counts.len();
+        let idx = if v <= self.lo {
+            0
+        } else if v >= self.hi {
+            bins - 1
+        } else {
+            (((v - self.lo) / (self.hi - self.lo)) * bins as f64) as usize
+        };
+        self.counts[idx.min(bins - 1)] += 1;
+        self.total += 1;
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total inserted count.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The `[lo, hi)` edges of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + i as f64 * w, self.lo + (i + 1) as f64 * w)
+    }
+
+    /// Center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let (a, b) = self.bin_edges(i);
+        0.5 * (a + b)
+    }
+
+    /// Index of the most populated bin.
+    pub fn mode_bin(&self) -> usize {
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, c)| *c)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Rough unimodality check used when arguing that per-node power "is
+    /// roughly unimodal with few outliers": counts the number of local
+    /// maxima after 3-bin smoothing whose height exceeds
+    /// `prominence_frac * max`.
+    pub fn modes(&self, prominence_frac: f64) -> usize {
+        if self.counts.len() < 3 {
+            return usize::from(self.total > 0);
+        }
+        let smoothed: Vec<f64> = (0..self.counts.len())
+            .map(|i| {
+                let a = if i == 0 { 0 } else { self.counts[i - 1] };
+                let b = self.counts[i];
+                let c = *self.counts.get(i + 1).unwrap_or(&0);
+                (a + 2 * b + c) as f64 / 4.0
+            })
+            .collect();
+        let max = smoothed.iter().copied().fold(0.0_f64, f64::max);
+        if max == 0.0 {
+            return 0;
+        }
+        let threshold = prominence_frac * max;
+        let mut modes = 0;
+        for i in 0..smoothed.len() {
+            let left = if i == 0 { 0.0 } else { smoothed[i - 1] };
+            let right = *smoothed.get(i + 1).unwrap_or(&0.0);
+            if smoothed[i] >= threshold && smoothed[i] > left && smoothed[i] >= right {
+                modes += 1;
+            }
+        }
+        modes
+    }
+
+    /// Renders a horizontal ASCII bar chart, `width` characters for the
+    /// tallest bin.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let (a, b) = self.bin_edges(i);
+            let bar_len = (c as f64 / max as f64 * width as f64).round() as usize;
+            out.push_str(&format!(
+                "[{a:>9.2}, {b:>9.2}) |{:<width$}| {c}\n",
+                "#".repeat(bar_len),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{normal_draw, seeded};
+
+    #[test]
+    fn fixed_binning_counts_balance() {
+        let vals: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let h = Histogram::new(&vals, Binning::Fixed(10)).unwrap();
+        assert_eq!(h.bins(), 10);
+        assert_eq!(h.total(), 100);
+        assert_eq!(h.counts().iter().sum::<u64>(), 100);
+        // Uniform data: every bin gets ~10.
+        for &c in h.counts() {
+            assert!((8..=12).contains(&(c as i64)), "c = {c}");
+        }
+    }
+
+    #[test]
+    fn sturges_bin_count() {
+        let vals: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let h = Histogram::new(&vals, Binning::Sturges).unwrap();
+        assert_eq!(h.bins(), 7); // log2(64) + 1
+    }
+
+    #[test]
+    fn freedman_diaconis_reasonable() {
+        let mut rng = seeded(21);
+        let vals: Vec<f64> = (0..1000).map(|_| normal_draw(&mut rng, 0.0, 1.0)).collect();
+        let h = Histogram::new(&vals, Binning::FreedmanDiaconis).unwrap();
+        assert!(h.bins() >= 10 && h.bins() <= 60, "bins = {}", h.bins());
+    }
+
+    #[test]
+    fn constant_data_single_bin() {
+        let h = Histogram::new(&[5.0; 10], Binning::FreedmanDiaconis).unwrap();
+        assert_eq!(h.total(), 10);
+        assert_eq!(h.counts().iter().sum::<u64>(), 10);
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let mut h = Histogram::with_range(0.0, 10.0, 5).unwrap();
+        h.insert(-100.0);
+        h.insert(100.0);
+        h.insert(5.0);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[4], 1);
+        assert_eq!(h.counts()[2], 1);
+    }
+
+    #[test]
+    fn bin_edges_and_centers() {
+        let h = Histogram::with_range(0.0, 10.0, 5).unwrap();
+        assert_eq!(h.bin_edges(0), (0.0, 2.0));
+        assert_eq!(h.bin_edges(4), (8.0, 10.0));
+        assert_eq!(h.bin_center(2), 5.0);
+    }
+
+    #[test]
+    fn unimodal_gaussian_has_one_mode() {
+        let mut rng = seeded(22);
+        let vals: Vec<f64> = (0..5000).map(|_| normal_draw(&mut rng, 400.0, 8.0)).collect();
+        let h = Histogram::new(&vals, Binning::Fixed(25)).unwrap();
+        assert_eq!(h.modes(0.25), 1);
+    }
+
+    #[test]
+    fn bimodal_mixture_has_two_modes() {
+        let mut rng = seeded(23);
+        let mut vals: Vec<f64> = (0..2500).map(|_| normal_draw(&mut rng, 100.0, 3.0)).collect();
+        vals.extend((0..2500).map(|_| normal_draw(&mut rng, 160.0, 3.0)));
+        let h = Histogram::new(&vals, Binning::Fixed(30)).unwrap();
+        assert_eq!(h.modes(0.25), 2);
+    }
+
+    #[test]
+    fn ascii_render_contains_counts() {
+        let h = Histogram::new(&[1.0, 1.0, 2.0, 9.0], Binning::Fixed(4)).unwrap();
+        let art = h.render_ascii(20);
+        assert_eq!(art.lines().count(), 4);
+        assert!(art.contains('#'));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Histogram::new(&[], Binning::Sturges).is_err());
+        assert!(Histogram::new(&[f64::NAN], Binning::Sturges).is_err());
+        assert!(Histogram::new(&[1.0], Binning::Fixed(0)).is_err());
+        assert!(Histogram::with_range(1.0, 1.0, 5).is_err());
+        assert!(Histogram::with_range(0.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn mode_bin_finds_peak() {
+        let mut h = Histogram::with_range(0.0, 10.0, 10).unwrap();
+        for _ in 0..5 {
+            h.insert(7.5);
+        }
+        h.insert(1.0);
+        assert_eq!(h.mode_bin(), 7);
+    }
+}

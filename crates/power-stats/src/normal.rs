@@ -1,0 +1,272 @@
+//! The normal (Gaussian) distribution.
+//!
+//! Provides pdf/cdf/quantile for arbitrary mean and standard deviation, plus
+//! the standard-normal quantile `z_{1-alpha/2}` used throughout the paper's
+//! sample-size formulas (Equations 2–5).
+
+use crate::special::{erf, erfc};
+use crate::{Result, StatsError};
+
+/// A normal distribution with mean `mu` and standard deviation `sigma`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Standard normal distribution (mean 0, standard deviation 1).
+    pub const STANDARD: Normal = Normal {
+        mu: 0.0,
+        sigma: 1.0,
+    };
+
+    /// Creates a normal distribution; `sigma` must be positive and finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self> {
+        if !mu.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "mu",
+                reason: "mean must be finite",
+            });
+        }
+        if !(sigma.is_finite() && sigma > 0.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "sigma",
+                reason: "standard deviation must be positive and finite",
+            });
+        }
+        Ok(Normal { mu, sigma })
+    }
+
+    /// Mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        self.mu
+    }
+
+    /// Standard deviation of the distribution.
+    pub fn std_dev(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Probability density function.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        (-0.5 * z * z).exp() / (self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    /// Cumulative distribution function.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / (self.sigma * std::f64::consts::SQRT_2);
+        0.5 * erfc(-z)
+    }
+
+    /// Survival function `1 - cdf(x)`, computed without cancellation in the
+    /// upper tail.
+    pub fn sf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / (self.sigma * std::f64::consts::SQRT_2);
+        0.5 * erfc(z)
+    }
+
+    /// Quantile (inverse CDF) at probability `p` in `(0, 1)`.
+    pub fn quantile(&self, p: f64) -> Result<f64> {
+        Ok(self.mu + self.sigma * standard_quantile(p)?)
+    }
+}
+
+/// Standard-normal quantile function `Phi^{-1}(p)`.
+///
+/// Uses Acklam's rational approximation followed by one Halley refinement
+/// step against the high-precision [`erfc`]-based CDF, giving near machine
+/// precision across `(0, 1)`.
+///
+/// ```
+/// use power_stats::normal::standard_quantile;
+/// // The 97.5% quantile used for 95% confidence intervals.
+/// let z = standard_quantile(0.975).unwrap();
+/// assert!((z - 1.959_963_984_540_054).abs() < 1e-12);
+/// ```
+pub fn standard_quantile(p: f64) -> Result<f64> {
+    if !(p > 0.0 && p < 1.0) {
+        return Err(StatsError::InvalidParameter {
+            name: "p",
+            reason: "probability must lie strictly in (0, 1)",
+        });
+    }
+    let x = acklam(p);
+    // One Halley step: x' = x - 2 f / (2 f' + f f'') with f = Phi(x) - p.
+    let e = 0.5 * erfc(-x / std::f64::consts::SQRT_2) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    Ok(x - u / (1.0 + x * u / 2.0))
+}
+
+/// The two-sided critical value `z_{1 - alpha/2}` for confidence level
+/// `confidence = 1 - alpha`.
+///
+/// ```
+/// use power_stats::normal::z_critical;
+/// assert!((z_critical(0.95).unwrap() - 1.96).abs() < 1e-3);
+/// ```
+pub fn z_critical(confidence: f64) -> Result<f64> {
+    if !(confidence > 0.0 && confidence < 1.0) {
+        return Err(StatsError::InvalidParameter {
+            name: "confidence",
+            reason: "confidence level must lie strictly in (0, 1)",
+        });
+    }
+    standard_quantile(0.5 + confidence / 2.0)
+}
+
+/// Standard normal CDF `Phi(x)`.
+pub fn standard_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Standard normal PDF `phi(x)`.
+pub fn standard_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Acklam's rational approximation to the standard normal quantile
+/// (relative error < 1.15e-9 before refinement).
+fn acklam(p: f64) -> f64 {
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+    const P_HIGH: f64 = 1.0 - P_LOW;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= P_HIGH {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+// `erf` is re-exported via `special`; keep a private use so the module is
+// self-contained if the cdf implementation changes.
+#[allow(unused_imports)]
+use erf as _erf_keepalive;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_cdf_reference_values() {
+        let cases = [
+            (0.0, 0.5),
+            (1.0, 0.841_344_746_068_542_9),
+            (-1.0, 0.158_655_253_931_457_05),
+            (1.959_963_984_540_054, 0.975),
+            (2.575_829_303_548_901, 0.995),
+        ];
+        for (x, want) in cases {
+            assert!(
+                (standard_cdf(x) - want).abs() < 1e-12,
+                "Phi({x}) = {} want {want}",
+                standard_cdf(x)
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for i in 1..999 {
+            let p = i as f64 / 1000.0;
+            let x = standard_quantile(p).unwrap();
+            assert!(
+                (standard_cdf(x) - p).abs() < 1e-12,
+                "round-trip failed at p = {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_extreme_tails() {
+        for &p in &[1e-10, 1e-6, 1.0 - 1e-6, 1.0 - 1e-10] {
+            let x = standard_quantile(p).unwrap();
+            assert!(
+                (standard_cdf(x) - p).abs() / p.min(1.0 - p) < 1e-6,
+                "tail round-trip at p = {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn z_critical_common_levels() {
+        // The classic table values used throughout the paper.
+        assert!((z_critical(0.80).unwrap() - 1.281_551_565_544_6).abs() < 1e-10);
+        assert!((z_critical(0.95).unwrap() - 1.959_963_984_540_054).abs() < 1e-10);
+        assert!((z_critical(0.99).unwrap() - 2.575_829_303_548_901).abs() < 1e-10);
+    }
+
+    #[test]
+    fn nonstandard_distribution() {
+        let n = Normal::new(100.0, 15.0).unwrap();
+        assert!((n.cdf(100.0) - 0.5).abs() < 1e-14);
+        assert!((n.quantile(0.975).unwrap() - (100.0 + 15.0 * 1.959_963_984_540_054)).abs() < 1e-9);
+        // pdf integrates to ~1 (trapezoid sanity check)
+        let mut integral = 0.0;
+        let step = 0.05;
+        let mut x = 100.0 - 8.0 * 15.0;
+        while x < 100.0 + 8.0 * 15.0 {
+            integral += n.pdf(x) * step;
+            x += step;
+        }
+        assert!((integral - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sf_complements_cdf() {
+        let n = Normal::new(5.0, 2.0).unwrap();
+        for i in -50..50 {
+            let x = 5.0 + i as f64 * 0.2;
+            assert!((n.cdf(x) + n.sf(x) - 1.0).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(standard_quantile(0.0).is_err());
+        assert!(standard_quantile(1.0).is_err());
+        assert!(z_critical(1.0).is_err());
+    }
+}

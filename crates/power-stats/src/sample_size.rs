@@ -1,0 +1,370 @@
+//! Sample-size determination for node-subset power measurement.
+//!
+//! Implements the paper's two-step recommendation (Equations 4 and 5):
+//!
+//! 1. `n0 = (z_{1-alpha/2} / lambda * sigma/mu)^2` — the required sample size
+//!    for an infinite machine;
+//! 2. `n = n0 * N / (n0 + N - 1)` — the finite-population correction that
+//!    adjusts `n0` downward for a machine of `N` nodes.
+//!
+//! Also provides the conservative Chernoff–Hoeffding bound used by Davis et
+//! al. (the related-work baseline the paper argues is unnecessarily strict
+//! for balanced workloads), the pilot-sample workflow described in Section
+//! 4.2, and the generator for the paper's Table 5.
+
+use crate::normal::z_critical;
+use crate::{Result, StatsError};
+
+/// A sample-size plan: desired confidence, relative accuracy, and the
+/// assumed coefficient of variation of per-node power.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleSizePlan {
+    confidence: f64,
+    lambda: f64,
+    cv: f64,
+}
+
+impl SampleSizePlan {
+    /// Creates a plan.
+    ///
+    /// * `confidence` — e.g. `0.95` for a 95% confidence interval;
+    /// * `lambda` — desired relative accuracy, e.g. `0.01` for ±1%;
+    /// * `cv` — assumed `sigma/mu`; the paper observed 1.5%–3% in practice
+    ///   and recommends planning with 1.5%–2.5%.
+    pub fn new(confidence: f64, lambda: f64, cv: f64) -> Result<Self> {
+        if !(confidence > 0.0 && confidence < 1.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "confidence",
+                reason: "confidence must lie strictly in (0, 1)",
+            });
+        }
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "lambda",
+                reason: "relative accuracy must be positive",
+            });
+        }
+        if !(cv.is_finite() && cv > 0.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "cv",
+                reason: "coefficient of variation must be positive",
+            });
+        }
+        Ok(SampleSizePlan {
+            confidence,
+            lambda,
+            cv,
+        })
+    }
+
+    /// Confidence level `1 - alpha`.
+    pub fn confidence(&self) -> f64 {
+        self.confidence
+    }
+
+    /// Target relative accuracy `lambda`.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Assumed coefficient of variation `sigma/mu`.
+    pub fn cv(&self) -> f64 {
+        self.cv
+    }
+
+    /// Paper Equation 4: the (real-valued) sample size for `N = inf`,
+    /// `n0 = (z / lambda * cv)^2`.
+    pub fn n0(&self) -> Result<f64> {
+        let z = z_critical(self.confidence)?;
+        let r = z / self.lambda * self.cv;
+        Ok(r * r)
+    }
+
+    /// Required node count for an infinite machine (`n0` rounded up).
+    pub fn required_nodes_infinite(&self) -> Result<u64> {
+        Ok(self.n0()?.ceil() as u64)
+    }
+
+    /// Paper Equation 5: required node count for a machine of `population`
+    /// nodes, applying the finite-population correction
+    /// `n = n0 N / (n0 + N - 1)` and rounding up.
+    ///
+    /// ```
+    /// use power_stats::sample_size::SampleSizePlan;
+    /// // Table 5 cell: lambda = 0.5%, sigma/mu = 5%, N = 10 000 -> 370.
+    /// let plan = SampleSizePlan::new(0.95, 0.005, 0.05).unwrap();
+    /// assert_eq!(plan.required_nodes(10_000).unwrap(), 370);
+    /// ```
+    pub fn required_nodes(&self, population: u64) -> Result<u64> {
+        if population == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "population",
+                reason: "machine must contain at least one node",
+            });
+        }
+        let n0 = self.n0()?;
+        let big_n = population as f64;
+        let n = n0 * big_n / (n0 + big_n - 1.0);
+        Ok((n.ceil() as u64).min(population).max(1))
+    }
+
+    /// Achieved relative accuracy when measuring `n` nodes of a
+    /// `population`-node machine under this plan's `cv` and confidence
+    /// (z-approximation, with finite-population correction).
+    pub fn achieved_lambda(&self, n: u64, population: u64) -> Result<f64> {
+        if n == 0 || n > population {
+            return Err(StatsError::InvalidParameter {
+                name: "n",
+                reason: "sample size must be in 1..=population",
+            });
+        }
+        let z = z_critical(self.confidence)?;
+        let fpc = if population > 1 {
+            (((population - n) as f64) / ((population - 1) as f64)).sqrt()
+        } else {
+            0.0
+        };
+        Ok(z * self.cv / (n as f64).sqrt() * fpc)
+    }
+}
+
+/// The conservative Chernoff–Hoeffding sample size of Davis et al.
+///
+/// For per-node power bounded in a range of width `range_over_mu * mu`
+/// (e.g. `0.5` if node power spans ±25% of the mean), the bound
+/// `P(|mean error| >= lambda mu) <= 2 exp(-2 n lambda^2 / range_over_mu^2)`
+/// gives `n >= range_over_mu^2 ln(2/alpha) / (2 lambda^2)`.
+///
+/// The paper's point: for balanced workloads this is far more conservative
+/// than the normal-theory Equation 4.
+pub fn chernoff_hoeffding_nodes(
+    confidence: f64,
+    lambda: f64,
+    range_over_mu: f64,
+) -> Result<u64> {
+    if !(confidence > 0.0 && confidence < 1.0) {
+        return Err(StatsError::InvalidParameter {
+            name: "confidence",
+            reason: "confidence must lie strictly in (0, 1)",
+        });
+    }
+    if !(lambda > 0.0 && lambda.is_finite()) {
+        return Err(StatsError::InvalidParameter {
+            name: "lambda",
+            reason: "relative accuracy must be positive",
+        });
+    }
+    if !(range_over_mu > 0.0 && range_over_mu.is_finite()) {
+        return Err(StatsError::InvalidParameter {
+            name: "range_over_mu",
+            reason: "relative range must be positive",
+        });
+    }
+    let alpha = 1.0 - confidence;
+    let n = range_over_mu * range_over_mu * (2.0 / alpha).ln() / (2.0 * lambda * lambda);
+    Ok(n.ceil() as u64)
+}
+
+/// Pilot-sample workflow from Section 4.2: given a small pilot sample of
+/// per-node powers, estimate `cv` and return the recommended final sample
+/// size for the full machine.
+pub fn sample_size_from_pilot(
+    pilot: &[f64],
+    confidence: f64,
+    lambda: f64,
+    population: u64,
+) -> Result<u64> {
+    if pilot.len() < 2 {
+        return Err(StatsError::InsufficientData {
+            needed: 2,
+            got: pilot.len(),
+        });
+    }
+    let summary = crate::summary::Summary::from_slice(pilot);
+    let cv = summary.coefficient_of_variation()?;
+    SampleSizePlan::new(confidence, lambda, cv)?.required_nodes(population)
+}
+
+/// One cell of a sample-size table: the plan parameters and resulting `n`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TableCell {
+    /// Desired relative accuracy.
+    pub lambda: f64,
+    /// Assumed coefficient of variation.
+    pub cv: f64,
+    /// Recommended node count.
+    pub nodes: u64,
+}
+
+/// Generates a sample-size table over grids of `lambda` and `cv`, fixing
+/// confidence and machine size — the paper's Table 5 uses
+/// `confidence = 0.95`, `N = 10 000`,
+/// `lambda in {0.5%, 1%, 1.5%, 2%}` and `cv in {2%, 3%, 5%}`.
+pub fn sample_size_table(
+    confidence: f64,
+    population: u64,
+    lambdas: &[f64],
+    cvs: &[f64],
+) -> Result<Vec<TableCell>> {
+    let mut cells = Vec::with_capacity(lambdas.len() * cvs.len());
+    for &lambda in lambdas {
+        for &cv in cvs {
+            let plan = SampleSizePlan::new(confidence, lambda, cv)?;
+            cells.push(TableCell {
+                lambda,
+                cv,
+                nodes: plan.required_nodes(population)?,
+            });
+        }
+    }
+    Ok(cells)
+}
+
+/// The exact parameter grid of the paper's Table 5.
+pub fn paper_table5() -> Result<Vec<TableCell>> {
+    sample_size_table(
+        0.95,
+        10_000,
+        &[0.005, 0.01, 0.015, 0.02],
+        &[0.02, 0.03, 0.05],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_matches_paper_exactly() {
+        // Paper Table 5 (N = 10 000, 95% confidence):
+        //            cv=0.02  cv=0.03  cv=0.05
+        // lambda=0.5%   62      137      370
+        // lambda=1%     16       35       96
+        // lambda=1.5%    7       16       43
+        // lambda=2%      4        9       24
+        let want: &[u64] = &[62, 137, 370, 16, 35, 96, 7, 16, 43, 4, 9, 24];
+        let cells = paper_table5().unwrap();
+        let got: Vec<u64> = cells.iter().map(|c| c.nodes).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn equation4_hand_check() {
+        // z = 1.95996, lambda = 1%, cv = 2% -> n0 = (1.95996 * 2)^2 ~ 15.37.
+        let plan = SampleSizePlan::new(0.95, 0.01, 0.02).unwrap();
+        let n0 = plan.n0().unwrap();
+        assert!((n0 - 15.366).abs() < 1e-2, "n0 = {n0}");
+        assert_eq!(plan.required_nodes_infinite().unwrap(), 16);
+    }
+
+    #[test]
+    fn fpc_reduces_requirement_for_small_machines() {
+        let plan = SampleSizePlan::new(0.95, 0.005, 0.05).unwrap();
+        let infinite = plan.required_nodes_infinite().unwrap();
+        let small = plan.required_nodes(500).unwrap();
+        assert!(small < infinite, "{small} !< {infinite}");
+        // And never exceeds the machine size.
+        assert!(plan.required_nodes(3).unwrap() <= 3);
+    }
+
+    #[test]
+    fn requirement_monotone_in_population() {
+        let plan = SampleSizePlan::new(0.95, 0.01, 0.03).unwrap();
+        let mut prev = 0;
+        for &n in &[10u64, 100, 1_000, 10_000, 100_000] {
+            let req = plan.required_nodes(n).unwrap();
+            assert!(req >= prev, "requirement should grow with N");
+            prev = req;
+        }
+        // ...and converges to the infinite-machine value.
+        assert_eq!(prev, plan.required_nodes_infinite().unwrap());
+    }
+
+    #[test]
+    fn green500_level1_comparison_from_paper_intro() {
+        // Section 4 intro: under the 1/64 rule a 210-node machine measures
+        // 4 nodes; a 18688-node machine measures 292. Verify the derived
+        // accuracies bracket the published 3.2% and 0.2%.
+        let small = 210u64.div_ceil(64);
+        assert_eq!(small, 4);
+        let large = 18_688u64.div_ceil(64);
+        assert_eq!(large, 292);
+        let plan = SampleSizePlan::new(0.95, 0.01, 0.02).unwrap();
+        let acc_small = plan.achieved_lambda(4, 210).unwrap();
+        let acc_large = plan.achieved_lambda(292, 18_688).unwrap();
+        // z-based small-machine accuracy ~1.95% (the paper's 3.2% uses the
+        // t quantile; see crate::ci tests). Order-of-magnitude gap holds.
+        assert!(acc_small / acc_large > 8.0, "{acc_small} vs {acc_large}");
+        assert!((acc_large - 0.002).abs() < 5e-4);
+    }
+
+    #[test]
+    fn chernoff_hoeffding_is_conservative() {
+        // Same target as Table 5's lambda = 1% / cv = 2% cell. With node
+        // power spanning +/-3 sigma (range_over_mu = 0.12), Hoeffding asks
+        // for far more than 16 nodes.
+        let ch = chernoff_hoeffding_nodes(0.95, 0.01, 0.12).unwrap();
+        let normal = SampleSizePlan::new(0.95, 0.01, 0.02)
+            .unwrap()
+            .required_nodes(10_000)
+            .unwrap();
+        assert!(
+            ch > 10 * normal,
+            "Hoeffding {ch} should dwarf normal-theory {normal}"
+        );
+    }
+
+    #[test]
+    fn chernoff_hoeffding_hand_value() {
+        // n = r^2 ln(2/alpha) / (2 lambda^2), r=0.1, alpha=0.05, lambda=0.01
+        // = 0.01 * ln(40) / 0.0002 = 50 ln 40 ~ 184.44 -> 185.
+        let n = chernoff_hoeffding_nodes(0.95, 0.01, 0.1).unwrap();
+        assert_eq!(n, 185);
+    }
+
+    #[test]
+    fn pilot_workflow() {
+        // Pilot of 10 nodes with cv ~ 2%: expect a Table-5-like answer.
+        let pilot: Vec<f64> = (0..10)
+            .map(|i| 400.0 * (1.0 + 0.02 * ((i as f64) - 4.5) / 2.872))
+            .collect();
+        let n = sample_size_from_pilot(&pilot, 0.95, 0.01, 10_000).unwrap();
+        assert!((4..=60).contains(&n), "n = {n}");
+        assert!(sample_size_from_pilot(&[1.0], 0.95, 0.01, 100).is_err());
+    }
+
+    #[test]
+    fn achieved_lambda_improves_with_n() {
+        let plan = SampleSizePlan::new(0.95, 0.01, 0.02).unwrap();
+        let a4 = plan.achieved_lambda(4, 10_000).unwrap();
+        let a16 = plan.achieved_lambda(16, 10_000).unwrap();
+        let a370 = plan.achieved_lambda(370, 10_000).unwrap();
+        assert!(a4 > a16 && a16 > a370);
+        // Census gives zero sampling error.
+        assert!(plan.achieved_lambda(10_000, 10_000).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(SampleSizePlan::new(1.0, 0.01, 0.02).is_err());
+        assert!(SampleSizePlan::new(0.95, 0.0, 0.02).is_err());
+        assert!(SampleSizePlan::new(0.95, 0.01, -0.02).is_err());
+        let plan = SampleSizePlan::new(0.95, 0.01, 0.02).unwrap();
+        assert!(plan.required_nodes(0).is_err());
+        assert!(plan.achieved_lambda(0, 100).is_err());
+        assert!(plan.achieved_lambda(101, 100).is_err());
+        assert!(chernoff_hoeffding_nodes(0.95, 0.01, 0.0).is_err());
+    }
+
+    #[test]
+    fn table_generator_shape() {
+        let cells = sample_size_table(0.9, 1_000, &[0.01, 0.02], &[0.02, 0.03, 0.05]).unwrap();
+        assert_eq!(cells.len(), 6);
+        // Rows ordered by lambda then cv.
+        assert!(cells[0].lambda == 0.01 && cells[0].cv == 0.02);
+        assert!(cells[5].lambda == 0.02 && cells[5].cv == 0.05);
+        // More accuracy or more variability => more nodes.
+        assert!(cells[0].nodes > cells[3].nodes);
+        assert!(cells[2].nodes > cells[0].nodes);
+    }
+}

@@ -1,0 +1,281 @@
+//! Node-subset selection strategies.
+//!
+//! The paper's methodology estimates whole-machine power from a measured
+//! subset of nodes; *which* nodes end up in the subset matters. This module
+//! implements the honest strategies (uniform without replacement — the
+//! paper's Section 4 assumption — plus stratified and systematic variants
+//! used by sites with rack-level metering), and leaves the dishonest one
+//! (cherry-picking low-power nodes) to `power-method::gaming`.
+
+use crate::{Result, StatsError};
+use rand::Rng;
+
+/// Draws `n` distinct indices uniformly at random from `0..population`
+/// (sampling without replacement) via a partial Fisher–Yates shuffle.
+///
+/// Runs in `O(population)` memory and `O(n)` swaps; indices are returned in
+/// shuffle order.
+pub fn sample_without_replacement<R: Rng + ?Sized>(
+    rng: &mut R,
+    population: usize,
+    n: usize,
+) -> Result<Vec<usize>> {
+    if n > population {
+        return Err(StatsError::InvalidParameter {
+            name: "n",
+            reason: "sample size cannot exceed population",
+        });
+    }
+    let mut indices: Vec<usize> = (0..population).collect();
+    for i in 0..n {
+        let j = rng.random_range(i..population);
+        indices.swap(i, j);
+    }
+    indices.truncate(n);
+    Ok(indices)
+}
+
+/// Reservoir sampling (Algorithm R): draws `n` distinct items from an
+/// iterator of unknown length in one pass.
+///
+/// Returns fewer than `n` items if the iterator is shorter than `n`.
+pub fn reservoir_sample<R, I, T>(rng: &mut R, iter: I, n: usize) -> Vec<T>
+where
+    R: Rng + ?Sized,
+    I: IntoIterator<Item = T>,
+{
+    let mut reservoir: Vec<T> = Vec::with_capacity(n);
+    if n == 0 {
+        return reservoir;
+    }
+    for (i, item) in iter.into_iter().enumerate() {
+        if i < n {
+            reservoir.push(item);
+        } else {
+            let j = rng.random_range(0..=i);
+            if j < n {
+                reservoir[j] = item;
+            }
+        }
+    }
+    reservoir
+}
+
+/// Stratified sampling: the population is divided into contiguous strata
+/// (e.g. racks) given by their sizes; `n` is apportioned proportionally
+/// (largest-remainder method) and drawn without replacement inside each
+/// stratum. Returns global indices.
+pub fn stratified_sample<R: Rng + ?Sized>(
+    rng: &mut R,
+    strata_sizes: &[usize],
+    n: usize,
+) -> Result<Vec<usize>> {
+    let population: usize = strata_sizes.iter().sum();
+    if n > population {
+        return Err(StatsError::InvalidParameter {
+            name: "n",
+            reason: "sample size cannot exceed population",
+        });
+    }
+    if strata_sizes.contains(&0) {
+        return Err(StatsError::InvalidParameter {
+            name: "strata_sizes",
+            reason: "strata must be non-empty",
+        });
+    }
+    // Proportional allocation with largest remainders.
+    let mut alloc: Vec<usize> = Vec::with_capacity(strata_sizes.len());
+    let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(strata_sizes.len());
+    let mut assigned = 0usize;
+    for (k, &size) in strata_sizes.iter().enumerate() {
+        let exact = n as f64 * size as f64 / population as f64;
+        let base = exact.floor() as usize;
+        let base = base.min(size);
+        alloc.push(base);
+        assigned += base;
+        remainders.push((k, exact - base as f64));
+    }
+    remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let mut leftover = n - assigned;
+    let mut cursor = 0usize;
+    while leftover > 0 {
+        let (k, _) = remainders[cursor % remainders.len()];
+        if alloc[k] < strata_sizes[k] {
+            alloc[k] += 1;
+            leftover -= 1;
+        }
+        cursor += 1;
+        if cursor > remainders.len() * (n + 1) {
+            // All strata saturated; cannot happen because n <= population.
+            break;
+        }
+    }
+    // Draw within each stratum and offset to global indices.
+    let mut out = Vec::with_capacity(n);
+    let mut offset = 0usize;
+    for (k, &size) in strata_sizes.iter().enumerate() {
+        let local = sample_without_replacement(rng, size, alloc[k])?;
+        out.extend(local.into_iter().map(|i| i + offset));
+        offset += size;
+    }
+    Ok(out)
+}
+
+/// Systematic sampling: every `population/n`-th node starting from a random
+/// offset. Cheap to wire physically, but vulnerable to periodic structure
+/// (e.g. one hot node per blade of `k` nodes aliasing with the stride).
+pub fn systematic_sample<R: Rng + ?Sized>(
+    rng: &mut R,
+    population: usize,
+    n: usize,
+) -> Result<Vec<usize>> {
+    if n == 0 || n > population {
+        return Err(StatsError::InvalidParameter {
+            name: "n",
+            reason: "sample size must be in 1..=population",
+        });
+    }
+    let stride = population as f64 / n as f64;
+    let start: f64 = rng.random::<f64>() * stride;
+    Ok((0..n)
+        .map(|i| ((start + i as f64 * stride).floor() as usize).min(population - 1))
+        .collect())
+}
+
+/// Selects the values at `indices` from a population slice.
+pub fn gather(values: &[f64], indices: &[usize]) -> Vec<f64> {
+    indices.iter().map(|&i| values[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+    use std::collections::HashSet;
+
+    #[test]
+    fn without_replacement_distinct_and_in_range() {
+        let mut rng = seeded(1);
+        for &(pop, n) in &[(10usize, 10usize), (100, 7), (1000, 999), (5, 0)] {
+            let s = sample_without_replacement(&mut rng, pop, n).unwrap();
+            assert_eq!(s.len(), n);
+            let set: HashSet<_> = s.iter().copied().collect();
+            assert_eq!(set.len(), n, "duplicates for pop={pop} n={n}");
+            assert!(s.iter().all(|&i| i < pop));
+        }
+        assert!(sample_without_replacement(&mut rng, 5, 6).is_err());
+    }
+
+    #[test]
+    fn without_replacement_is_uniform() {
+        // Each of 10 indices should appear ~ n_trials * 3/10 times.
+        let mut rng = seeded(2);
+        let mut counts = [0usize; 10];
+        let trials = 30_000;
+        for _ in 0..trials {
+            for i in sample_without_replacement(&mut rng, 10, 3).unwrap() {
+                counts[i] += 1;
+            }
+        }
+        let expected = trials as f64 * 0.3;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.05,
+                "index {i}: {c} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn reservoir_matches_spec() {
+        let mut rng = seeded(3);
+        let s = reservoir_sample(&mut rng, 0..100, 10);
+        assert_eq!(s.len(), 10);
+        let set: HashSet<_> = s.iter().copied().collect();
+        assert_eq!(set.len(), 10);
+        // Short iterator: returns everything.
+        let s = reservoir_sample(&mut rng, 0..3, 10);
+        assert_eq!(s, vec![0, 1, 2]);
+        // n = 0.
+        let s: Vec<i32> = reservoir_sample(&mut rng, 0..100, 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn reservoir_is_uniform() {
+        let mut rng = seeded(4);
+        let mut counts = [0usize; 20];
+        let trials = 20_000;
+        for _ in 0..trials {
+            for i in reservoir_sample(&mut rng, 0..20usize, 5) {
+                counts[i] += 1;
+            }
+        }
+        let expected = trials as f64 * 0.25;
+        for &c in &counts {
+            assert!((c as f64 - expected).abs() < expected * 0.06);
+        }
+    }
+
+    #[test]
+    fn stratified_respects_proportions() {
+        let mut rng = seeded(5);
+        // Four racks of 100 nodes; sample of 40 -> 10 per rack.
+        let s = stratified_sample(&mut rng, &[100, 100, 100, 100], 40).unwrap();
+        assert_eq!(s.len(), 40);
+        for rack in 0..4 {
+            let in_rack = s
+                .iter()
+                .filter(|&&i| i >= rack * 100 && i < (rack + 1) * 100)
+                .count();
+            assert_eq!(in_rack, 10, "rack {rack}");
+        }
+    }
+
+    #[test]
+    fn stratified_uneven_strata() {
+        let mut rng = seeded(6);
+        let sizes = [300usize, 100, 50, 50];
+        let s = stratified_sample(&mut rng, &sizes, 25).unwrap();
+        assert_eq!(s.len(), 25);
+        let set: HashSet<_> = s.iter().copied().collect();
+        assert_eq!(set.len(), 25);
+        // Largest stratum gets the most draws.
+        let first = s.iter().filter(|&&i| i < 300).count();
+        assert!(first >= 13, "first stratum got {first}");
+    }
+
+    #[test]
+    fn stratified_rejects_bad_input() {
+        let mut rng = seeded(7);
+        assert!(stratified_sample(&mut rng, &[10, 0], 5).is_err());
+        assert!(stratified_sample(&mut rng, &[4, 4], 9).is_err());
+    }
+
+    #[test]
+    fn systematic_covers_evenly() {
+        let mut rng = seeded(8);
+        let s = systematic_sample(&mut rng, 1000, 10).unwrap();
+        assert_eq!(s.len(), 10);
+        // Strides of ~100 between consecutive picks.
+        for w in s.windows(2) {
+            let gap = w[1] as i64 - w[0] as i64;
+            assert!((gap - 100).abs() <= 1, "gap = {gap}");
+        }
+        assert!(systematic_sample(&mut rng, 10, 0).is_err());
+    }
+
+    #[test]
+    fn gather_selects_values() {
+        let vals = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(gather(&vals, &[3, 0]), vec![40.0, 10.0]);
+    }
+
+    #[test]
+    fn full_census_sample() {
+        let mut rng = seeded(9);
+        let mut s = sample_without_replacement(&mut rng, 8, 8).unwrap();
+        s.sort_unstable();
+        assert_eq!(s, (0..8).collect::<Vec<_>>());
+    }
+}

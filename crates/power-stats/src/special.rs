@@ -1,0 +1,429 @@
+//! Special functions: log-gamma, error function, regularized incomplete
+//! gamma and beta functions.
+//!
+//! These are the numerical kernels behind the normal and Student-t
+//! distributions. They are implemented from scratch (Lanczos approximation,
+//! series/continued-fraction expansions following the classical treatments in
+//! Abramowitz & Stegun and Numerical Recipes) and are accurate to roughly
+//! 1e-13 relative error over the parameter ranges exercised by this
+//! workspace, which is far tighter than any power-measurement use requires.
+
+use crate::{Result, StatsError};
+
+/// Lanczos coefficients for `g = 7`, `n = 9` (Godfrey's values).
+const LANCZOS_G: f64 = 7.0;
+const LANCZOS_COEF: [f64; 9] = [
+    0.999_999_999_999_809_9,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_1,
+    -176.615_029_162_140_6,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_572e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+/// Natural logarithm of the gamma function for `x > 0`.
+///
+/// Uses the Lanczos approximation with reflection for `x < 0.5`.
+///
+/// ```
+/// use power_stats::special::ln_gamma;
+/// // Gamma(5) = 24
+/// assert!((ln_gamma(5.0) - 24.0_f64.ln()).abs() < 1e-12);
+/// ```
+pub fn ln_gamma(x: f64) -> f64 {
+    if x < 0.5 {
+        // Reflection formula: Gamma(x) Gamma(1-x) = pi / sin(pi x)
+        let pi = std::f64::consts::PI;
+        pi.ln() - (pi * x).sin().abs().ln() - ln_gamma(1.0 - x)
+    } else {
+        let x = x - 1.0;
+        let mut acc = LANCZOS_COEF[0];
+        for (i, &c) in LANCZOS_COEF.iter().enumerate().skip(1) {
+            acc += c / (x + i as f64);
+        }
+        let t = x + LANCZOS_G + 0.5;
+        0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+    }
+}
+
+/// Regularized lower incomplete gamma function `P(a, x)`.
+///
+/// `P(a, x) = gamma(a, x) / Gamma(a)`, with `P(a, 0) = 0` and
+/// `P(a, inf) = 1`. Uses the series expansion for `x < a + 1` and the
+/// continued fraction for the complement otherwise.
+pub fn gamma_p(a: f64, x: f64) -> Result<f64> {
+    if a <= 0.0 {
+        return Err(StatsError::InvalidParameter {
+            name: "a",
+            reason: "shape must be positive",
+        });
+    }
+    if x < 0.0 {
+        return Err(StatsError::InvalidParameter {
+            name: "x",
+            reason: "argument must be non-negative",
+        });
+    }
+    if x == 0.0 {
+        return Ok(0.0);
+    }
+    if x < a + 1.0 {
+        gamma_p_series(a, x)
+    } else {
+        Ok(1.0 - gamma_q_cf(a, x)?)
+    }
+}
+
+/// Regularized upper incomplete gamma function `Q(a, x) = 1 - P(a, x)`.
+pub fn gamma_q(a: f64, x: f64) -> Result<f64> {
+    if a <= 0.0 {
+        return Err(StatsError::InvalidParameter {
+            name: "a",
+            reason: "shape must be positive",
+        });
+    }
+    if x < 0.0 {
+        return Err(StatsError::InvalidParameter {
+            name: "x",
+            reason: "argument must be non-negative",
+        });
+    }
+    if x == 0.0 {
+        return Ok(1.0);
+    }
+    if x < a + 1.0 {
+        Ok(1.0 - gamma_p_series(a, x)?)
+    } else {
+        gamma_q_cf(a, x)
+    }
+}
+
+const MAX_ITER: usize = 500;
+const EPS: f64 = 1e-15;
+/// Smallest representable ratio used to keep the modified Lentz algorithm
+/// away from division by zero.
+const FPMIN: f64 = 1e-300;
+
+fn gamma_p_series(a: f64, x: f64) -> Result<f64> {
+    let mut ap = a;
+    let mut term = 1.0 / a;
+    let mut sum = term;
+    for _ in 0..MAX_ITER {
+        ap += 1.0;
+        term *= x / ap;
+        sum += term;
+        if term.abs() < sum.abs() * EPS {
+            return Ok(sum * (-x + a * x.ln() - ln_gamma(a)).exp());
+        }
+    }
+    Err(StatsError::NoConvergence {
+        routine: "gamma_p_series",
+    })
+}
+
+fn gamma_q_cf(a: f64, x: f64) -> Result<f64> {
+    // Modified Lentz evaluation of the continued fraction for Q(a, x).
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / FPMIN;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..=MAX_ITER {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = b + an / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            return Ok(h * (-x + a * x.ln() - ln_gamma(a)).exp());
+        }
+    }
+    Err(StatsError::NoConvergence {
+        routine: "gamma_q_cf",
+    })
+}
+
+/// Error function, `erf(x) = 2/sqrt(pi) * integral_0^x exp(-t^2) dt`.
+///
+/// Evaluated through the incomplete gamma function:
+/// `erf(x) = sign(x) * P(1/2, x^2)`.
+pub fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    let p = gamma_p(0.5, x * x).expect("P(1/2, x^2) is always in-domain");
+    if x > 0.0 {
+        p
+    } else {
+        -p
+    }
+}
+
+/// Complementary error function `erfc(x) = 1 - erf(x)`.
+///
+/// Computed without cancellation for large positive `x` via `Q(1/2, x^2)`.
+pub fn erfc(x: f64) -> f64 {
+    if x == 0.0 {
+        return 1.0;
+    }
+    let q = gamma_q(0.5, x * x).expect("Q(1/2, x^2) is always in-domain");
+    if x > 0.0 {
+        q
+    } else {
+        2.0 - q
+    }
+}
+
+/// Natural logarithm of the complete beta function `B(a, b)`.
+pub fn ln_beta(a: f64, b: f64) -> f64 {
+    ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b)
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` for `0 <= x <= 1`.
+///
+/// This is the CDF kernel of the Student-t (and F) distributions. Evaluated
+/// with the continued-fraction expansion, using the symmetry
+/// `I_x(a, b) = 1 - I_{1-x}(b, a)` to keep the fraction in its
+/// fast-converging regime.
+pub fn beta_inc(a: f64, b: f64, x: f64) -> Result<f64> {
+    if a <= 0.0 || b <= 0.0 {
+        return Err(StatsError::InvalidParameter {
+            name: "a/b",
+            reason: "beta shape parameters must be positive",
+        });
+    }
+    if !(0.0..=1.0).contains(&x) {
+        return Err(StatsError::InvalidParameter {
+            name: "x",
+            reason: "argument must lie in [0, 1]",
+        });
+    }
+    if x == 0.0 {
+        return Ok(0.0);
+    }
+    if x == 1.0 {
+        return Ok(1.0);
+    }
+    let front = (a * x.ln() + b * (1.0 - x).ln() - ln_beta(a, b)).exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        Ok(front * beta_cf(a, b, x)? / a)
+    } else {
+        Ok(1.0 - front * beta_cf(b, a, 1.0 - x)? / b)
+    }
+}
+
+fn beta_cf(a: f64, b: f64, x: f64) -> Result<f64> {
+    // Modified Lentz evaluation of the incomplete-beta continued fraction.
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            return Ok(h);
+        }
+    }
+    Err(StatsError::NoConvergence { routine: "beta_cf" })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + b.abs())
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        for n in 1u64..=20 {
+            let fact: f64 = (1..=n.saturating_sub(1)).map(|k| k as f64).product();
+            assert!(
+                close(ln_gamma(n as f64), fact.ln(), 1e-12),
+                "Gamma({n}) mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half_integer() {
+        // Gamma(1/2) = sqrt(pi)
+        assert!(close(
+            ln_gamma(0.5),
+            0.5 * std::f64::consts::PI.ln(),
+            1e-13
+        ));
+        // Gamma(3/2) = sqrt(pi)/2
+        assert!(close(
+            ln_gamma(1.5),
+            (std::f64::consts::PI.sqrt() / 2.0).ln(),
+            1e-13
+        ));
+    }
+
+    #[test]
+    fn ln_gamma_reflection_region() {
+        // Gamma(0.3) = 2.99156898768759...
+        assert!(close(ln_gamma(0.3), 2.991_568_987_687_59_f64.ln(), 1e-11));
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        // Reference values from Abramowitz & Stegun table 7.1.
+        let cases = [
+            (0.0, 0.0),
+            (0.5, 0.520_499_877_813_046_5),
+            (1.0, 0.842_700_792_949_714_9),
+            (2.0, 0.995_322_265_018_952_7),
+            (3.0, 0.999_977_909_503_001_4),
+        ];
+        for (x, want) in cases {
+            assert!(close(erf(x), want, 1e-12), "erf({x})");
+            assert!(close(erf(-x), -want, 1e-12), "erf(-{x})");
+        }
+    }
+
+    #[test]
+    fn erfc_complements_erf() {
+        for i in -40..=40 {
+            let x = i as f64 * 0.1;
+            assert!(close(erf(x) + erfc(x), 1.0, 1e-12), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn erfc_large_argument_no_cancellation() {
+        // erfc(5) = 1.5374597944280349e-12; naive 1 - erf(5) would lose
+        // all precision here.
+        let want = 1.537_459_794_428_035e-12;
+        assert!((erfc(5.0) - want).abs() / want < 1e-9);
+    }
+
+    #[test]
+    fn gamma_p_q_sum_to_one() {
+        for &a in &[0.5, 1.0, 2.5, 10.0, 100.0] {
+            for &x in &[0.1, 1.0, 5.0, 50.0, 150.0] {
+                let p = gamma_p(a, x).unwrap();
+                let q = gamma_q(a, x).unwrap();
+                assert!(close(p + q, 1.0, 1e-12), "a={a} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_p_exponential_special_case() {
+        // P(1, x) = 1 - exp(-x)
+        for &x in &[0.1, 0.5, 1.0, 3.0, 10.0] {
+            assert!(close(gamma_p(1.0, x).unwrap(), 1.0 - (-x).exp(), 1e-12));
+        }
+    }
+
+    #[test]
+    fn gamma_p_monotone_in_x() {
+        let mut prev = 0.0;
+        for i in 1..200 {
+            let x = i as f64 * 0.1;
+            let p = gamma_p(3.7, x).unwrap();
+            assert!(p >= prev, "P(a, x) must be non-decreasing in x");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn gamma_rejects_bad_domain() {
+        assert!(gamma_p(-1.0, 1.0).is_err());
+        assert!(gamma_p(1.0, -1.0).is_err());
+        assert!(gamma_q(0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn beta_inc_boundaries() {
+        assert_eq!(beta_inc(2.0, 3.0, 0.0).unwrap(), 0.0);
+        assert_eq!(beta_inc(2.0, 3.0, 1.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn beta_inc_uniform_special_case() {
+        // I_x(1, 1) = x
+        for i in 0..=10 {
+            let x = i as f64 / 10.0;
+            assert!(close(beta_inc(1.0, 1.0, x).unwrap(), x, 1e-13));
+        }
+    }
+
+    #[test]
+    fn beta_inc_symmetry() {
+        for &(a, b) in &[(0.5, 0.5), (2.0, 5.0), (7.5, 1.25)] {
+            for i in 1..10 {
+                let x = i as f64 / 10.0;
+                let lhs = beta_inc(a, b, x).unwrap();
+                let rhs = 1.0 - beta_inc(b, a, 1.0 - x).unwrap();
+                assert!(close(lhs, rhs, 1e-11), "a={a} b={b} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn beta_inc_reference_value() {
+        // I_0.5(2, 3) = 0.6875 (polynomial case: 1 - (1-x)^3 (1+3x) form)
+        assert!(close(beta_inc(2.0, 3.0, 0.5).unwrap(), 0.6875, 1e-12));
+    }
+
+    #[test]
+    fn beta_inc_rejects_bad_domain() {
+        assert!(beta_inc(-1.0, 1.0, 0.5).is_err());
+        assert!(beta_inc(1.0, 1.0, 1.5).is_err());
+    }
+
+    #[test]
+    fn ln_beta_matches_gammas() {
+        assert!(close(
+            ln_beta(2.0, 3.0),
+            (1.0f64 / 12.0).ln(), // B(2,3) = 1/12
+            1e-12
+        ));
+    }
+}

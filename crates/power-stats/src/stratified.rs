@@ -1,0 +1,306 @@
+//! Stratified estimation.
+//!
+//! Sites often meter by physical unit — a PDU per rack — which makes the
+//! natural sample *stratified*: a few nodes from every rack rather than a
+//! uniform draw. Stratified estimation is never worse than simple random
+//! sampling for a fixed budget, and strictly better when strata differ
+//! (e.g. under the ambient-gradient effect in `power-sim`, where hot-aisle
+//! racks draw more). This module provides the standard stratified mean,
+//! its standard error with finite-population correction per stratum, and
+//! Neyman allocation for planning.
+
+use crate::normal::z_critical;
+use crate::summary::Summary;
+use crate::{Result, StatsError};
+
+/// One stratum's sample and its population size.
+#[derive(Debug, Clone)]
+pub struct Stratum {
+    /// Number of population units (nodes) in the stratum.
+    pub population: usize,
+    /// Sampled per-node values from this stratum.
+    pub sample: Vec<f64>,
+}
+
+/// A stratified estimate of the per-node mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StratifiedEstimate {
+    /// Population-weighted mean.
+    pub mean: f64,
+    /// Standard error of the mean (with per-stratum FPC).
+    pub std_error: f64,
+    /// Total population size across strata.
+    pub population: usize,
+    /// Total sample size across strata.
+    pub sampled: usize,
+}
+
+impl StratifiedEstimate {
+    /// Two-sided confidence interval half-width at `confidence`
+    /// (z-approximation; stratified totals aggregate many terms).
+    pub fn half_width(&self, confidence: f64) -> Result<f64> {
+        Ok(z_critical(confidence)? * self.std_error)
+    }
+
+    /// Full-system power estimate (mean times population).
+    pub fn total(&self) -> f64 {
+        self.mean * self.population as f64
+    }
+}
+
+/// Computes the stratified mean and its standard error.
+///
+/// Each stratum needs at least 2 sampled values (to estimate its
+/// variance) and its sample must not exceed its population.
+pub fn stratified_estimate(strata: &[Stratum]) -> Result<StratifiedEstimate> {
+    if strata.is_empty() {
+        return Err(StatsError::InsufficientData { needed: 1, got: 0 });
+    }
+    let population: usize = strata.iter().map(|s| s.population).sum();
+    if population == 0 {
+        return Err(StatsError::InvalidParameter {
+            name: "population",
+            reason: "strata must contain population units",
+        });
+    }
+    let mut mean = 0.0;
+    let mut var = 0.0;
+    let mut sampled = 0;
+    for (k, s) in strata.iter().enumerate() {
+        if s.sample.len() < 2 {
+            return Err(StatsError::InsufficientData {
+                needed: 2,
+                got: s.sample.len(),
+            });
+        }
+        if s.sample.len() > s.population {
+            return Err(StatsError::InvalidParameter {
+                name: "sample",
+                reason: "stratum sample exceeds its population",
+            });
+        }
+        let _ = k;
+        let summary = Summary::from_slice(&s.sample);
+        let w = s.population as f64 / population as f64;
+        let n_h = s.sample.len() as f64;
+        let fpc = 1.0 - n_h / s.population as f64;
+        mean += w * summary.mean();
+        var += w * w * fpc * summary.sample_variance()? / n_h;
+        sampled += s.sample.len();
+    }
+    Ok(StratifiedEstimate {
+        mean,
+        std_error: var.sqrt(),
+        population,
+        sampled,
+    })
+}
+
+/// Neyman allocation: distributes a total sample budget `n` across strata
+/// proportionally to `N_h * sigma_h` (population size times standard
+/// deviation), which minimizes the stratified variance. Pilot standard
+/// deviations are supplied per stratum; each stratum receives at least 2
+/// and at most its population.
+pub fn neyman_allocation(
+    populations: &[usize],
+    pilot_sigmas: &[f64],
+    n: usize,
+) -> Result<Vec<usize>> {
+    if populations.len() != pilot_sigmas.len() || populations.is_empty() {
+        return Err(StatsError::InvalidParameter {
+            name: "populations",
+            reason: "need matching, non-empty populations and sigmas",
+        });
+    }
+    if pilot_sigmas.iter().any(|s| !(s.is_finite() && *s >= 0.0)) {
+        return Err(StatsError::InvalidParameter {
+            name: "pilot_sigmas",
+            reason: "sigmas must be non-negative and finite",
+        });
+    }
+    let min_total: usize = populations.iter().map(|&p| 2.min(p)).sum();
+    if n < min_total {
+        return Err(StatsError::InsufficientData {
+            needed: min_total,
+            got: n,
+        });
+    }
+    let weights: Vec<f64> = populations
+        .iter()
+        .zip(pilot_sigmas)
+        .map(|(&p, &s)| p as f64 * s)
+        .collect();
+    let total_w: f64 = weights.iter().sum();
+    let mut alloc: Vec<usize> = if total_w == 0.0 {
+        // Degenerate: proportional allocation.
+        let total_p: usize = populations.iter().sum();
+        populations
+            .iter()
+            .map(|&p| (n as f64 * p as f64 / total_p as f64).round() as usize)
+            .collect()
+    } else {
+        weights
+            .iter()
+            .map(|w| (n as f64 * w / total_w).round() as usize)
+            .collect()
+    };
+    // Enforce floors and caps, then balance the total back to n.
+    for (a, &p) in alloc.iter_mut().zip(populations) {
+        *a = (*a).clamp(2.min(p), p);
+    }
+    let mut total: usize = alloc.iter().sum();
+    let mut guard = 0;
+    while total != n && guard < 10_000 {
+        if total < n {
+            // Give to the stratum with the most headroom-weighted need.
+            if let Some((i, _)) = alloc
+                .iter()
+                .enumerate()
+                .filter(|(i, a)| **a < populations[*i])
+                .max_by(|(i, a), (j, b)| {
+                    let wa = weights[*i] / (**a as f64 + 1.0);
+                    let wb = weights[*j] / (**b as f64 + 1.0);
+                    wa.partial_cmp(&wb).expect("finite")
+                })
+            {
+                alloc[i] += 1;
+                total += 1;
+            } else {
+                break; // every stratum saturated
+            }
+        } else {
+            // Take from the stratum with the least marginal value.
+            if let Some((i, _)) = alloc
+                .iter()
+                .enumerate()
+                .filter(|(i, a)| **a > 2.min(populations[*i]))
+                .min_by(|(i, a), (j, b)| {
+                    let wa = weights[*i] / (**a as f64);
+                    let wb = weights[*j] / (**b as f64);
+                    wa.partial_cmp(&wb).expect("finite")
+                })
+            {
+                alloc[i] -= 1;
+                total -= 1;
+            } else {
+                break;
+            }
+        }
+        guard += 1;
+    }
+    Ok(alloc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{normal_draw, seeded};
+
+    fn stratum(pop: usize, n: usize, mu: f64, sigma: f64, seed: u64) -> Stratum {
+        let mut rng = seeded(seed);
+        Stratum {
+            population: pop,
+            sample: (0..n).map(|_| normal_draw(&mut rng, mu, sigma)).collect(),
+        }
+    }
+
+    #[test]
+    fn single_stratum_matches_srs() {
+        let s = stratum(1000, 50, 400.0, 8.0, 1);
+        let est = stratified_estimate(std::slice::from_ref(&s)).unwrap();
+        let summary = Summary::from_slice(&s.sample);
+        assert!((est.mean - summary.mean()).abs() < 1e-12);
+        // SE matches sqrt(fpc * s^2 / n).
+        let want =
+            ((1.0 - 0.05) * summary.sample_variance().unwrap() / 50.0).sqrt();
+        assert!((est.std_error - want).abs() < 1e-12);
+        assert_eq!(est.population, 1000);
+        assert_eq!(est.sampled, 50);
+    }
+
+    #[test]
+    fn weighting_by_population() {
+        // Two strata with very different means; the estimate must weight
+        // by population, not by sample size.
+        let a = stratum(900, 10, 100.0, 1.0, 2);
+        let b = stratum(100, 40, 200.0, 1.0, 3);
+        let est = stratified_estimate(&[a, b]).unwrap();
+        assert!((est.mean - 110.0).abs() < 1.0, "mean = {}", est.mean);
+        assert!((est.total() - 110_000.0).abs() < 1_500.0);
+    }
+
+    #[test]
+    fn stratification_beats_srs_when_strata_differ() {
+        // Population = two racks at different ambient temperatures (means
+        // differ); same total budget. The stratified SE must beat pooling
+        // all values as one simple random sample.
+        let a = stratum(500, 20, 390.0, 5.0, 4);
+        let b = stratum(500, 20, 410.0, 5.0, 5);
+        let est = stratified_estimate(&[a.clone(), b.clone()]).unwrap();
+        let mut pooled = a.sample.clone();
+        pooled.extend(&b.sample);
+        let pooled_summary = Summary::from_slice(&pooled);
+        let srs_se = (pooled_summary.sample_variance().unwrap() / 40.0).sqrt();
+        assert!(
+            est.std_error < srs_se * 0.8,
+            "stratified {} vs SRS {}",
+            est.std_error,
+            srs_se
+        );
+    }
+
+    #[test]
+    fn census_stratum_contributes_no_variance() {
+        let mut a = stratum(20, 20, 400.0, 8.0, 6);
+        a.population = 20;
+        let est = stratified_estimate(&[a]).unwrap();
+        assert!(est.std_error < 1e-12);
+    }
+
+    #[test]
+    fn half_width_and_validation() {
+        let s = stratum(1000, 30, 400.0, 8.0, 7);
+        let est = stratified_estimate(&[s]).unwrap();
+        let hw95 = est.half_width(0.95).unwrap();
+        let hw80 = est.half_width(0.80).unwrap();
+        assert!(hw95 > hw80);
+        assert!(stratified_estimate(&[]).is_err());
+        let bad = Stratum {
+            population: 5,
+            sample: vec![1.0; 6],
+        };
+        assert!(stratified_estimate(&[bad]).is_err());
+        let tiny = Stratum {
+            population: 10,
+            sample: vec![1.0],
+        };
+        assert!(stratified_estimate(&[tiny]).is_err());
+    }
+
+    #[test]
+    fn neyman_favors_noisy_large_strata() {
+        let alloc = neyman_allocation(&[1000, 1000], &[10.0, 1.0], 44).unwrap();
+        assert_eq!(alloc.iter().sum::<usize>(), 44);
+        assert!(alloc[0] > 3 * alloc[1], "alloc = {alloc:?}");
+        assert!(alloc[1] >= 2);
+    }
+
+    #[test]
+    fn neyman_respects_caps_and_floors() {
+        // Tiny stratum cannot absorb its share.
+        let alloc = neyman_allocation(&[4, 1000], &[100.0, 1.0], 30).unwrap();
+        assert!(alloc[0] <= 4);
+        assert_eq!(alloc.iter().sum::<usize>(), 30);
+        // Zero-sigma pilot falls back to proportional.
+        let alloc = neyman_allocation(&[500, 500], &[0.0, 0.0], 20).unwrap();
+        assert_eq!(alloc, vec![10, 10]);
+    }
+
+    #[test]
+    fn neyman_validation() {
+        assert!(neyman_allocation(&[100], &[1.0, 2.0], 10).is_err());
+        assert!(neyman_allocation(&[], &[], 10).is_err());
+        assert!(neyman_allocation(&[100, 100], &[1.0, 1.0], 3).is_err());
+        assert!(neyman_allocation(&[100], &[f64::NAN], 10).is_err());
+    }
+}

@@ -1,0 +1,194 @@
+//! Property-based tests for the statistics substrate.
+
+use proptest::prelude::*;
+use power_stats::ci::{fpc_factor, mean_ci_t, mean_ci_z};
+use power_stats::empirical::Empirical;
+use power_stats::histogram::{Binning, Histogram};
+use power_stats::normal::{standard_cdf, standard_quantile, z_critical};
+use power_stats::sample_size::{chernoff_hoeffding_nodes, SampleSizePlan};
+use power_stats::sampling::{gather, sample_without_replacement};
+use power_stats::special::{beta_inc, erf, erfc, gamma_p, gamma_q};
+use power_stats::student_t::{t_critical, StudentT};
+use power_stats::summary::Summary;
+use power_stats::rng::seeded;
+
+fn finite_values(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6..1e6f64, n..n * 4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn erf_is_odd_and_bounded(x in -6.0..6.0f64) {
+        let e = erf(x);
+        prop_assert!((-1.0..=1.0).contains(&e));
+        prop_assert!((e + erf(-x)).abs() < 1e-12);
+        prop_assert!((e + erfc(x) - 1.0).abs() < 1e-11);
+    }
+
+    #[test]
+    fn erf_monotone(a in -5.0..5.0f64, b in -5.0..5.0f64) {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        prop_assert!(erf(lo) <= erf(hi) + 1e-14);
+    }
+
+    #[test]
+    fn gamma_pq_complement(a in 0.05..50.0f64, x in 0.0..100.0f64) {
+        let p = gamma_p(a, x).unwrap();
+        let q = gamma_q(a, x).unwrap();
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+        prop_assert!((p + q - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn beta_inc_in_unit_interval(a in 0.1..20.0f64, b in 0.1..20.0f64, x in 0.0..=1.0f64) {
+        let v = beta_inc(a, b, x).unwrap();
+        prop_assert!((-1e-12..=1.0 + 1e-12).contains(&v));
+        // Symmetry identity.
+        let sym = 1.0 - beta_inc(b, a, 1.0 - x).unwrap();
+        prop_assert!((v - sym).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normal_quantile_roundtrip(p in 1e-6..1.0f64) {
+        prop_assume!(p < 1.0 - 1e-6);
+        let x = standard_quantile(p).unwrap();
+        prop_assert!((standard_cdf(x) - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn t_quantile_roundtrip(nu in 1.0..200.0f64, p in 0.001..0.999f64) {
+        let t = StudentT::new(nu).unwrap();
+        let q = t.quantile(p).unwrap();
+        prop_assert!((t.cdf(q) - p).abs() < 1e-8);
+    }
+
+    #[test]
+    fn t_wider_than_z(conf in 0.5..0.999f64, nu in 1.0..500.0f64) {
+        let t = t_critical(conf, nu).unwrap();
+        let z = z_critical(conf).unwrap();
+        prop_assert!(t >= z - 1e-12, "t={t} z={z}");
+    }
+
+    #[test]
+    fn summary_merge_equals_sequential(values in finite_values(4), split in 0usize..16) {
+        let split = split % values.len().max(1);
+        let whole = Summary::from_slice(&values);
+        let mut left = Summary::from_slice(&values[..split]);
+        let right = Summary::from_slice(&values[split..]);
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+        if whole.count() >= 2 {
+            let a = left.sample_variance().unwrap();
+            let b = whole.sample_variance().unwrap();
+            prop_assert!((a - b).abs() <= 1e-5 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn summary_bounds(values in finite_values(2)) {
+        let s = Summary::from_slice(&values);
+        prop_assert!(s.mean() >= s.min() - 1e-9 && s.mean() <= s.max() + 1e-9);
+        prop_assert!(s.sample_variance().unwrap() >= -1e-9);
+    }
+
+    #[test]
+    fn ci_t_contains_mean_and_widens_with_confidence(values in finite_values(3)) {
+        let s = Summary::from_slice(&values);
+        let c80 = mean_ci_t(&s, 0.80).unwrap();
+        let c99 = mean_ci_t(&s, 0.99).unwrap();
+        prop_assert!(c80.contains(s.mean()));
+        prop_assert!(c99.half_width >= c80.half_width);
+        let z95 = mean_ci_z(&s, 0.95).unwrap();
+        let t95 = mean_ci_t(&s, 0.95).unwrap();
+        prop_assert!(t95.half_width >= z95.half_width - 1e-12);
+    }
+
+    #[test]
+    fn fpc_shrinks_with_sample(pop in 2u64..100_000, frac in 0.01..1.0f64) {
+        let n = ((pop as f64 * frac) as u64).clamp(1, pop);
+        let f = fpc_factor(pop, n).unwrap();
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&f));
+        if n > 1 {
+            let f_smaller = fpc_factor(pop, n - 1).unwrap();
+            prop_assert!(f_smaller >= f - 1e-12);
+        }
+    }
+
+    #[test]
+    fn sample_size_monotonicity(
+        lambda in 0.001..0.1f64,
+        cv in 0.005..0.2f64,
+        pop in 10u64..1_000_000,
+    ) {
+        let plan = SampleSizePlan::new(0.95, lambda, cv).unwrap();
+        let n = plan.required_nodes(pop).unwrap();
+        prop_assert!(n >= 1 && n <= pop);
+        // Tighter accuracy cannot need fewer nodes.
+        let tighter = SampleSizePlan::new(0.95, lambda / 2.0, cv).unwrap();
+        prop_assert!(tighter.required_nodes(pop).unwrap() >= n);
+        // More variability cannot need fewer nodes.
+        let noisier = SampleSizePlan::new(0.95, lambda, cv * 2.0).unwrap();
+        prop_assert!(noisier.required_nodes(pop).unwrap() >= n);
+        // FPC: finite machine never needs more than the infinite answer.
+        prop_assert!(n <= plan.required_nodes_infinite().unwrap().max(1));
+    }
+
+    #[test]
+    fn hoeffding_dominates_normal_theory(
+        lambda in 0.002..0.05f64,
+        cv in 0.01..0.05f64,
+    ) {
+        // With range = 6 sigma (±3 sigma), Hoeffding is conservative.
+        let normal = SampleSizePlan::new(0.95, lambda, cv)
+            .unwrap()
+            .required_nodes_infinite()
+            .unwrap();
+        let hoeffding = chernoff_hoeffding_nodes(0.95, lambda, 6.0 * cv).unwrap();
+        prop_assert!(hoeffding >= normal, "hoeffding {hoeffding} < normal {normal}");
+    }
+
+    #[test]
+    fn sampling_without_replacement_is_a_subset(pop in 1usize..500, seed in 0u64..1000) {
+        let mut rng = seeded(seed);
+        let n = pop / 2;
+        let s = sample_without_replacement(&mut rng, pop, n).unwrap();
+        prop_assert_eq!(s.len(), n);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), n);
+        prop_assert!(s.iter().all(|&i| i < pop));
+        // gather() preserves order and length.
+        let vals: Vec<f64> = (0..pop).map(|i| i as f64).collect();
+        let g = gather(&vals, &s);
+        prop_assert!(g.iter().zip(&s).all(|(v, &i)| *v == i as f64));
+    }
+
+    #[test]
+    fn empirical_quantiles_are_monotone(values in finite_values(2), a in 0.0..=1.0f64, b in 0.0..=1.0f64) {
+        let e = Empirical::new(&values).unwrap();
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        prop_assert!(e.quantile(lo).unwrap() <= e.quantile(hi).unwrap() + 1e-12);
+        prop_assert!(e.quantile(0.0).unwrap() == e.min());
+        prop_assert!(e.quantile(1.0).unwrap() == e.max());
+    }
+
+    #[test]
+    fn empirical_cdf_quantile_consistency(values in finite_values(3), p in 0.01..0.99f64) {
+        let e = Empirical::new(&values).unwrap();
+        let q = e.quantile(p).unwrap();
+        // cdf(quantile(p)) >= p - 1/n (type-7 interpolation slack).
+        prop_assert!(e.cdf(q) + 1.0 / e.len() as f64 >= p - 1e-9);
+    }
+
+    #[test]
+    fn histogram_counts_balance(values in finite_values(1), bins in 1usize..64) {
+        let h = Histogram::new(&values, Binning::Fixed(bins)).unwrap();
+        prop_assert_eq!(h.total(), values.len() as u64);
+        prop_assert_eq!(h.counts().iter().sum::<u64>(), values.len() as u64);
+        prop_assert_eq!(h.bins(), bins);
+    }
+}

@@ -1,0 +1,95 @@
+//! Workload load models for the simulated supercomputer substrate.
+//!
+//! The SC '15 paper's time-variability findings are driven by the *shape* of
+//! the load a benchmark places on each node over a run:
+//!
+//! * CPU-class HPL runs (Colosse, Sequoia) fill main memory, run for many
+//!   hours, and hold an almost perfectly flat utilization until a short
+//!   trailing-matrix tail — segment averages agree to a fraction of a
+//!   percent (paper Table 2);
+//! * GPU in-core HPL runs (Piz Daint, L-CSC) store the matrix in GPU memory,
+//!   finish in ~1.5 h, and lose utilization steadily as the trailing matrix
+//!   shrinks — first-20% and last-20% averages differ by **more than 20%**;
+//! * stress workloads (FIRESTARTER, MPrime) and the Rodinia CFD solver used
+//!   on Titan's GPUs hold near-constant load, which is why they are suitable
+//!   for the *inter-node* variability study of Section 4.
+//!
+//! A [`Workload`] maps `(node, time)` to a utilization in `[0, 1]`; the
+//! `power-sim` engine turns utilization plus thermal/fan/DVFS state into
+//! watts.
+
+#![warn(missing_docs)]
+
+pub mod balance;
+pub mod firestarter;
+pub mod graph500;
+pub mod hpl;
+pub mod mprime;
+pub mod phase;
+pub mod rodinia;
+
+pub use balance::LoadBalance;
+pub use firestarter::Firestarter;
+pub use graph500::Graph500;
+pub use hpl::{Hpl, HplShape, HplVariant};
+pub use mprime::MPrime;
+pub use phase::RunPhases;
+pub use rodinia::RodiniaCfd;
+
+/// A workload: a named load pattern over the nodes of a machine.
+///
+/// Utilization is a dimensionless fraction of the node's peak dynamic
+/// activity; the simulator composes it with per-node load-balance factors,
+/// DVFS state and thermal dynamics to produce power.
+pub trait Workload: Send + Sync {
+    /// Human-readable workload name (e.g. `"HPL"`).
+    fn name(&self) -> &str;
+
+    /// Phase structure (setup / core / teardown durations) of one run.
+    fn phases(&self) -> RunPhases;
+
+    /// Utilization of `node` at absolute run time `t` seconds (measured
+    /// from the start of the *setup* phase). Must return a value in
+    /// `[0, 1]`; outside the run it should return the idle level.
+    fn utilization(&self, node: usize, t: f64) -> f64;
+
+    /// Total useful floating-point operations performed by the run across
+    /// the whole machine (used for FLOPS/W metrics). Zero for workloads
+    /// without a meaningful flop count.
+    fn total_flops(&self) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Any workload in this crate must produce in-range utilizations
+    /// throughout and beyond its run.
+    #[test]
+    fn all_workloads_stay_in_unit_range() {
+        let phases = RunPhases::new(60.0, 3600.0, 60.0).unwrap();
+        let loads: Vec<Box<dyn Workload>> = vec![
+            Box::new(Hpl::new(HplVariant::CpuMainMemory, phases, 1.0e15).unwrap()),
+            Box::new(Hpl::new(HplVariant::GpuInCore, phases, 1.0e15).unwrap()),
+            Box::new(Firestarter::new(phases)),
+            Box::new(MPrime::new(phases)),
+            Box::new(RodiniaCfd::new(phases)),
+            Box::new(Graph500::new(phases)),
+        ];
+        for wl in &loads {
+            for node in [0usize, 3, 999] {
+                for i in 0..200 {
+                    let t = -10.0 + i as f64 * (phases.total() + 40.0) / 200.0;
+                    let u = wl.utilization(node, t);
+                    assert!(
+                        (0.0..=1.0).contains(&u),
+                        "{} out of range at t={t}: {u}",
+                        wl.name()
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Auditing a gamed submission.
+//!
+//! A site submits a suspiciously good Level 1 number. We re-derive what an
+//! honest measurement would report, scan for the exploits the paper
+//! documents (optimal interval, VID cherry-picking), and check the
+//! submission against both the Level 1 rules and the paper's revised rules.
+//!
+//! Run with: `cargo run --release --example audit_submission`
+
+use hpcpower::method::gaming::{optimal_interval, vid_bias};
+use hpcpower::method::level::Methodology;
+use hpcpower::method::measure::{measure, MeasurementPlan, NodeSelection, WindowPlacement};
+use hpcpower::method::report::Submission;
+use hpcpower::method::validate::validate;
+use hpcpower::method::window::TimingRule;
+use hpcpower::sim::engine::{MeterScope, SimulationConfig, Simulator};
+use hpcpower::sim::systems;
+use hpcpower::sim::Cluster;
+
+fn main() {
+    let preset = systems::lcsc();
+    let cluster = Cluster::build(preset.cluster_spec.clone()).expect("preset is valid");
+    let workload = preset.workload.workload();
+    let phases = workload.phases();
+    let sim_config = SimulationConfig {
+        dt: 5.0,
+        noise_sigma: 0.01,
+        common_noise_sigma: 0.003,
+        seed: 1337,
+        threads: std::thread::available_parallelism().map_or(4, |p| p.get()),
+    };
+
+    // The submitter's number: latest legal window (where the trailing
+    // matrix has shrunk and power is lowest) + lowest-VID nodes.
+    let gamed_plan = MeasurementPlan {
+        selection: NodeSelection::LowestVid,
+        placement: WindowPlacement::Latest,
+        ..MeasurementPlan::honest(Methodology::Level1, 5)
+    };
+    let gamed = measure(&cluster, workload, preset.balance, sim_config, &gamed_plan)
+        .expect("plan is valid");
+    let submission = Submission::from_measurement(preset.name, &gamed);
+
+    // Our honest re-measurement.
+    let honest = measure(
+        &cluster,
+        workload,
+        preset.balance,
+        sim_config,
+        &MeasurementPlan::honest(Methodology::Revised, 6),
+    )
+    .expect("plan is valid");
+
+    println!("Submission under audit: {}", submission.system);
+    println!(
+        "  claimed:  {:.1} kW -> {:.3} GFLOPS/W",
+        submission.reported_power_w / 1000.0,
+        submission.gflops_per_watt()
+    );
+    println!(
+        "  honest:   {:.1} kW -> {:.3} GFLOPS/W",
+        honest.reported_power_w / 1000.0,
+        honest.flops_per_watt() / 1e9
+    );
+    let overstatement = honest.reported_power_w / submission.reported_power_w - 1.0;
+    println!("  power understated by {:.1}%", overstatement * 100.0);
+    println!();
+
+    // Rule check: the gamed *window* is perfectly legal under Level 1
+    // (only the 2 kW floor trips here, because cherry-picked low-power
+    // nodes in the low-power tail aggregate below it) ...
+    let v1 = validate(&submission, &Methodology::Level1.spec(), &phases);
+    println!("Level 1 rule check: {} violation(s): {v1:?}", v1.len());
+    // ... while the revised rules reject it structurally.
+    let v2 = validate(&submission, &Methodology::Revised.spec(), &phases);
+    println!("Revised rule check: {} violations:", v2.len());
+    for v in &v2 {
+        println!("  - {v:?}");
+    }
+    println!();
+
+    // Forensics 1: how much was the interval worth on this system?
+    let sim = Simulator::new(&cluster, workload, preset.balance, sim_config)
+        .expect("config valid");
+    let trace = sim.system_trace(MeterScope::Wall).expect("trace");
+    let scan = optimal_interval(&trace, &phases, &TimingRule::level1(), 201)
+        .expect("scan parameters valid");
+    println!(
+        "Interval forensics: best legal window [{:.0}, {:.0}]s reads {:.1} kW vs\n\
+         honest full-core {:.1} kW -> the interval alone is worth {:.1}%",
+        scan.best_window.0,
+        scan.best_window.1,
+        scan.best_w / 1000.0,
+        scan.honest_w / 1000.0,
+        scan.gaming_gain() * 100.0
+    );
+
+    // Forensics 2: node screening. At the tuned fixed voltage the VID must
+    // not matter; if the submitter ran default voltages, screening pays.
+    let cs = systems::LcscCaseStudy::new();
+    let mut default_spec = cs.cluster_spec.clone();
+    default_spec.governor = cs.default_governor.clone();
+    let default_cluster = Cluster::build(default_spec).expect("valid");
+    let bias = vid_bias(&default_cluster, 16, 60.0).expect("valid sample");
+    println!(
+        "VID forensics: 16 lowest-VID nodes draw {:.1} W vs fair {:.1} W\n\
+         ({:.2}% understatement available from screening at default voltages)",
+        bias.cherry_picked_w,
+        bias.fair_w,
+        bias.bias * 100.0
+    );
+}

@@ -1,0 +1,77 @@
+//! # hpcpower
+//!
+//! Umbrella crate for the reproduction of *Node Variability in Large-Scale
+//! Power Measurements: Perspectives from the Green500, Top500 and EEHPCWG*
+//! (Scogland et al., SC '15).
+//!
+//! Re-exports every workspace crate under a single dependency:
+//!
+//! * [`stats`] — distributions, confidence intervals, sample-size formulas,
+//!   bootstrap coverage simulation;
+//! * [`sim`] — the simulated supercomputer substrate (nodes, manufacturing
+//!   variability, VIDs, fans, thermal, DVFS, power hierarchy, calibrated
+//!   presets of the paper's eight systems);
+//! * [`workload`] — HPL / FIRESTARTER / MPrime / Rodinia load models;
+//! * [`meter`] — power metering instruments and measurement campaigns;
+//! * [`method`] — the EE HPC WG measurement methodology (Levels 1–3), the
+//!   paper's revised requirements, and the gaming analyses;
+//! * [`green500`] — ranked-list simulation and rank-stability analysis.
+//!
+//! # Example: measure a simulated machine under the revised rules
+//!
+//! ```
+//! use hpcpower::prelude::*;
+//!
+//! // The L-CSC cluster preset, scaled down for a quick doc run.
+//! let preset = hpcpower::sim::systems::lcsc().with_total_nodes(48);
+//! let cluster = Cluster::build(preset.cluster_spec.clone()).unwrap();
+//!
+//! let config = SimulationConfig {
+//!     dt: 30.0,
+//!     noise_sigma: 0.01,
+//!     common_noise_sigma: 0.003,
+//!     seed: 1,
+//!     threads: 2,
+//! };
+//! let plan = MeasurementPlan::honest(Methodology::Revised, 7);
+//! let m = hpcpower::method::measure::measure(
+//!     &cluster,
+//!     preset.workload.workload(),
+//!     preset.balance,
+//!     config,
+//!     &plan,
+//! )
+//! .unwrap();
+//!
+//! // max(16, 10% of 48) = 16 nodes metered; full-core window; an
+//! // accuracy assessment comes with the number.
+//! assert_eq!(m.metered_nodes.len(), 16);
+//! assert!(m.assessment.unwrap().relative_accuracy < 0.05);
+//! ```
+
+pub use power_green500 as green500;
+pub use power_meter as meter;
+pub use power_method as method;
+pub use power_sim as sim;
+pub use power_stats as stats;
+pub use power_workload as workload;
+
+/// Convenience re-exports of the most commonly used types across the
+/// workspace, so application code can `use hpcpower::prelude::*;`.
+pub mod prelude {
+    pub use power_green500::list::{ListEntry, PowerSource, RankedList};
+    pub use power_meter::campaign::Campaign;
+    pub use power_meter::device::MeterModel;
+    pub use power_method::extrapolate::extrapolate;
+    pub use power_method::level::Methodology;
+    pub use power_method::measure::{measure, MeasurementPlan, NodeSelection, WindowPlacement};
+    pub use power_method::report::Submission;
+    pub use power_method::validate::validate;
+    pub use power_sim::cluster::{Cluster, ClusterSpec};
+    pub use power_sim::engine::{MeterScope, SimulationConfig, Simulator};
+    pub use power_sim::systems::SystemPreset;
+    pub use power_stats::ci::{mean_ci_t, ConfidenceInterval};
+    pub use power_stats::sample_size::SampleSizePlan;
+    pub use power_stats::summary::Summary;
+    pub use power_workload::{LoadBalance, RunPhases, Workload};
+}

@@ -1,0 +1,214 @@
+//! Cross-crate integration: a full submission pipeline from simulated
+//! silicon to a ranked list, exercising every workspace crate together.
+
+use hpcpower::green500::list::{ListEntry, PowerSource, RankedList};
+use hpcpower::method::level::Methodology;
+use hpcpower::method::measure::{measure, MeasurementPlan, NodeSelection, WindowPlacement};
+use hpcpower::method::report::Submission;
+use hpcpower::method::validate::{validate, Violation};
+use hpcpower::sim::engine::SimulationConfig;
+use hpcpower::sim::systems;
+use hpcpower::sim::Cluster;
+
+fn sim_config(seed: u64) -> SimulationConfig {
+    SimulationConfig {
+        dt: 10.0,
+        noise_sigma: 0.01,
+        common_noise_sigma: 0.003,
+        seed,
+        threads: 4,
+    }
+}
+
+#[test]
+fn full_submission_pipeline_lcsc() {
+    let preset = systems::lcsc();
+    let cluster = Cluster::build(preset.cluster_spec.clone()).unwrap();
+    let workload = preset.workload.workload();
+
+    // Measure under every methodology and build submissions.
+    let mut submissions = Vec::new();
+    for methodology in Methodology::all() {
+        let plan = MeasurementPlan::honest(methodology, 11);
+        let m = measure(&cluster, workload, preset.balance, sim_config(1), &plan).unwrap();
+        let s = Submission::from_measurement(preset.name, &m);
+        // Honest measurements validate cleanly against their own level.
+        let violations = validate(&s, &methodology.spec(), &workload.phases());
+        // (A Level 1 random subset of a low-power machine can trip the
+        // 2 kW floor; everything else must be clean.)
+        for v in &violations {
+            assert!(
+                matches!(v, Violation::BelowPowerFloor { .. }),
+                "{methodology}: unexpected violation {v:?}"
+            );
+        }
+        submissions.push((methodology, s));
+    }
+
+    // Level 3 is the ground truth; the revised methodology must land
+    // within its assessment of it, and far closer than a worst-case L1.
+    let l3 = submissions
+        .iter()
+        .find(|(m, _)| *m == Methodology::Level3)
+        .map(|(_, s)| s.reported_power_w)
+        .unwrap();
+    let revised = submissions
+        .iter()
+        .find(|(m, _)| *m == Methodology::Revised)
+        .map(|(_, s)| s.clone())
+        .unwrap();
+    let rel_err = (revised.reported_power_w - l3).abs() / l3;
+    let claimed = revised.claimed_accuracy.unwrap();
+    assert!(
+        rel_err < claimed + 0.02,
+        "revised err {rel_err:.4} vs claimed {claimed:.4}"
+    );
+}
+
+#[test]
+fn gamed_level1_overtakes_honest_rival_on_the_list() {
+    // Two machines with identical silicon; one submits honestly under the
+    // revised rules, the other games Level 1. The gamed entry wins the
+    // ranking despite identical hardware — the paper's fairness argument.
+    let preset = systems::lcsc();
+    let cluster = Cluster::build(preset.cluster_spec.clone()).unwrap();
+    let workload = preset.workload.workload();
+
+    let honest = measure(
+        &cluster,
+        workload,
+        preset.balance,
+        sim_config(2),
+        &MeasurementPlan::honest(Methodology::Revised, 21),
+    )
+    .unwrap();
+    let gamed = measure(
+        &cluster,
+        workload,
+        preset.balance,
+        sim_config(2),
+        &MeasurementPlan {
+            selection: NodeSelection::LowestVid,
+            placement: WindowPlacement::Latest,
+            ..MeasurementPlan::honest(Methodology::Level1, 21)
+        },
+    )
+    .unwrap();
+
+    let entries = vec![
+        ListEntry {
+            system: "honest-site".into(),
+            rmax_flops: honest.rmax_flops,
+            power_w: honest.reported_power_w,
+            source: PowerSource::Measured(Methodology::Revised),
+        },
+        ListEntry {
+            system: "gamed-site".into(),
+            rmax_flops: gamed.rmax_flops,
+            power_w: gamed.reported_power_w,
+            source: PowerSource::Measured(Methodology::Level1),
+        },
+    ];
+    let list = RankedList::new(entries).unwrap();
+    assert_eq!(list.rank_of("gamed-site"), Some(1));
+    assert_eq!(list.rank_of("honest-site"), Some(2));
+    // And the advantage is double-digit percent on identical hardware.
+    let adv = list.advantage(1, 2).unwrap();
+    assert!(adv > 0.08, "advantage = {adv:.3}");
+}
+
+#[test]
+fn sample_size_recommendation_validates_in_simulation() {
+    // The Table 5 workflow end-to-end: plan a sample size from assumed
+    // sigma/mu, measure that many nodes in the simulator, and check the
+    // achieved accuracy against the plan's promise.
+    use hpcpower::method::extrapolate::extrapolate;
+    use hpcpower::sim::engine::{MeterScope, Simulator};
+    use hpcpower::stats::sample_size::SampleSizePlan;
+    use hpcpower::stats::sampling::sample_without_replacement;
+    use hpcpower::stats::rng::seeded;
+
+    let preset = systems::tu_dresden();
+    let cluster = Cluster::build(preset.cluster_spec.clone()).unwrap();
+    let workload = preset.workload.workload();
+    let sim = Simulator::new(&cluster, workload, preset.balance, sim_config(3)).unwrap();
+    let phases = workload.phases();
+    let all = sim
+        .node_averages(
+            phases.core_start() + 0.1 * phases.core(),
+            phases.core_end(),
+            MeterScope::Wall,
+        )
+        .unwrap();
+    let truth: f64 = all.iter().sum::<f64>() / all.len() as f64;
+
+    // Plan for 1.5% accuracy at the paper's planning cv of 2%.
+    let plan = SampleSizePlan::new(0.95, 0.015, 0.02).unwrap();
+    let n = plan.required_nodes(all.len() as u64).unwrap() as usize;
+    assert!(n >= 7, "plan should ask for at least the Table 5 cell (7)");
+
+    // 40 independent campaigns: the CI should contain the truth ~95% of
+    // the time; allow Monte-Carlo slack.
+    let mut hits = 0;
+    let campaigns = 40;
+    for k in 0..campaigns {
+        let mut rng = seeded(1000 + k);
+        let ids = sample_without_replacement(&mut rng, all.len(), n).unwrap();
+        let sample: Vec<f64> = ids.iter().map(|&i| all[i]).collect();
+        let report = extrapolate(&sample, all.len(), 0.95).unwrap();
+        let per_node_ci = report.ci().half_width / all.len() as f64;
+        if (report.node_mean_w - truth).abs() <= per_node_ci {
+            hits += 1;
+        }
+        // The achieved relative accuracy honours the plan's target within
+        // sampling noise of sigma-hat.
+        assert!(
+            report.relative_accuracy < 0.03,
+            "campaign {k}: accuracy {:.4}",
+            report.relative_accuracy
+        );
+    }
+    assert!(
+        hits >= campaigns * 80 / 100,
+        "coverage {hits}/{campaigns} too low"
+    );
+}
+
+#[test]
+fn titan_gpu_scope_flows_through_the_stack() {
+    // The ORNL dataset metered GPUs only; the scope must survive from
+    // preset through simulation to statistics.
+    use hpcpower::sim::engine::Simulator;
+    use hpcpower::stats::summary::Summary;
+
+    let preset = systems::titan().with_total_nodes(300);
+    let cluster = Cluster::build(preset.cluster_spec.clone()).unwrap();
+    let workload = preset.workload.workload();
+    let sim = Simulator::new(
+        &cluster,
+        workload,
+        preset.balance,
+        SimulationConfig {
+            dt: 7.3,
+            noise_sigma: 0.01,
+            common_noise_sigma: 0.002,
+            seed: 4,
+            threads: 4,
+        },
+    )
+    .unwrap();
+    let phases = workload.phases();
+    let window = (phases.core_start() + 0.1 * phases.core(), phases.core_end());
+
+    let gpu = sim
+        .node_averages(window.0, window.1, preset.scope)
+        .unwrap();
+    let wall = sim
+        .node_averages(window.0, window.1, hpcpower::sim::engine::MeterScope::Wall)
+        .unwrap();
+    let gpu_mean = Summary::from_slice(&gpu).mean();
+    let wall_mean = Summary::from_slice(&wall).mean();
+    // GPU-only power ~90 W; whole node much larger.
+    assert!((gpu_mean - 90.74).abs() < 4.0, "gpu mean {gpu_mean}");
+    assert!(wall_mean > gpu_mean * 2.0, "wall mean {wall_mean}");
+}

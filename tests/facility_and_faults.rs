@@ -1,0 +1,84 @@
+//! Integration: facility-level metering and instrument faults against the
+//! methodology — the practical failure modes between a correct rule set
+//! and a correct number.
+
+use hpcpower::meter::device::MeterModel;
+use hpcpower::meter::faults::{FaultyMeter, MeterFault};
+use hpcpower::sim::engine::{MeterScope, SimulationConfig, Simulator};
+use hpcpower::sim::facility::{CoTenant, Facility};
+use hpcpower::sim::systems;
+use hpcpower::sim::trace::SystemTrace;
+use hpcpower::sim::Cluster;
+use hpcpower::stats::rng::seeded;
+
+fn lcsc_trace() -> (SystemTrace, hpcpower::workload::RunPhases) {
+    let preset = systems::lcsc();
+    let cluster = Cluster::build(preset.cluster_spec.clone()).unwrap();
+    let workload = preset.workload.workload();
+    let sim = Simulator::new(
+        &cluster,
+        workload,
+        preset.balance,
+        SimulationConfig {
+            dt: 20.0,
+            noise_sigma: 0.005,
+            common_noise_sigma: 0.002,
+            seed: 61,
+            threads: 4,
+        },
+    )
+    .unwrap();
+    (sim.system_trace(MeterScope::Wall).unwrap(), workload.phases())
+}
+
+/// Section 2.2's facility-meter warning, end to end: the facility reading
+/// overstates the machine by more than any level tolerates, even with the
+/// correct timing rule.
+#[test]
+fn facility_meter_cannot_substitute_for_machine_meter() {
+    let (trace, phases) = lcsc_trace();
+    let facility = Facility::dedicated(1.3)
+        .unwrap()
+        .with_tenant(CoTenant::Constant {
+            name: "storage".into(),
+            watts: 6_000.0,
+        });
+    let bias = facility
+        .attribution_bias(&trace, phases.core_start(), phases.core_end())
+        .unwrap();
+    assert!(bias > 0.30, "facility bias = {bias:.3}");
+}
+
+/// A drifting instrument erodes the revised rule's accuracy claim; the
+/// validation story needs recalibration, not just better windows.
+#[test]
+fn drifting_meter_breaks_the_accuracy_assessment() {
+    let (trace, phases) = lcsc_trace();
+    let mut rng = seeded(9);
+    let meter = MeterModel::ideal().instantiate(&mut rng).unwrap();
+    let drifty = FaultyMeter::new(
+        meter,
+        MeterFault::Drift {
+            rate_per_hour: 0.02,
+        },
+    )
+    .unwrap();
+    let honest = trace
+        .window_average(phases.core_start(), phases.core_end())
+        .unwrap();
+    let read = drifty
+        .measure(
+            &mut rng,
+            &trace.watts,
+            trace.t0,
+            trace.dt,
+            phases.core_start(),
+            phases.core_end(),
+        )
+        .unwrap();
+    let bias = (read.average_w - honest).abs() / honest;
+    // 2%/h over a 1.5 h run: ~1.5% bias — larger than the revised rule's
+    // ~1% assessment claims.
+    assert!(bias > 0.008, "drift bias = {bias:.4}");
+    assert!(bias < 0.03);
+}

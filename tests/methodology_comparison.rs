@@ -1,0 +1,194 @@
+//! Integration tests comparing methodology variants across machines —
+//! the quantitative heart of the paper's argument, run end-to-end.
+
+use hpcpower::method::level::Methodology;
+use hpcpower::method::measure::{measure, Measurement, MeasurementPlan, WindowPlacement};
+use hpcpower::sim::engine::SimulationConfig;
+use hpcpower::sim::systems;
+use hpcpower::sim::Cluster;
+
+fn sim_config(seed: u64) -> SimulationConfig {
+    SimulationConfig {
+        dt: 10.0,
+        noise_sigma: 0.01,
+        common_noise_sigma: 0.003,
+        seed,
+        threads: 4,
+    }
+}
+
+fn run(
+    preset: &systems::SystemPreset,
+    cluster: &Cluster,
+    methodology: Methodology,
+    placement: WindowPlacement,
+    seed: u64,
+) -> Measurement {
+    measure(
+        cluster,
+        preset.workload.workload(),
+        preset.balance,
+        sim_config(seed),
+        &MeasurementPlan {
+            placement,
+            ..MeasurementPlan::honest(methodology, seed)
+        },
+    )
+    .unwrap()
+}
+
+/// The paper's Section 3 headline: Level 1 window placement is worth >20%
+/// on an L-CSC-class machine but well under 1% on Colosse.
+#[test]
+fn window_sensitivity_gpu_vs_cpu() {
+    let lcsc = systems::lcsc();
+    let cluster = Cluster::build(lcsc.cluster_spec.clone()).unwrap();
+    let early = run(&lcsc, &cluster, Methodology::Level1, WindowPlacement::Earliest, 1);
+    let late = run(&lcsc, &cluster, Methodology::Level1, WindowPlacement::Latest, 1);
+    let gpu_swing = (early.reported_power_w - late.reported_power_w) / early.reported_power_w;
+    assert!(gpu_swing > 0.12, "L-CSC swing {gpu_swing:.3}");
+
+    let colosse = systems::colosse().with_total_nodes(96);
+    let cluster = Cluster::build(colosse.cluster_spec.clone()).unwrap();
+    let early = run(&colosse, &cluster, Methodology::Level1, WindowPlacement::Earliest, 2);
+    let late = run(&colosse, &cluster, Methodology::Level1, WindowPlacement::Latest, 2);
+    let cpu_swing =
+        ((early.reported_power_w - late.reported_power_w) / early.reported_power_w).abs();
+    assert!(cpu_swing < 0.015, "Colosse swing {cpu_swing:.4}");
+    assert!(gpu_swing > 8.0 * cpu_swing);
+}
+
+/// Level 2's ten spaced segments already remove the window-placement
+/// freedom (they span the full run), matching Level 3 closely.
+#[test]
+fn level2_tracks_level3() {
+    let preset = systems::lcsc();
+    let cluster = Cluster::build(preset.cluster_spec.clone()).unwrap();
+    let l2 = run(&preset, &cluster, Methodology::Level2, WindowPlacement::Middle, 3);
+    let l3 = run(&preset, &cluster, Methodology::Level3, WindowPlacement::Middle, 3);
+    let rel = (l2.reported_power_w - l3.reported_power_w).abs() / l3.reported_power_w;
+    // L2 meters 1/8 of nodes with PDU-grade instruments: a couple of
+    // percent of subset-sampling + instrument error remain.
+    assert!(rel < 0.04, "L2 vs L3 differ by {rel:.4}");
+}
+
+/// Repeating the revised measurement with different random subsets and
+/// seeds stays within the claimed accuracy assessment.
+#[test]
+fn revised_methodology_reproducibility() {
+    let preset = systems::lcsc();
+    let cluster = Cluster::build(preset.cluster_spec.clone()).unwrap();
+    let mut reports = Vec::new();
+    for seed in 0..6 {
+        let m = run(&preset, &cluster, Methodology::Revised, WindowPlacement::Middle, 100 + seed);
+        reports.push(m);
+    }
+    let powers: Vec<f64> = reports.iter().map(|m| m.reported_power_w).collect();
+    let mean = powers.iter().sum::<f64>() / powers.len() as f64;
+    let max_dev = powers
+        .iter()
+        .map(|p| (p - mean).abs() / mean)
+        .fold(0.0f64, f64::max);
+    // Claimed accuracies are ~1-2% (16 of 160 nodes); the spread across
+    // independent honest submissions must be commensurate.
+    let max_claimed = reports
+        .iter()
+        .map(|m| m.assessment.as_ref().unwrap().relative_accuracy)
+        .fold(0.0f64, f64::max);
+    assert!(
+        max_dev < 2.0 * max_claimed + 0.01,
+        "spread {max_dev:.4} vs claimed {max_claimed:.4}"
+    );
+}
+
+/// Graph500-class bursty workloads make even a CPU machine's Level 1
+/// window unreliable — the Green Graph 500 case for the full-core rule.
+#[test]
+fn graph500_defeats_short_windows_even_on_cpu_machines() {
+    use hpcpower::method::gaming::optimal_interval;
+    use hpcpower::method::window::TimingRule;
+    use hpcpower::sim::engine::{MeterScope, Simulator};
+    use hpcpower::workload::{Graph500, RunPhases, Workload};
+
+    let preset = systems::tu_dresden();
+    let cluster = Cluster::build(preset.cluster_spec.clone()).unwrap();
+    // Few, long BFS iterations: the Level 1 window length (~20% of the
+    // middle 80%) spans only a fraction of one sweep.
+    let phases = RunPhases::new(120.0, 3600.0, 120.0).unwrap();
+    let graph = Graph500::new(phases).with_iterations(4);
+    let sim = Simulator::new(
+        &cluster,
+        &graph,
+        hpcpower::workload::LoadBalance::Balanced,
+        sim_config(31),
+    )
+    .unwrap();
+    let trace = sim.system_trace(MeterScope::Wall).unwrap();
+    let scan = optimal_interval(&trace, &graph.phases(), &TimingRule::level1(), 101).unwrap();
+    // Same machine under FIRESTARTER is ungameable; under BFS the window
+    // choice is worth double digits.
+    assert!(
+        scan.measurement_spread() > 0.10,
+        "spread = {:.4}",
+        scan.measurement_spread()
+    );
+    assert!(scan.gaming_gain() > 0.05, "gain = {:.4}", scan.gaming_gain());
+
+    let fire = measure(
+        &preset,
+        &cluster,
+        Methodology::Level1,
+        WindowPlacement::Earliest,
+        32,
+    );
+    let fire2 = measure(
+        &preset,
+        &cluster,
+        Methodology::Level1,
+        WindowPlacement::Latest,
+        32,
+    );
+    let fire_swing =
+        ((fire.reported_power_w - fire2.reported_power_w) / fire.reported_power_w).abs();
+    assert!(fire_swing < 0.02, "FIRESTARTER swing {fire_swing:.4}");
+
+    fn measure(
+        preset: &systems::SystemPreset,
+        cluster: &Cluster,
+        methodology: Methodology,
+        placement: WindowPlacement,
+        seed: u64,
+    ) -> Measurement {
+        run(preset, cluster, methodology, placement, seed)
+    }
+}
+
+/// The measurement hierarchy: more rigorous levels give estimates closer
+/// to the Level 3 census on average across seeds.
+#[test]
+fn rigour_reduces_error() {
+    let preset = systems::lcsc();
+    let cluster = Cluster::build(preset.cluster_spec.clone()).unwrap();
+    let l3 = run(&preset, &cluster, Methodology::Level3, WindowPlacement::Middle, 7);
+    let truth = l3.reported_power_w;
+
+    let mut errs = std::collections::HashMap::new();
+    for methodology in [Methodology::Level1, Methodology::Revised] {
+        let mut worst = 0.0f64;
+        for seed in 0..4 {
+            for placement in [WindowPlacement::Earliest, WindowPlacement::Latest] {
+                let m = run(&preset, &cluster, methodology, placement, 200 + seed);
+                let err = (m.reported_power_w - truth).abs() / truth;
+                worst = worst.max(err);
+            }
+        }
+        errs.insert(methodology, worst);
+    }
+    let l1 = errs[&Methodology::Level1];
+    let revised = errs[&Methodology::Revised];
+    assert!(
+        revised < l1 / 2.0,
+        "worst-case revised {revised:.4} should be far below Level 1 {l1:.4}"
+    );
+    assert!(l1 > 0.05, "Level 1 worst case should be large, got {l1:.4}");
+}
