@@ -4,7 +4,9 @@
 //! * simulation time-step cost/fidelity trade-off;
 //! * the bootstrap's O(n)-memory streaming population vs naively
 //!   materializing every simulated machine;
-//! * Level 1 window coverage sweep (what longer windows buy).
+//! * Level 1 window coverage sweep (what longer windows buy);
+//! * prefix-sum vs naive-scan window queries (the O(1) query math behind
+//!   interval-gaming scans and Table 2 segments).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use power_bench::{bench_sim_config, fixture};
@@ -28,8 +30,7 @@ fn bench_thread_scaling(c: &mut Criterion) {
                 ..bench_sim_config(f.dt)
             };
             b.iter(|| {
-                let sim =
-                    Simulator::new(&f.cluster, workload, f.preset.balance, cfg).unwrap();
+                let sim = Simulator::new(&f.cluster, workload, f.preset.balance, cfg).unwrap();
                 black_box(sim.system_trace(MeterScope::Wall).unwrap())
             });
         });
@@ -45,13 +46,9 @@ fn bench_dt_tradeoff(c: &mut Criterion) {
     for &dt in &[5.0f64, 20.0, 60.0] {
         group.bench_function(BenchmarkId::new("dt_seconds", dt as u64), |b| {
             b.iter(|| {
-                let sim = Simulator::new(
-                    &f.cluster,
-                    workload,
-                    f.preset.balance,
-                    bench_sim_config(dt),
-                )
-                .unwrap();
+                let sim =
+                    Simulator::new(&f.cluster, workload, f.preset.balance, bench_sim_config(dt))
+                        .unwrap();
                 black_box(sim.system_trace(MeterScope::Wall).unwrap())
             });
         });
@@ -92,7 +89,9 @@ fn replication_materialized(pilot: &Empirical, seed: u64, n: usize, pop: usize) 
 
 fn bench_bootstrap_memory_strategy(c: &mut Criterion) {
     let mut rng = seeded(41);
-    let vals: Vec<f64> = (0..516).map(|_| normal_draw(&mut rng, 209.88, 5.31)).collect();
+    let vals: Vec<f64> = (0..516)
+        .map(|_| normal_draw(&mut rng, 209.88, 5.31))
+        .collect();
     let pilot = Empirical::new(&vals).unwrap();
     let mut group = c.benchmark_group("ablation_bootstrap_memory");
     for &pop in &[1_024usize, 9_216] {
@@ -133,11 +132,31 @@ fn bench_window_coverage_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_window_query_math(c: &mut Criterion) {
+    // The prefix-sum ablation: a dense interval-gaming scan issues
+    // thousands of window queries against one trace, so O(1) index
+    // arithmetic vs an O(samples) scan per query is the difference
+    // between O(samples + queries) and O(samples × queries).
+    let f = fixture(power_sim::systems::lcsc(), 48);
+    let (trace, phases) = f.system_trace();
+    let (from, to) = phases.core_segment(0.3, 0.5);
+    let mut group = c.benchmark_group("ablation_window_query");
+    group.bench_function(BenchmarkId::new("naive_scan", trace.len()), |b| {
+        b.iter(|| black_box(trace.window_average_naive(from, to).unwrap()));
+    });
+    group.bench_function(BenchmarkId::new("prefix_sum", trace.len()), |b| {
+        trace.window_average(from, to).unwrap(); // build the cumulative array
+        b.iter(|| black_box(trace.window_average(from, to).unwrap()));
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_thread_scaling,
     bench_dt_tradeoff,
     bench_bootstrap_memory_strategy,
-    bench_window_coverage_sweep
+    bench_window_coverage_sweep,
+    bench_window_query_math
 );
 criterion_main!(benches);

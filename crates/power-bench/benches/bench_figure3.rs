@@ -9,7 +9,9 @@ use std::hint::black_box;
 
 fn lrz_pilot(n: usize) -> Empirical {
     let mut rng = seeded(41);
-    let vals: Vec<f64> = (0..n).map(|_| normal_draw(&mut rng, 209.88, 5.31)).collect();
+    let vals: Vec<f64> = (0..n)
+        .map(|_| normal_draw(&mut rng, 209.88, 5.31))
+        .collect();
     Empirical::new(&vals).unwrap()
 }
 

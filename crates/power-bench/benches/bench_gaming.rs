@@ -15,8 +15,7 @@ fn bench_interval_scans(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("level1_placements", placements), |b| {
             b.iter(|| {
                 black_box(
-                    optimal_interval(&trace, &phases, &TimingRule::level1(), placements)
-                        .unwrap(),
+                    optimal_interval(&trace, &phases, &TimingRule::level1(), placements).unwrap(),
                 )
             });
         });

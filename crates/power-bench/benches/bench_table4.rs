@@ -46,14 +46,23 @@ fn bench_figure2_histograms(c: &mut Criterion) {
     // Statistics layer only: histogram binning over a realistic dataset.
     let f = fixture(power_sim::systems::tu_dresden(), 128);
     let workload = f.preset.workload.workload();
-    let sim = Simulator::new(&f.cluster, workload, f.preset.balance, bench_sim_config(f.dt))
-        .unwrap();
+    let sim = Simulator::new(
+        &f.cluster,
+        workload,
+        f.preset.balance,
+        bench_sim_config(f.dt),
+    )
+    .unwrap();
     let phases = workload.phases();
     let avgs = sim
         .node_averages(phases.core_start(), phases.core_end(), f.preset.scope)
         .unwrap();
     let mut group = c.benchmark_group("figure2_histograms");
-    for binning in [Binning::Fixed(16), Binning::Sturges, Binning::FreedmanDiaconis] {
+    for binning in [
+        Binning::Fixed(16),
+        Binning::Sturges,
+        Binning::FreedmanDiaconis,
+    ] {
         group.bench_function(format!("{binning:?}"), |b| {
             b.iter(|| black_box(Histogram::new(&avgs, binning).unwrap()));
         });

@@ -19,7 +19,8 @@
 
 use power_repro::RunScale;
 use power_sim::cluster::Cluster;
-use power_sim::engine::{MeterScope, SimulationConfig, Simulator};
+use power_sim::engine::{MeterScope, ProductRequest, SimulationConfig, Simulator};
+use power_sim::store::TraceStore;
 use power_sim::systems::SystemPreset;
 use power_sim::trace::SystemTrace;
 use power_workload::RunPhases;
@@ -72,7 +73,10 @@ pub fn fixture(preset: SystemPreset, nodes: usize) -> Fixture {
 }
 
 impl Fixture {
-    /// Runs the whole-system trace for this fixture.
+    /// Runs the whole-system trace for this fixture. Served from the
+    /// process-wide [`TraceStore`], so bench targets sharing a fixture do
+    /// not pay the simulation twice. Benches that *measure* simulation
+    /// cost build their own [`Simulator`] inside the timed loop instead.
     pub fn system_trace(&self) -> (SystemTrace, RunPhases) {
         let workload = self.preset.workload.workload();
         let sim = Simulator::new(
@@ -82,8 +86,14 @@ impl Fixture {
             bench_sim_config(self.dt),
         )
         .expect("config valid");
+        let products = TraceStore::global()
+            .products(&sim, &ProductRequest::system_only())
+            .expect("trace");
         (
-            sim.system_trace(MeterScope::Wall).expect("trace"),
+            products
+                .system_trace(MeterScope::Wall)
+                .expect("system was requested")
+                .clone(),
             workload.phases(),
         )
     }

@@ -147,8 +147,18 @@ pub fn november_2014_top() -> Vec<ListEntry> {
         mk("Wilkes", 3.632, 0.2401e3, PowerSource::Derived),
         mk("iDataPlex", 3.543, 0.1418e3, PowerSource::Derived),
         mk("HA-PACS TCA", 3.518, 0.2772e3, PowerSource::Derived),
-        mk("Cartesius Accelerator", 3.459, 0.2097e3, PowerSource::Derived),
-        mk("Piz Daint", 3.186, 6.271e3, PowerSource::Measured(Methodology::Level2)),
+        mk(
+            "Cartesius Accelerator",
+            3.459,
+            0.2097e3,
+            PowerSource::Derived,
+        ),
+        mk(
+            "Piz Daint",
+            3.186,
+            6.271e3,
+            PowerSource::Measured(Methodology::Level2),
+        ),
         mk("Romeo", 3.131, 0.2548e3, PowerSource::Derived),
     ]
 }

@@ -52,7 +52,11 @@ pub fn rank_stability(list: &RankedList, cfg: &PerturbConfig) -> Result<RankStab
     }
     let published = list.entries();
     let n = published.len();
-    let top3: Vec<&str> = published.iter().take(3).map(|e| e.system.as_str()).collect();
+    let top3: Vec<&str> = published
+        .iter()
+        .take(3)
+        .map(|e| e.system.as_str())
+        .collect();
 
     let mut top1_hits = 0usize;
     let mut set_hits = 0usize;

@@ -128,10 +128,7 @@ mod tests {
             nodes.to_vec(),
             0.0,
             1.0,
-            watts_per_node
-                .iter()
-                .map(|&w| vec![w; samples])
-                .collect(),
+            watts_per_node.iter().map(|&w| vec![w; samples]).collect(),
         )
         .unwrap()
     }

@@ -101,10 +101,7 @@ impl MeterModel {
     pub fn instantiate<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<SamplingMeter> {
         self.validate()?;
         let gain = 1.0 + self.accuracy_class * (rng.random::<f64>() * 2.0 - 1.0);
-        Ok(SamplingMeter {
-            model: *self,
-            gain,
-        })
+        Ok(SamplingMeter { model: *self, gain })
     }
 }
 

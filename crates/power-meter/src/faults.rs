@@ -220,8 +220,7 @@ mod tests {
 
     #[test]
     fn dropped_samples_can_empty_the_window() {
-        let m =
-            FaultyMeter::new(ideal_meter(), MeterFault::DropSamples { prob: 0.999 }).unwrap();
+        let m = FaultyMeter::new(ideal_meter(), MeterFault::DropSamples { prob: 0.999 }).unwrap();
         let mut rng = seeded(4);
         let series = vec![400.0; 3];
         // Expect EmptyWindow most of the time with 3 samples at p=0.999;

@@ -24,7 +24,6 @@
 // instead of silently accepted.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
-
 pub mod campaign;
 pub mod device;
 pub mod faults;

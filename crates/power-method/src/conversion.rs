@@ -96,7 +96,11 @@ mod tests {
     fn measured_accounting_is_exact() {
         let t = truth();
         // A 1 kW load read at the PDU, referred to the node wall.
-        let at_pdu = t.convert(1_000.0, MeasurementPoint::NodeWall, MeasurementPoint::PduInput);
+        let at_pdu = t.convert(
+            1_000.0,
+            MeasurementPoint::NodeWall,
+            MeasurementPoint::PduInput,
+        );
         let back = refer_reading(
             at_pdu,
             MeasurementPoint::PduInput,

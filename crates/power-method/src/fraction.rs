@@ -99,12 +99,7 @@ impl FractionRule {
 
     /// Whether `metered` nodes with `aggregate_power_w` satisfies the rule
     /// on a machine of `total_nodes`.
-    pub fn is_satisfied(
-        &self,
-        total_nodes: usize,
-        metered: usize,
-        aggregate_power_w: f64,
-    ) -> bool {
+    pub fn is_satisfied(&self, total_nodes: usize, metered: usize, aggregate_power_w: f64) -> bool {
         match *self {
             FractionRule::FractionWithPowerFloor {
                 min_fraction,

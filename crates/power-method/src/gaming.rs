@@ -57,6 +57,11 @@ impl IntervalScan {
 
 /// Scans every legal placement of `rule`'s window over a system trace and
 /// reports the best and worst cases.
+///
+/// Each placement is an O(1) prefix-sum window query on the trace (the
+/// first query builds the cumulative array), so the scan costs
+/// O(samples + placements) rather than O(samples × placements) — dense
+/// scans over long traces are cheap.
 pub fn optimal_interval(
     trace: &SystemTrace,
     phases: &RunPhases,
@@ -189,8 +194,7 @@ mod tests {
     #[test]
     fn lcsc_interval_gaming_matches_paper_scale() {
         let (trace, phases) = lcsc_trace();
-        let scan =
-            optimal_interval(&trace, &phases, &TimingRule::level1(), 101).unwrap();
+        let scan = optimal_interval(&trace, &phases, &TimingRule::level1(), 101).unwrap();
         // Rohr et al.: 23.9% efficiency improvement by tweaking the time
         // interval (their scan was not limited to the middle 80%; within
         // it we still expect a double-digit gain).
@@ -199,7 +203,11 @@ mod tests {
         // The best window sits late in the run, where power tails off.
         assert!(scan.best_window.0 > phases.core_start() + 0.5 * phases.core());
         // And the submitter-luck spread exceeds 20% (Section 1).
-        assert!(scan.measurement_spread() > 0.15, "{}", scan.measurement_spread());
+        assert!(
+            scan.measurement_spread() > 0.15,
+            "{}",
+            scan.measurement_spread()
+        );
     }
 
     #[test]
@@ -209,8 +217,7 @@ mod tests {
         let wl = preset.workload.workload();
         let sim = Simulator::new(&cluster, wl, preset.balance, sim_config(60.0)).unwrap();
         let trace = sim.system_trace(MeterScope::Wall).unwrap();
-        let scan =
-            optimal_interval(&trace, &wl.phases(), &TimingRule::level1(), 101).unwrap();
+        let scan = optimal_interval(&trace, &wl.phases(), &TimingRule::level1(), 101).unwrap();
         assert!(
             scan.gaming_gain() < 0.01,
             "flat CPU run should not be gameable: {}",

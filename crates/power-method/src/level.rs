@@ -190,9 +190,21 @@ mod tests {
         let phases = RunPhases::core_only(3600.0).unwrap();
         let _ = phases;
         let n = 10_000;
-        let l1 = Methodology::Level1.spec().fraction.required_nodes(n, 400.0).unwrap();
-        let l2 = Methodology::Level2.spec().fraction.required_nodes(n, 400.0).unwrap();
-        let l3 = Methodology::Level3.spec().fraction.required_nodes(n, 400.0).unwrap();
+        let l1 = Methodology::Level1
+            .spec()
+            .fraction
+            .required_nodes(n, 400.0)
+            .unwrap();
+        let l2 = Methodology::Level2
+            .spec()
+            .fraction
+            .required_nodes(n, 400.0)
+            .unwrap();
+        let l3 = Methodology::Level3
+            .spec()
+            .fraction
+            .required_nodes(n, 400.0)
+            .unwrap();
         assert!(l1 < l2 && l2 < l3);
         assert_eq!(l3, n);
     }

@@ -33,7 +33,6 @@
 // instead of silently accepted.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
-
 pub mod conversion;
 pub mod extrapolate;
 pub mod fraction;

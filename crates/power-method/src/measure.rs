@@ -16,7 +16,8 @@ use power_meter::campaign::Campaign;
 use power_meter::device::{IntegratingMeter, MeterModel};
 use power_meter::reading::Reading;
 use power_sim::cluster::Cluster;
-use power_sim::engine::{MeterScope, SimulationConfig, Simulator};
+use power_sim::engine::{MeterScope, ProductRequest, SimulationConfig, Simulator};
+use power_sim::store::TraceStore;
 use power_stats::rng::substream;
 use power_stats::sampling::sample_without_replacement;
 use power_workload::{LoadBalance, Workload};
@@ -183,8 +184,7 @@ pub fn measure(
     let mut nodes: Vec<usize> = match plan.selection {
         NodeSelection::Random => {
             let mut rng = substream(plan.seed, 0x5E1);
-            sample_without_replacement(&mut rng, total, n_required)
-                .map_err(MethodError::Stats)?
+            sample_without_replacement(&mut rng, total, n_required).map_err(MethodError::Stats)?
         }
         NodeSelection::FirstN => (0..n_required).collect(),
         NodeSelection::LowestVid => cluster
@@ -196,9 +196,7 @@ pub fn measure(
             let racks = racks.clamp(1, total);
             let base = total / racks;
             let extra = total % racks;
-            let sizes: Vec<usize> = (0..racks)
-                .map(|k| base + usize::from(k < extra))
-                .collect();
+            let sizes: Vec<usize> = (0..racks).map(|k| base + usize::from(k < extra)).collect();
             let mut rng = substream(plan.seed, 0x57A7);
             power_stats::sampling::stratified_sample(&mut rng, &sizes, n_required)
                 .map_err(MethodError::Stats)?
@@ -206,9 +204,14 @@ pub fn measure(
     };
     nodes.sort_unstable();
 
-    // Simulate the metered subset.
+    // Simulate the metered subset — through the shared store, so repeated
+    // plans over the same (machine, workload, config, subset) reuse one
+    // sweep (window-placement scans hit this path hundreds of times).
     let sim = Simulator::new(cluster, workload, balance, sim_config)?;
-    let trace = sim.subset_trace(&nodes, MeterScope::Wall)?;
+    let products = TraceStore::global().products(&sim, &ProductRequest::subset_only(&nodes))?;
+    let trace = products
+        .subset_trace(MeterScope::Wall)
+        .expect("subset was requested");
 
     // Windows from the timing rule.
     let windows = spec.timing.windows(&phases, plan.placement.fraction())?;
@@ -220,7 +223,7 @@ pub fn measure(
         Granularity::OneSamplePerSecond => {
             let campaign = Campaign::new(&nodes, plan.meter_model, plan.seed ^ 0xCA11)?;
             for &(from, to) in &windows {
-                let result = campaign.run(&trace, from, to, plan.seed ^ 0x0B5E)?;
+                let result = campaign.run(trace, from, to, plan.seed ^ 0x0B5E)?;
                 per_window_aggregates.push(result.aggregate.average_w);
                 for (acc, r) in per_node_acc.iter_mut().zip(&result.readings) {
                     *acc += r.average_w;
@@ -233,8 +236,7 @@ pub fn measure(
                 let mut readings = Vec::with_capacity(nodes.len());
                 for (k, series) in trace.samples.iter().enumerate() {
                     let mut rng = substream(plan.seed ^ 0x17E6, k as u64);
-                    let meter =
-                        IntegratingMeter::new(&mut rng, plan.meter_model.accuracy_class)?;
+                    let meter = IntegratingMeter::new(&mut rng, plan.meter_model.accuracy_class)?;
                     readings.push(meter.measure(series, trace.t0, trace.dt, from, to)?);
                 }
                 let agg = Reading::sum(&readings).expect("non-empty subset");
@@ -246,8 +248,7 @@ pub fn measure(
         }
     }
     let n_windows = windows.len() as f64;
-    let subset_power =
-        per_window_aggregates.iter().sum::<f64>() / n_windows;
+    let subset_power = per_window_aggregates.iter().sum::<f64>() / n_windows;
     let per_node_w: Vec<f64> = per_node_acc.iter().map(|a| a / n_windows).collect();
 
     plan.overheads.validate()?;
@@ -358,8 +359,7 @@ mod tests {
         )
         .unwrap();
         // Section 3: placement is worth double-digit percent on L-CSC.
-        let swing = (early.reported_power_w - late.reported_power_w)
-            / early.reported_power_w;
+        let swing = (early.reported_power_w - late.reported_power_w) / early.reported_power_w;
         assert!(swing > 0.10, "swing = {swing:.3}");
         // And the reported *efficiency* moves the other way.
         assert!(late.flops_per_watt() > early.flops_per_watt());

@@ -117,8 +117,7 @@ pub fn stranded_capacity(
     exceedance: f64,
     nameplate_node_w: f64,
 ) -> Result<usize> {
-    let report =
-        provisioning_report(node_sample_w, total_nodes, exceedance, nameplate_node_w)?;
+    let report = provisioning_report(node_sample_w, total_nodes, exceedance, nameplate_node_w)?;
     let budget = report.nameplate_capacity_w;
     let mut lo = total_nodes;
     let mut hi = total_nodes * 4 + 16;
@@ -171,7 +170,12 @@ mod tests {
             let mean = Summary::from_slice(&s).mean() * n as f64;
             cap / mean - 1.0
         };
-        assert!(rel(100) > 3.0 * rel(10_000), "{} vs {}", rel(100), rel(10_000));
+        assert!(
+            rel(100) > 3.0 * rel(10_000),
+            "{} vs {}",
+            rel(100),
+            rel(10_000)
+        );
     }
 
     #[test]
@@ -192,10 +196,7 @@ mod tests {
         let s = sample(64, 400.0, 8.0, 4);
         let extra = stranded_capacity(&s, 10_000, 0.001, 520.0).unwrap();
         // 520/400 = 1.3: ~30% more nodes minus headroom.
-        assert!(
-            (2_000..3_500).contains(&extra),
-            "extra nodes = {extra}"
-        );
+        assert!((2_000..3_500).contains(&extra), "extra nodes = {extra}");
         // Sanity: adding them keeps the budget.
         let cap = provisioned_capacity_w(&s, 10_000 + extra, 0.001).unwrap();
         assert!(cap <= 520.0 * 10_000.0 + 1.0);

@@ -69,9 +69,7 @@ impl SubsystemOverheads {
 
     /// True total overhead power for a machine of `total_nodes` nodes.
     pub fn total_w(&self, total_nodes: usize) -> f64 {
-        self.interconnect_w_per_node * total_nodes as f64
-            + self.storage_w
-            + self.infrastructure_w
+        self.interconnect_w_per_node * total_nodes as f64 + self.storage_w + self.infrastructure_w
     }
 
     /// The overhead power a methodology level reports:

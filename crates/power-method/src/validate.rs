@@ -106,8 +106,7 @@ pub fn validate(
             min_power_w,
         } => {
             let need = (submission.total_nodes as f64 * min_fraction).ceil() as usize;
-            if submission.metered_nodes < need
-                && submission.metered_nodes < submission.total_nodes
+            if submission.metered_nodes < need && submission.metered_nodes < submission.total_nodes
             {
                 violations.push(Violation::TooFewNodes {
                     got: submission.metered_nodes,

@@ -126,9 +126,7 @@ impl TimingRule {
     /// Fraction of the core phase this rule actually measures.
     pub fn coverage(&self, phases: &RunPhases) -> f64 {
         match *self {
-            TimingRule::ShortWindow { .. } => {
-                (self.window_length(phases) / phases.core()).min(1.0)
-            }
+            TimingRule::ShortWindow { .. } => (self.window_length(phases) / phases.core()).min(1.0),
             _ => 1.0,
         }
     }
@@ -184,9 +182,7 @@ mod tests {
         // Contiguous and equal length.
         for pair in w.windows(2) {
             assert!((pair[0].1 - pair[1].0).abs() < 1e-9);
-            assert!(
-                ((pair[0].1 - pair[0].0) - (pair[1].1 - pair[1].0)).abs() < 1e-9
-            );
+            assert!(((pair[0].1 - pair[0].0) - (pair[1].1 - pair[1].0)).abs() < 1e-9);
         }
     }
 

@@ -1,5 +1,8 @@
 //! Reproduces the Section 4 worked example: 1/64-rule accuracy disparity.
 use power_repro::{experiments, render};
 fn main() {
-    print!("{}", render::render_accuracy_gap(&experiments::accuracy_gap()));
+    print!(
+        "{}",
+        render::render_accuracy_gap(&experiments::accuracy_gap())
+    );
 }

@@ -14,14 +14,22 @@ fn main() {
         .map(PathBuf::from);
     println!(
         "Reproduction run at {} scale\n",
-        if scale == RunScale::full() { "FULL" } else { "QUICK" }
+        if scale == RunScale::full() {
+            "FULL"
+        } else {
+            "QUICK"
+        }
     );
     println!("{}", render::render_table1());
     let traces = experiments::trace_experiments(&scale);
     if let Some(dir) = &csv_dir {
         csv::write_artifact(dir, "figure1.csv", &csv::figure1_csv(&traces)).expect("write csv");
-        csv::write_artifact(dir, "table2.csv", &csv::table2_csv(&experiments::table2(&traces)))
-            .expect("write csv");
+        csv::write_artifact(
+            dir,
+            "table2.csv",
+            &csv::table2_csv(&experiments::table2(&traces)),
+        )
+        .expect("write csv");
         csv::write_artifact(
             dir,
             "gaming.csv",
@@ -37,8 +45,12 @@ fn main() {
             &csv::figure3_csv(&experiments::figure3(&scale)),
         )
         .expect("write csv");
-        csv::write_artifact(dir, "figure4.csv", &csv::figure4_csv(&experiments::figure4(56)))
-            .expect("write csv");
+        csv::write_artifact(
+            dir,
+            "figure4.csv",
+            &csv::figure4_csv(&experiments::figure4(56)),
+        )
+        .expect("write csv");
         eprintln!("CSV artifacts written to {}", dir.display());
     }
     println!("{}", render::render_figure1(&traces));
@@ -47,15 +59,36 @@ fn main() {
     let t4 = experiments::table4(&scale);
     println!("{}", render::render_figure2(&t4));
     println!("{}", render::render_table4(&t4));
-    println!("{}", render::render_accuracy_gap(&experiments::accuracy_gap()));
+    println!(
+        "{}",
+        render::render_accuracy_gap(&experiments::accuracy_gap())
+    );
     println!("{}", render::render_table5(&experiments::table5()));
     println!("{}", render::render_figure3(&experiments::figure3(&scale)));
     println!("{}", render::render_t_vs_z(&experiments::t_vs_z()));
     println!("{}", render::render_figure4(&experiments::figure4(56)));
-    println!("{}", render::render_gaming(&experiments::gaming(&scale, &traces)));
-    println!("{}", render::render_subsystems(&experiments::subsystem_overstatement()));
-    println!("{}", render::render_imbalance(&experiments::imbalance_study(&scale)));
-    println!("{}", render::render_recommendation(&experiments::recommendation()));
-    println!("{}", render::render_exascale(&experiments::exascale_sweep()));
-    println!("{}", render::render_rank_stability(&experiments::rank_stability_sweep(&scale)));
+    println!(
+        "{}",
+        render::render_gaming(&experiments::gaming(&scale, &traces))
+    );
+    println!(
+        "{}",
+        render::render_subsystems(&experiments::subsystem_overstatement())
+    );
+    println!(
+        "{}",
+        render::render_imbalance(&experiments::imbalance_study(&scale))
+    );
+    println!(
+        "{}",
+        render::render_recommendation(&experiments::recommendation())
+    );
+    println!(
+        "{}",
+        render::render_exascale(&experiments::exascale_sweep())
+    );
+    println!(
+        "{}",
+        render::render_rank_stability(&experiments::rank_stability_sweep(&scale))
+    );
 }

@@ -2,5 +2,8 @@
 //! sigma/mu and compare Equation 5 against the revised max(16, 10%) rule.
 use power_repro::{experiments, render};
 fn main() {
-    print!("{}", render::render_exascale(&experiments::exascale_sweep()));
+    print!(
+        "{}",
+        render::render_exascale(&experiments::exascale_sweep())
+    );
 }

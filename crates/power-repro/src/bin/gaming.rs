@@ -3,5 +3,8 @@ use power_repro::{experiments, render, RunScale};
 fn main() {
     let scale = RunScale::from_args(std::env::args().skip(1));
     let traces = experiments::trace_experiments(&scale);
-    print!("{}", render::render_gaming(&experiments::gaming(&scale, &traces)));
+    print!(
+        "{}",
+        render::render_gaming(&experiments::gaming(&scale, &traces))
+    );
 }

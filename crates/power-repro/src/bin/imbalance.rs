@@ -3,5 +3,8 @@
 use power_repro::{experiments, render, RunScale};
 fn main() {
     let scale = RunScale::from_args(std::env::args().skip(1));
-    print!("{}", render::render_imbalance(&experiments::imbalance_study(&scale)));
+    print!(
+        "{}",
+        render::render_imbalance(&experiments::imbalance_study(&scale))
+    );
 }

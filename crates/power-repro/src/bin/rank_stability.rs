@@ -2,5 +2,8 @@
 use power_repro::{experiments, render, RunScale};
 fn main() {
     let scale = RunScale::from_args(std::env::args().skip(1));
-    print!("{}", render::render_rank_stability(&experiments::rank_stability_sweep(&scale)));
+    print!(
+        "{}",
+        render::render_rank_stability(&experiments::rank_stability_sweep(&scale))
+    );
 }

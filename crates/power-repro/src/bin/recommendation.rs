@@ -1,5 +1,8 @@
 //! Reproduces the Section 6 recommendation: the max(16, 10%) rule.
 use power_repro::{experiments, render};
 fn main() {
-    print!("{}", render::render_recommendation(&experiments::recommendation()));
+    print!(
+        "{}",
+        render::render_recommendation(&experiments::recommendation())
+    );
 }

@@ -2,5 +2,8 @@
 //! (Level 1) measurement hides, and the resulting efficiency overstatement.
 use power_repro::{experiments, render};
 fn main() {
-    print!("{}", render::render_subsystems(&experiments::subsystem_overstatement()));
+    print!(
+        "{}",
+        render::render_subsystems(&experiments::subsystem_overstatement())
+    );
 }

@@ -14,7 +14,10 @@ pub struct Series {
 pub fn line_plot(series: &[Series], width: usize, height: usize) -> String {
     const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
     let (width, height) = (width.max(10), height.max(4));
-    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     if all.is_empty() {
         return String::from("(no data)\n");
     }
@@ -57,11 +60,7 @@ pub fn line_plot(series: &[Series], width: usize, height: usize) -> String {
         w = width.saturating_sub(8)
     ));
     for (si, s) in series.iter().enumerate() {
-        out.push_str(&format!(
-            "  {} {}\n",
-            GLYPHS[si % GLYPHS.len()],
-            s.label
-        ));
+        out.push_str(&format!("  {} {}\n", GLYPHS[si % GLYPHS.len()], s.label));
     }
     out
 }

@@ -9,9 +9,9 @@ use crate::plot::{downsample, line_plot, Series};
 use crate::table::{kw, pct, TextTable};
 use power_green500::perturb::RankStability;
 use power_method::level::Methodology;
+use power_sim::systems::SystemPreset;
 use power_stats::bootstrap::CoveragePoint;
 use power_stats::sample_size::TableCell;
-use power_sim::systems::SystemPreset;
 
 /// Renders Table 1: the methodology requirement matrix.
 pub fn render_table1() -> String {
@@ -51,13 +51,7 @@ pub fn render_table1() -> String {
         "upstream or simultaneous",
         "upstream or manufacturer data",
     ]);
-    t.row([
-        "Accuracy assessment",
-        "-",
-        "-",
-        "-",
-        "required",
-    ]);
+    t.row(["Accuracy assessment", "-", "-", "-", "required"]);
     let mut out = String::from("== Table 1: EE HPC WG methodology requirements ==\n");
     out.push_str(&t.render());
     // Sanity: render from the typed specs too.
@@ -425,7 +419,11 @@ pub fn render_subsystems(rows: &[crate::experiments::SubsystemRow]) -> String {
 
 /// Renders the imbalanced-workload study.
 pub fn render_imbalance(s: &crate::experiments::ImbalanceStudy) -> String {
-    let mut t = TextTable::new(["quantity", "balanced (HPL-like)", "hot/cold (data-intensive)"]);
+    let mut t = TextTable::new([
+        "quantity",
+        "balanced (HPL-like)",
+        "hot/cold (data-intensive)",
+    ]);
     t.row([
         "sigma/mu".to_string(),
         format!("{:.2}%", s.balanced_cv * 100.0),

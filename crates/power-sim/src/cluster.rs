@@ -299,7 +299,10 @@ mod tests {
         let c = Cluster::build(test_spec(10, 3)).unwrap();
         assert!(matches!(
             c.asics(10),
-            Err(SimError::NoSuchNode { index: 10, total: 10 })
+            Err(SimError::NoSuchNode {
+                index: 10,
+                total: 10
+            })
         ));
         assert!(c.multiplier(10).is_err());
         assert!(c.node_power(10, 0.0, 1.0, 60.0).is_err());
@@ -311,13 +314,8 @@ mod tests {
         let c = Cluster::build(test_spec(200, 4)).unwrap();
         let order = c.nodes_by_vid();
         assert_eq!(order.len(), 200);
-        let vid_sum = |n: usize| -> u32 {
-            c.asics(n)
-                .unwrap()
-                .iter()
-                .map(|a| a.vid_bin as u32)
-                .sum()
-        };
+        let vid_sum =
+            |n: usize| -> u32 { c.asics(n).unwrap().iter().map(|a| a.vid_bin as u32).sum() };
         for w in order.windows(2) {
             assert!(vid_sum(w[0]) <= vid_sum(w[1]));
         }
@@ -338,9 +336,7 @@ mod tests {
             .unwrap();
         let after = c2.node_power(0, 0.0, 1.0, 60.0).unwrap();
         assert!(after.wall_w < before.wall_w);
-        let c3 = c
-            .with_fan_policy(FanPolicy::Pinned { speed: 1.0 })
-            .unwrap();
+        let c3 = c.with_fan_policy(FanPolicy::Pinned { speed: 1.0 }).unwrap();
         let louder = c3.node_power(0, 0.0, 1.0, 60.0).unwrap();
         assert!(louder.fan_w > before.fan_w);
     }

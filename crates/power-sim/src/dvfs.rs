@@ -197,12 +197,11 @@ mod tests {
     fn validation_catches_errors() {
         assert!(Governor::Static(fixed(0.0, 1.0)).validate().is_err());
         assert!(Governor::Schedule(vec![]).validate().is_err());
-        assert!(Governor::Schedule(vec![
-            (100.0, fixed(900.0, 1.0)),
-            (50.0, fixed(600.0, 1.0)),
-        ])
-        .validate()
-        .is_err());
+        assert!(
+            Governor::Schedule(vec![(100.0, fixed(900.0, 1.0)), (50.0, fixed(600.0, 1.0)),])
+                .validate()
+                .is_err()
+        );
         assert!(Governor::OnDemand {
             high: fixed(900.0, 1.0),
             low: fixed(300.0, 1.0),

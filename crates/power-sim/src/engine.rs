@@ -3,20 +3,36 @@
 //! The engine advances each node's thermal state through a run and records
 //! power. Nodes are mutually independent (the workload couples them only
 //! through its deterministic utilization function), so the node loop
-//! parallelizes trivially; crossbeam scoped threads split the node range
-//! and per-node RNG substreams keep results independent of thread count.
+//! parallelizes trivially; `std::thread::scope` splits the node range and
+//! per-node RNG substreams keep results independent of thread count.
 //!
-//! Three products cover the paper's experiments:
+//! # One sweep, every product
 //!
-//! * [`Simulator::system_trace`] — whole-machine power vs time (Figure 1,
-//!   Table 2);
-//! * [`Simulator::node_averages`] — per-node time-averaged power over a
-//!   window (Table 4, Figure 2, the sample-size studies);
-//! * [`Simulator::subset_trace`] — full per-sample traces for a metered
-//!   node subset (the measurement campaigns in `power-meter`).
+//! [`NodePower`] already carries wall, DC and processor power for each
+//! sample, so a single node sweep can feed every meter scope and every
+//! product at once. [`Simulator::run_products`] is that sweep: it takes a
+//! [`ProductRequest`] and returns [`RunProducts`] holding, per scope,
+//!
+//! * whole-machine power vs time (Figure 1, Table 2);
+//! * per-node time-averaged power over a window (Table 4, Figure 2, the
+//!   sample-size studies);
+//! * full per-sample traces for a metered node subset (the measurement
+//!   campaigns in `power-meter`).
+//!
+//! The legacy single-product methods ([`Simulator::system_trace`],
+//! [`Simulator::node_averages`], [`Simulator::subset_trace`]) are thin
+//! wrappers over `run_products`. Callers that need several products — or
+//! the same product repeatedly — should go through
+//! [`crate::store::TraceStore`], which memoizes `RunProducts` per
+//! (machine, workload, balance, config) so the node loop runs once.
+//!
+//! Because all scopes are derived from the same per-sample [`NodePower`]
+//! and the per-node RNG substreams depend only on `(seed, node)`, results
+//! are independent of the product mix, the scope queried, and the worker
+//! thread count.
 
 use crate::cluster::Cluster;
-use crate::node::NodeSpec;
+use crate::node::{NodePower, NodeSpec};
 use crate::thermal::ThermalState;
 use crate::trace::{NodeTrace, SystemTrace};
 use crate::{Result, SimError};
@@ -24,6 +40,7 @@ use power_stats::rng::{substream, StandardNormal};
 use power_workload::{LoadBalance, Workload};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// Which part of the node's power a product should report.
 ///
@@ -37,6 +54,20 @@ pub enum MeterScope {
     Dc,
     /// Processor (CPU/GPU board) power only.
     ProcessorsOnly,
+}
+
+impl MeterScope {
+    /// Every scope, in the dense order used by [`RunProducts`].
+    pub const ALL: [MeterScope; 3] = [MeterScope::Wall, MeterScope::Dc, MeterScope::ProcessorsOnly];
+
+    /// Dense index into per-scope product arrays.
+    pub fn index(self) -> usize {
+        match self {
+            MeterScope::Wall => 0,
+            MeterScope::Dc => 1,
+            MeterScope::ProcessorsOnly => 2,
+        }
+    }
 }
 
 /// Engine configuration.
@@ -55,7 +86,8 @@ pub struct SimulationConfig {
     pub common_noise_sigma: f64,
     /// RNG seed for the noise streams.
     pub seed: u64,
-    /// Worker threads (clamped to at least 1).
+    /// Worker threads (clamped to at least 1). Never affects results, only
+    /// wall-clock time — and is therefore excluded from cache keys.
     pub threads: usize,
 }
 
@@ -96,6 +128,114 @@ impl SimulationConfig {
     }
 }
 
+/// What one simulation sweep should produce.
+///
+/// Whole-machine traces and per-node averages require sweeping every node;
+/// a subset-only request sweeps just the metered nodes (the per-node RNG
+/// substreams make the two indistinguishable sample-for-sample).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProductRequest {
+    /// Build the three whole-machine [`SystemTrace`]s.
+    pub system: bool,
+    /// Accumulate per-node time averages over this `[from, to)` window,
+    /// for every node and every scope.
+    pub averages_window: Option<(f64, f64)>,
+    /// Retain full per-sample traces for these nodes, for every scope.
+    pub subset: Option<Vec<usize>>,
+}
+
+impl ProductRequest {
+    /// Whole-machine traces only.
+    pub fn system_only() -> Self {
+        ProductRequest {
+            system: true,
+            ..ProductRequest::default()
+        }
+    }
+
+    /// Whole-machine traces plus per-node averages over `[from, to)`.
+    pub fn with_averages(from: f64, to: f64) -> Self {
+        ProductRequest {
+            system: true,
+            averages_window: Some((from, to)),
+            ..ProductRequest::default()
+        }
+    }
+
+    /// Per-sample traces for a metered subset, sweeping only those nodes.
+    pub fn subset_only(nodes: &[usize]) -> Self {
+        ProductRequest {
+            subset: Some(nodes.to_vec()),
+            ..ProductRequest::default()
+        }
+    }
+
+    /// Adds a retained subset to a full-machine request.
+    pub fn and_subset(mut self, nodes: &[usize]) -> Self {
+        self.subset = Some(nodes.to_vec());
+        self
+    }
+
+    /// Whether this request requires sweeping every node of the machine.
+    pub fn needs_full_sweep(&self) -> bool {
+        self.system || self.averages_window.is_some()
+    }
+}
+
+/// Everything one sweep produced; see [`Simulator::run_products`].
+///
+/// Per-scope accessors take a [`MeterScope`] and return `None` when the
+/// originating [`ProductRequest`] did not ask for that product.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunProducts {
+    request: ProductRequest,
+    dt: f64,
+    steps: usize,
+    system: Option<[SystemTrace; 3]>,
+    averages: Option<[Vec<f64>; 3]>,
+    subset: Option<[NodeTrace; 3]>,
+}
+
+impl RunProducts {
+    /// The request this sweep answered.
+    pub fn request(&self) -> &ProductRequest {
+        &self.request
+    }
+
+    /// The sample interval used.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Samples per trace.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Whole-machine power vs time at `scope`.
+    pub fn system_trace(&self, scope: MeterScope) -> Option<&SystemTrace> {
+        self.system.as_ref().map(|s| &s[scope.index()])
+    }
+
+    /// Per-node window averages at `scope` (one entry per node of the
+    /// machine, in node order).
+    pub fn node_averages(&self, scope: MeterScope) -> Option<&[f64]> {
+        self.averages.as_ref().map(|a| a[scope.index()].as_slice())
+    }
+
+    /// Retained subset trace at `scope`.
+    pub fn subset_trace(&self, scope: MeterScope) -> Option<&NodeTrace> {
+        self.subset.as_ref().map(|s| &s[scope.index()])
+    }
+}
+
+/// Per-worker accumulator for the sweep.
+struct WorkerOut {
+    system: [Vec<f64>; 3],
+    averages: Vec<(usize, [f64; 3])>,
+    subset: Vec<(usize, [Vec<f64>; 3])>,
+}
+
 /// A simulator binding a machine, a workload and a load-balance policy.
 pub struct Simulator<'a> {
     cluster: &'a Cluster,
@@ -121,6 +261,26 @@ impl<'a> Simulator<'a> {
         })
     }
 
+    /// The simulated machine.
+    pub fn cluster(&self) -> &Cluster {
+        self.cluster
+    }
+
+    /// The workload driving the machine.
+    pub fn workload(&self) -> &dyn Workload {
+        self.workload
+    }
+
+    /// The load-balance policy.
+    pub fn balance(&self) -> LoadBalance {
+        self.balance
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+
     /// The configured time step.
     pub fn dt(&self) -> f64 {
         self.config.dt
@@ -131,12 +291,9 @@ impl<'a> Simulator<'a> {
         (self.workload.phases().total() / self.config.dt).ceil() as usize
     }
 
-    fn scope_value(power: &crate::node::NodePower, scope: MeterScope) -> f64 {
-        match scope {
-            MeterScope::Wall => power.wall_w,
-            MeterScope::Dc => power.dc_w,
-            MeterScope::ProcessorsOnly => power.processors_w(),
-        }
+    /// End of the sampled run in seconds (`run_steps * dt`).
+    pub fn run_end(&self) -> f64 {
+        self.run_steps() as f64 * self.config.dt
     }
 
     /// Per-step machine-wide utilization multipliers (common-mode noise).
@@ -154,12 +311,12 @@ impl<'a> Simulator<'a> {
     }
 
     /// Simulates one node across `steps` samples starting at t = 0,
-    /// invoking `sink(step, scoped_power)` per sample.
-    fn run_node<F: FnMut(usize, f64)>(
+    /// invoking `sink(step, &power)` per sample with the full per-sample
+    /// power breakdown (every scope is derived from it).
+    fn run_node<F: FnMut(usize, &NodePower)>(
         &self,
         node: usize,
         steps: usize,
-        scope: MeterScope,
         common: &[f64],
         rng: &mut StdRng,
         mut sink: F,
@@ -184,105 +341,38 @@ impl<'a> Simulator<'a> {
                 .cluster
                 .node_power(node, t, u, thermal.temp_c)
                 .expect("node index validated by caller");
-            sink(step, Self::scope_value(&power, scope));
+            sink(step, &power);
             let fan_speed = power.fan_speed;
             thermal.step(&thermal_spec, NodeSpec::heat_w(&power), fan_speed, dt);
         }
     }
 
-    /// Whole-machine power vs time over the full run, at the configured
-    /// sampling interval and scope.
-    pub fn system_trace(&self, scope: MeterScope) -> Result<SystemTrace> {
-        let steps = self.run_steps();
-        let n = self.cluster.len();
-        let threads = self.config.threads.max(1).min(n);
-        let chunk = n.div_ceil(threads);
-        let mut partials = vec![vec![0.0f64; steps]; threads];
-        let common = self.common_noise(steps);
-
-        crossbeam::scope(|scope_| {
-            for (w, partial) in partials.iter_mut().enumerate() {
-                let lo = w * chunk;
-                let hi = ((w + 1) * chunk).min(n);
-                let sim = &self;
-                let common = &common;
-                scope_.spawn(move |_| {
-                    for node in lo..hi {
-                        let mut rng = substream(sim.config.seed, node as u64);
-                        sim.run_node(node, steps, scope, common, &mut rng, |step, watts| {
-                            partial[step] += watts;
-                        });
-                    }
-                });
-            }
-        })
-        .expect("simulation worker panicked");
-
-        let mut totals = vec![0.0f64; steps];
-        for partial in partials {
-            for (t, p) in totals.iter_mut().zip(partial) {
-                *t += p;
-            }
-        }
-        SystemTrace::new(0.0, self.config.dt, totals)
-    }
-
-    /// Per-node time-averaged power over the window `[from, to)`, for all
-    /// nodes of the machine.
-    pub fn node_averages(&self, from: f64, to: f64, scope: MeterScope) -> Result<Vec<f64>> {
-        if !(to > from) {
+    /// Validates `request` against this simulator without simulating
+    /// anything: degenerate or fully-out-of-run averaging windows and
+    /// out-of-range subset indices are rejected.
+    pub fn validate_request(&self, request: &ProductRequest) -> Result<()> {
+        if !request.system && request.averages_window.is_none() && request.subset.is_none() {
             return Err(SimError::InvalidConfig {
-                field: "to",
-                reason: "window end must exceed window start",
+                field: "request",
+                reason: "at least one product must be requested",
             });
         }
-        let steps = self.run_steps();
-        let n = self.cluster.len();
-        let threads = self.config.threads.max(1).min(n);
-        let chunk = n.div_ceil(threads);
-        let dt = self.config.dt;
-        let mut averages = vec![0.0f64; n];
-        let common = self.common_noise(steps);
-
-        crossbeam::scope(|scope_| {
-            for (w, slot) in averages.chunks_mut(chunk).enumerate() {
-                let lo = w * chunk;
-                let sim = &self;
-                let common = &common;
-                scope_.spawn(move |_| {
-                    for (k, avg) in slot.iter_mut().enumerate() {
-                        let node = lo + k;
-                        let mut rng = substream(sim.config.seed, node as u64);
-                        let mut weighted = 0.0;
-                        let mut weight = 0.0;
-                        sim.run_node(node, steps, scope, common, &mut rng, |step, watts| {
-                            let a = step as f64 * dt;
-                            let b = a + dt;
-                            let overlap = (b.min(to) - a.max(from)).max(0.0);
-                            weighted += watts * overlap;
-                            weight += overlap;
-                        });
-                        *avg = if weight > 0.0 { weighted / weight } else { f64::NAN };
-                    }
+        if let Some((from, to)) = request.averages_window {
+            if !(to > from) {
+                return Err(SimError::InvalidConfig {
+                    field: "to",
+                    reason: "window end must exceed window start",
                 });
             }
-        })
-        .expect("simulation worker panicked");
-
-        if averages.iter().any(|a| a.is_nan()) {
-            return Err(SimError::InvalidConfig {
-                field: "window",
-                reason: "window does not overlap the run",
-            });
+            if !(from < self.run_end() && to > 0.0) {
+                return Err(SimError::InvalidConfig {
+                    field: "window",
+                    reason: "window does not overlap the run",
+                });
+            }
         }
-        Ok(averages)
-    }
-
-    /// Full per-sample traces for a metered subset of nodes over the whole
-    /// run.
-    pub fn subset_trace(&self, nodes: &[usize], scope: MeterScope) -> Result<NodeTrace> {
         let n = self.cluster.len();
-        for &node in nodes {
+        for &node in request.subset.as_deref().unwrap_or(&[]) {
             if node >= n {
                 return Err(SimError::NoSuchNode {
                     index: node,
@@ -290,31 +380,207 @@ impl<'a> Simulator<'a> {
                 });
             }
         }
+        Ok(())
+    }
+
+    /// Runs one node sweep and returns every requested product, for all
+    /// three meter scopes at once.
+    ///
+    /// All validation happens up front ([`Simulator::validate_request`]),
+    /// before any node is simulated.
+    pub fn run_products(&self, request: &ProductRequest) -> Result<RunProducts> {
+        self.validate_request(request)?;
         let steps = self.run_steps();
-        let mut samples = vec![vec![0.0f64; steps]; nodes.len()];
-        let threads = self.config.threads.max(1).min(nodes.len().max(1));
-        let chunk = nodes.len().div_ceil(threads.max(1)).max(1);
+        let n = self.cluster.len();
+        let dt = self.config.dt;
+
+        let subset: &[usize] = request.subset.as_deref().unwrap_or(&[]);
+        let slot_of: HashMap<usize, usize> = subset
+            .iter()
+            .enumerate()
+            .map(|(k, &node)| (node, k))
+            .collect();
+
+        let full_sweep = request.needs_full_sweep();
+        let work: Vec<usize> = if full_sweep {
+            (0..n).collect()
+        } else {
+            subset.to_vec()
+        };
+        let threads = self.config.threads.max(1).min(work.len().max(1));
+        let chunk = work.len().div_ceil(threads).max(1);
         let common = self.common_noise(steps);
 
-        crossbeam::scope(|scope_| {
-            for (w, slot) in samples.chunks_mut(chunk).enumerate() {
-                let lo = w * chunk;
+        let system_len = if request.system { steps } else { 0 };
+        let mut outs: Vec<WorkerOut> = (0..threads)
+            .map(|_| WorkerOut {
+                system: [
+                    vec![0.0; system_len],
+                    vec![0.0; system_len],
+                    vec![0.0; system_len],
+                ],
+                averages: Vec::new(),
+                subset: Vec::new(),
+            })
+            .collect();
+
+        std::thread::scope(|scope_| {
+            for (w, out) in outs.iter_mut().enumerate() {
+                let lo = (w * chunk).min(work.len());
+                let hi = ((w + 1) * chunk).min(work.len());
                 let sim = &self;
                 let common = &common;
-                scope_.spawn(move |_| {
-                    for (k, series) in slot.iter_mut().enumerate() {
-                        let node = nodes[lo + k];
+                let slot_of = &slot_of;
+                let work = &work;
+                scope_.spawn(move || {
+                    let WorkerOut {
+                        system,
+                        averages,
+                        subset: subset_out,
+                    } = out;
+                    for &node in &work[lo..hi] {
                         let mut rng = substream(sim.config.seed, node as u64);
-                        sim.run_node(node, steps, scope, common, &mut rng, |step, watts| {
-                            series[step] = watts;
+                        let slot = slot_of.get(&node).copied();
+                        let mut series =
+                            slot.map(|_| [vec![0.0; steps], vec![0.0; steps], vec![0.0; steps]]);
+                        let mut weighted = [0.0f64; 3];
+                        let mut weight = 0.0f64;
+                        sim.run_node(node, steps, common, &mut rng, |step, power| {
+                            let vals = [power.wall_w, power.dc_w, power.processors_w()];
+                            if request.system {
+                                for (acc, v) in system.iter_mut().zip(vals) {
+                                    acc[step] += v;
+                                }
+                            }
+                            if let Some(series) = series.as_mut() {
+                                for (s, v) in series.iter_mut().zip(vals) {
+                                    s[step] = v;
+                                }
+                            }
+                            if let Some((from, to)) = request.averages_window {
+                                let a = step as f64 * dt;
+                                let overlap = ((a + dt).min(to) - a.max(from)).max(0.0);
+                                if overlap > 0.0 {
+                                    weight += overlap;
+                                    for (acc, v) in weighted.iter_mut().zip(vals) {
+                                        *acc += v * overlap;
+                                    }
+                                }
+                            }
                         });
+                        if request.averages_window.is_some() {
+                            averages.push((node, weighted.map(|x| x / weight)));
+                        }
+                        if let (Some(slot), Some(series)) = (slot, series) {
+                            subset_out.push((slot, series));
+                        }
                     }
                 });
             }
-        })
-        .expect("simulation worker panicked");
+        });
 
-        NodeTrace::new(nodes.to_vec(), 0.0, self.config.dt, samples)
+        let system = if request.system {
+            let mut totals = [
+                vec![0.0f64; steps],
+                vec![0.0f64; steps],
+                vec![0.0f64; steps],
+            ];
+            for out in &outs {
+                for (total, partial) in totals.iter_mut().zip(&out.system) {
+                    for (t, p) in total.iter_mut().zip(partial) {
+                        *t += p;
+                    }
+                }
+            }
+            let [w, d, p] = totals;
+            Some([
+                SystemTrace::new(0.0, dt, w)?,
+                SystemTrace::new(0.0, dt, d)?,
+                SystemTrace::new(0.0, dt, p)?,
+            ])
+        } else {
+            None
+        };
+
+        let averages = if request.averages_window.is_some() {
+            let mut per_scope = [vec![0.0f64; n], vec![0.0f64; n], vec![0.0f64; n]];
+            for out in &outs {
+                for &(node, vals) in &out.averages {
+                    for (scope_avgs, v) in per_scope.iter_mut().zip(vals) {
+                        scope_avgs[node] = v;
+                    }
+                }
+            }
+            Some(per_scope)
+        } else {
+            None
+        };
+
+        let subset_traces = if request.subset.is_some() {
+            let mut per_scope: [Vec<Vec<f64>>; 3] = [
+                vec![Vec::new(); subset.len()],
+                vec![Vec::new(); subset.len()],
+                vec![Vec::new(); subset.len()],
+            ];
+            for out in &mut outs {
+                for (slot, series) in out.subset.drain(..) {
+                    let [w, d, p] = series;
+                    per_scope[0][slot] = w;
+                    per_scope[1][slot] = d;
+                    per_scope[2][slot] = p;
+                }
+            }
+            let [w, d, p] = per_scope;
+            Some([
+                NodeTrace::new(subset.to_vec(), 0.0, dt, w)?,
+                NodeTrace::new(subset.to_vec(), 0.0, dt, d)?,
+                NodeTrace::new(subset.to_vec(), 0.0, dt, p)?,
+            ])
+        } else {
+            None
+        };
+
+        Ok(RunProducts {
+            request: request.clone(),
+            dt,
+            steps,
+            system,
+            averages,
+            subset: subset_traces,
+        })
+    }
+
+    /// Whole-machine power vs time over the full run, at the configured
+    /// sampling interval and scope. Convenience wrapper over
+    /// [`Simulator::run_products`]; repeated callers should share a
+    /// [`crate::store::TraceStore`] instead.
+    pub fn system_trace(&self, scope: MeterScope) -> Result<SystemTrace> {
+        let products = self.run_products(&ProductRequest::system_only())?;
+        Ok(products
+            .system_trace(scope)
+            .expect("system trace was requested")
+            .clone())
+    }
+
+    /// Per-node time-averaged power over the window `[from, to)`, for all
+    /// nodes of the machine. The window is validated against the run span
+    /// before any node is simulated.
+    pub fn node_averages(&self, from: f64, to: f64, scope: MeterScope) -> Result<Vec<f64>> {
+        let products = self.run_products(&ProductRequest::with_averages(from, to))?;
+        Ok(products
+            .node_averages(scope)
+            .expect("averages were requested")
+            .to_vec())
+    }
+
+    /// Full per-sample traces for a metered subset of nodes over the whole
+    /// run. Sweeps only the subset.
+    pub fn subset_trace(&self, nodes: &[usize], scope: MeterScope) -> Result<NodeTrace> {
+        let products = self.run_products(&ProductRequest::subset_only(nodes))?;
+        Ok(products
+            .subset_trace(scope)
+            .expect("subset was requested")
+            .clone())
     }
 }
 
@@ -474,15 +740,48 @@ mod tests {
         let phases = RunPhases::core_only(200.0).unwrap();
         let wl = Firestarter::new(phases);
         let sim = Simulator::new(&cluster, &wl, LoadBalance::Balanced, config()).unwrap();
-        let wall = sim.node_averages(50.0, 200.0, MeterScope::Wall).unwrap();
-        let dc = sim.node_averages(50.0, 200.0, MeterScope::Dc).unwrap();
-        let procs = sim
-            .node_averages(50.0, 200.0, MeterScope::ProcessorsOnly)
+        // One sweep yields every scope at once.
+        let products = sim
+            .run_products(&ProductRequest::with_averages(50.0, 200.0))
             .unwrap();
+        let wall = products.node_averages(MeterScope::Wall).unwrap();
+        let dc = products.node_averages(MeterScope::Dc).unwrap();
+        let procs = products.node_averages(MeterScope::ProcessorsOnly).unwrap();
         for i in 0..8 {
             assert!(wall[i] > dc[i], "wall > dc at {i}");
             assert!(dc[i] > procs[i], "dc > processors at {i}");
         }
+        // And the wrapper methods agree with the combined sweep.
+        let wall_wrapped = sim.node_averages(50.0, 200.0, MeterScope::Wall).unwrap();
+        for (a, b) in wall.iter().zip(&wall_wrapped) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn combined_request_matches_individual_products() {
+        let cluster = Cluster::build(spec(12)).unwrap();
+        let phases = RunPhases::core_only(200.0).unwrap();
+        let wl = Firestarter::new(phases);
+        let sim = Simulator::new(&cluster, &wl, LoadBalance::Balanced, config()).unwrap();
+        let nodes = vec![1, 5, 9];
+        let combined = sim
+            .run_products(&ProductRequest::with_averages(50.0, 200.0).and_subset(&nodes))
+            .unwrap();
+        let lone_trace = sim.system_trace(MeterScope::Dc).unwrap();
+        assert_eq!(combined.system_trace(MeterScope::Dc).unwrap(), &lone_trace);
+        let lone_subset = sim.subset_trace(&nodes, MeterScope::Wall).unwrap();
+        assert_eq!(
+            combined.subset_trace(MeterScope::Wall).unwrap(),
+            &lone_subset
+        );
+        let lone_avgs = sim
+            .node_averages(50.0, 200.0, MeterScope::ProcessorsOnly)
+            .unwrap();
+        assert_eq!(
+            combined.node_averages(MeterScope::ProcessorsOnly).unwrap(),
+            lone_avgs.as_slice()
+        );
     }
 
     #[test]
@@ -496,10 +795,7 @@ mod tests {
         let first = trace.window_average(a, b).unwrap();
         let (a, b) = phases.core_segment(0.8, 1.0);
         let last = trace.window_average(a, b).unwrap();
-        assert!(
-            (first - last) / first > 0.15,
-            "first={first} last={last}"
-        );
+        assert!((first - last) / first > 0.15, "first={first} last={last}");
     }
 
     #[test]
@@ -516,9 +812,29 @@ mod tests {
         let sim = Simulator::new(&cluster, &wl, LoadBalance::Balanced, config()).unwrap();
         assert!(sim.subset_trace(&[99], MeterScope::Wall).is_err());
         assert!(sim.node_averages(10.0, 10.0, MeterScope::Wall).is_err());
+        assert!(sim.node_averages(5000.0, 6000.0, MeterScope::Wall).is_err());
+        // The empty request is rejected too.
+        assert!(sim.run_products(&ProductRequest::default()).is_err());
+    }
+
+    #[test]
+    fn window_validation_happens_before_simulation() {
+        // A machine this size would take meaningful time to sweep; an
+        // out-of-run window must be rejected without paying for it.
+        let cluster = Cluster::build(spec(50_000)).unwrap();
+        let phases = RunPhases::core_only(10_000.0).unwrap();
+        let wl = Firestarter::new(phases);
+        let sim = Simulator::new(&cluster, &wl, LoadBalance::Balanced, config()).unwrap();
+        let start = std::time::Instant::now();
         assert!(sim
-            .node_averages(5000.0, 6000.0, MeterScope::Wall)
+            .node_averages(20_000.0, 30_000.0, MeterScope::Wall)
             .is_err());
+        assert!(sim.node_averages(300.0, 200.0, MeterScope::Wall).is_err());
+        assert!(sim.subset_trace(&[60_000], MeterScope::Wall).is_err());
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "validation must not simulate the machine"
+        );
     }
 
     #[test]

@@ -72,7 +72,7 @@ pub struct Facility {
 impl Facility {
     /// A facility with no co-tenants and a given PUE.
     pub fn dedicated(pue: f64) -> Result<Self> {
-        if !(pue >= 1.0 && pue < 3.0) {
+        if !(1.0..3.0).contains(&pue) {
             return Err(SimError::InvalidConfig {
                 field: "pue",
                 reason: "PUE must lie in [1, 3)",
@@ -114,12 +114,7 @@ impl Facility {
 
     /// The relative overstatement of the machine's power from attributing
     /// the whole facility reading to it, averaged over `[from, to)`.
-    pub fn attribution_bias(
-        &self,
-        machine: &SystemTrace,
-        from: f64,
-        to: f64,
-    ) -> Result<f64> {
+    pub fn attribution_bias(&self, machine: &SystemTrace, from: f64, to: f64) -> Result<f64> {
         let facility = self.meter_trace(machine)?;
         let fac = facility.window_average(from, to)?;
         let mach = machine.window_average(from, to)?;
@@ -171,10 +166,12 @@ mod tests {
         // Co-tenant runs only during [20, 60): the facility reading is
         // contaminated in that window and clean elsewhere.
         let tenant_trace = SystemTrace::new(20.0, 1.0, vec![25_000.0; 40]).unwrap();
-        let f = Facility::dedicated(1.0).unwrap().with_tenant(CoTenant::Trace {
-            name: "other-cluster".into(),
-            trace: tenant_trace,
-        });
+        let f = Facility::dedicated(1.0)
+            .unwrap()
+            .with_tenant(CoTenant::Trace {
+                name: "other-cluster".into(),
+                trace: tenant_trace,
+            });
         let clean = f.attribution_bias(&machine(), 0.0, 20.0).unwrap();
         let dirty = f.attribution_bias(&machine(), 20.0, 60.0).unwrap();
         assert!(clean.abs() < 1e-9);

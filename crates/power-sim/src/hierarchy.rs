@@ -162,7 +162,11 @@ mod tests {
     fn identity_conversion() {
         let h = PowerHierarchy::typical();
         assert_eq!(
-            h.convert(500.0, MeasurementPoint::PduInput, MeasurementPoint::PduInput),
+            h.convert(
+                500.0,
+                MeasurementPoint::PduInput,
+                MeasurementPoint::PduInput
+            ),
             500.0
         );
     }

@@ -18,9 +18,11 @@
 //!   into watts at the wall;
 //! * [`cluster`] — a machine: N nodes with sampled per-ASIC variability;
 //! * [`engine`] — time-stepped simulation producing system traces, subset
-//!   traces, and per-node time-averaged powers;
-//! * [`trace`] — trace containers and the segment-average math behind the
-//!   paper's Table 2;
+//!   traces, and per-node time-averaged powers, all in one node sweep;
+//! * [`store`] — keyed memoization of simulation products, so experiments
+//!   sharing a (machine, workload, config) triple run the sweep once;
+//! * [`trace`] — trace containers and the O(1) prefix-sum window-query
+//!   math behind the paper's Table 2;
 //! * [`hierarchy`] — the power-conversion chain (node PSU → PDU → UPS →
 //!   transformer) that defines the methodology's "point of measurement";
 //! * [`systems`] — calibrated presets for the paper's test systems.
@@ -34,7 +36,6 @@
 // instead of silently accepted.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
-
 pub mod cluster;
 pub mod components;
 pub mod dvfs;
@@ -43,6 +44,7 @@ pub mod facility;
 pub mod fan;
 pub mod hierarchy;
 pub mod node;
+pub mod store;
 pub mod systems;
 pub mod thermal;
 pub mod trace;
@@ -50,8 +52,9 @@ pub mod variability;
 pub mod vid;
 
 pub use cluster::{Cluster, ClusterSpec};
-pub use engine::{SimulationConfig, Simulator};
+pub use engine::{ProductRequest, RunProducts, SimulationConfig, Simulator};
 pub use node::NodeSpec;
+pub use store::TraceStore;
 pub use systems::SystemPreset;
 pub use trace::{NodeTrace, SystemTrace};
 

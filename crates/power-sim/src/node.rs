@@ -87,8 +87,7 @@ impl NodeSpec {
 
         // The node multiplier models residual manufacturing/assembly spread
         // in the compute path; fans are modelled explicitly and excluded.
-        let compute_w =
-            (processors.iter().sum::<f64>() + memory_w + static_w) * node_multiplier;
+        let compute_w = (processors.iter().sum::<f64>() + memory_w + static_w) * node_multiplier;
         let dc_w = compute_w + fan_w;
         NodePower {
             processors,

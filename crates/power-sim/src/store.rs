@@ -1,0 +1,373 @@
+//! Memoized simulation products.
+//!
+//! Every experiment in the reproduction pipeline ultimately asks the engine
+//! for one of three products of the *same* underlying sweep: a system
+//! trace, per-node window averages, or a metered-subset trace. Before this
+//! module existed each call site re-ran the full node loop — the gaming
+//! interval scan, `power-method::measure`, the power-meter campaigns and
+//! the `power-repro` drivers all redid identical work.
+//!
+//! [`TraceStore`] closes that gap: it memoizes [`RunProducts`] behind a key
+//! that fingerprints the complete simulation identity —
+//!
+//! * the machine (the full [`ClusterSpec`](crate::ClusterSpec), via its
+//!   `Debug` rendering: node composition, variability model, governor, fan
+//!   policy, ambient gradient, build seed);
+//! * the workload (name, phase structure, total flops, and utilization
+//!   sampled at a deterministic probe grid of `(node, t)` points — trait
+//!   objects cannot be hashed structurally);
+//! * the load-balance policy;
+//! * the engine configuration *except* `threads`, which never affects
+//!   results, only wall-clock time.
+//!
+//! Within one key, a cached entry serves any request it subsumes: a
+//! system-only request is satisfied by any full-sweep entry, repeated
+//! window averages hit as long as the window matches, and subset requests
+//! hit on an identical node set. Entries are `Arc`-shared, so serving a
+//! hit costs one atomic increment.
+//!
+//! The key deliberately ignores anything about *how* the products will be
+//! queried afterwards: O(1) window queries on the returned traces (see
+//! [`crate::trace`]) make one cached sweep answer arbitrarily many
+//! downstream window questions.
+
+use crate::engine::{ProductRequest, RunProducts, Simulator};
+use crate::Result;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// FNV-1a, the workspace's standard cheap stable hash.
+#[derive(Debug, Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Fingerprints the simulation identity of `sim` (everything that can
+/// change its results; see the module docs for what is included).
+pub fn simulation_key(sim: &Simulator<'_>) -> u64 {
+    let mut h = Fnv::new();
+    h.write_bytes(format!("{:?}", sim.cluster().spec()).as_bytes());
+    h.write_bytes(format!("{:?}", sim.balance()).as_bytes());
+
+    let wl = sim.workload();
+    h.write_bytes(wl.name().as_bytes());
+    h.write_bytes(format!("{:?}", wl.phases()).as_bytes());
+    h.write_f64(wl.total_flops());
+    // Utilization probe: trait objects cannot be hashed structurally, so
+    // sample the function on a deterministic grid. Workloads differing
+    // only between probe points would collide, but every workload in this
+    // workspace is smooth at the probe resolution.
+    let n = sim.cluster().len();
+    let total = wl.phases().total();
+    for node in [0, n / 3, n / 2, (2 * n) / 3, n.saturating_sub(1)] {
+        for k in 0..=8 {
+            let t = total * k as f64 / 8.0;
+            h.write_f64(wl.utilization(node, t));
+        }
+    }
+
+    let cfg = sim.config();
+    h.write_f64(cfg.dt);
+    h.write_f64(cfg.noise_sigma);
+    h.write_f64(cfg.common_noise_sigma);
+    h.write_u64(cfg.seed);
+    // cfg.threads deliberately excluded: it never affects results.
+    h.finish()
+}
+
+/// Whether a cached entry answering `have` can serve a request for `want`.
+fn subsumes(have: &ProductRequest, want: &ProductRequest) -> bool {
+    if want.system && !have.system {
+        return false;
+    }
+    if let Some(w) = want.averages_window {
+        if have.averages_window != Some(w) {
+            return false;
+        }
+    }
+    if let Some(s) = &want.subset {
+        if have.subset.as_ref() != Some(s) {
+            return false;
+        }
+    }
+    true
+}
+
+/// A keyed cache of [`RunProducts`]; see the module docs.
+#[derive(Default)]
+pub struct TraceStore {
+    entries: Mutex<Vec<(u64, Arc<RunProducts>)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TraceStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        TraceStore::default()
+    }
+
+    /// The process-wide shared store. Drivers and library call sites that
+    /// want cross-experiment sharing should use this one; tests that need
+    /// isolation should construct their own with [`TraceStore::new`].
+    pub fn global() -> &'static TraceStore {
+        static GLOBAL: OnceLock<TraceStore> = OnceLock::new();
+        GLOBAL.get_or_init(TraceStore::new)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<(u64, Arc<RunProducts>)>> {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Returns the products for `request` under `sim`, simulating only on
+    /// a cache miss.
+    ///
+    /// Validation always runs (a cached entry is never returned for a
+    /// request the engine would reject), so error behaviour is identical
+    /// with and without the store.
+    pub fn products(
+        &self,
+        sim: &Simulator<'_>,
+        request: &ProductRequest,
+    ) -> Result<Arc<RunProducts>> {
+        let key = simulation_key(sim);
+        {
+            let entries = self.lock();
+            if let Some((_, products)) = entries
+                .iter()
+                .find(|(k, p)| *k == key && subsumes(p.request(), request))
+            {
+                // Re-validate so a hit cannot mask an invalid request.
+                sim.validate_request(request)?;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(products));
+            }
+        }
+        let products = Arc::new(sim.run_products(request)?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.lock();
+        // A concurrent miss may have inserted an equivalent entry; prefer
+        // the existing one so repeated lookups share a single allocation.
+        if let Some((_, existing)) = entries
+            .iter()
+            .find(|(k, p)| *k == key && subsumes(p.request(), request))
+        {
+            return Ok(Arc::clone(existing));
+        }
+        entries.push((key, Arc::clone(&products)));
+        Ok(products)
+    }
+
+    /// Number of cached sweeps.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Drops every cached sweep (e.g. between unrelated campaigns).
+    pub fn clear(&self) {
+        self.lock().clear();
+    }
+
+    /// Requests served from cache since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests that had to simulate since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{MeterScope, SimulationConfig};
+    use crate::systems::SystemPreset;
+    use power_workload::{Firestarter, LoadBalance, RunPhases};
+
+    fn fixture() -> (crate::Cluster, Firestarter, SimulationConfig) {
+        let preset = SystemPreset::trace_presets()
+            .into_iter()
+            .find(|p| p.name == "L-CSC")
+            .expect("L-CSC trace preset exists")
+            .with_total_nodes(24);
+        let cluster = crate::Cluster::build(preset.cluster_spec).unwrap();
+        let phases = RunPhases::core_only(200.0).unwrap();
+        let wl = Firestarter::new(phases);
+        let mut cfg = SimulationConfig::one_hertz(11);
+        cfg.dt = 5.0;
+        (cluster, wl, cfg)
+    }
+
+    #[test]
+    fn one_sweep_serves_every_product_and_scope() {
+        let (cluster, wl, cfg) = fixture();
+        let sim = Simulator::new(&cluster, &wl, LoadBalance::Balanced, cfg).unwrap();
+        let store = TraceStore::new();
+
+        let full = ProductRequest::with_averages(20.0, 200.0).and_subset(&[1, 2, 3]);
+        let products = store.products(&sim, &full).unwrap();
+        assert_eq!(store.misses(), 1);
+
+        // System-only, same-window averages, and same-subset requests all
+        // hit the one cached sweep, for every scope.
+        for scope in MeterScope::ALL {
+            let p = store
+                .products(&sim, &ProductRequest::system_only())
+                .unwrap();
+            assert!(p.system_trace(scope).is_some());
+            let p = store
+                .products(&sim, &ProductRequest::with_averages(20.0, 200.0))
+                .unwrap();
+            assert!(p.node_averages(scope).is_some());
+            let p = store
+                .products(&sim, &ProductRequest::subset_only(&[1, 2, 3]))
+                .unwrap();
+            assert!(p.subset_trace(scope).is_some());
+        }
+        assert_eq!(store.misses(), 1, "no further sweeps ran");
+        assert_eq!(store.hits(), 9);
+        assert_eq!(store.len(), 1);
+        assert!(Arc::ptr_eq(
+            &products,
+            &store
+                .products(&sim, &ProductRequest::system_only())
+                .unwrap()
+        ));
+    }
+
+    #[test]
+    fn key_distinguishes_simulation_identity_but_not_threads() {
+        let (cluster, wl, cfg) = fixture();
+        let sim = Simulator::new(&cluster, &wl, LoadBalance::Balanced, cfg).unwrap();
+        let key = simulation_key(&sim);
+
+        let mut other_threads = cfg;
+        other_threads.threads = cfg.threads + 7;
+        let sim_t = Simulator::new(&cluster, &wl, LoadBalance::Balanced, other_threads).unwrap();
+        assert_eq!(
+            key,
+            simulation_key(&sim_t),
+            "threads must not change the key"
+        );
+
+        let mut other_seed = cfg;
+        other_seed.seed += 1;
+        let sim_s = Simulator::new(&cluster, &wl, LoadBalance::Balanced, other_seed).unwrap();
+        assert_ne!(key, simulation_key(&sim_s));
+
+        let sim_b =
+            Simulator::new(&cluster, &wl, LoadBalance::Uneven { spread: 0.2 }, cfg).unwrap();
+        assert_ne!(key, simulation_key(&sim_b));
+
+        let other_wl = Firestarter::new(RunPhases::core_only(400.0).unwrap());
+        let sim_w = Simulator::new(&cluster, &other_wl, LoadBalance::Balanced, cfg).unwrap();
+        assert_ne!(key, simulation_key(&sim_w));
+    }
+
+    #[test]
+    fn different_windows_and_subsets_are_separate_entries() {
+        let (cluster, wl, cfg) = fixture();
+        let sim = Simulator::new(&cluster, &wl, LoadBalance::Balanced, cfg).unwrap();
+        let store = TraceStore::new();
+        store
+            .products(&sim, &ProductRequest::with_averages(0.0, 100.0))
+            .unwrap();
+        store
+            .products(&sim, &ProductRequest::with_averages(100.0, 200.0))
+            .unwrap();
+        store
+            .products(&sim, &ProductRequest::subset_only(&[0, 1]))
+            .unwrap();
+        store
+            .products(&sim, &ProductRequest::subset_only(&[2, 3]))
+            .unwrap();
+        assert_eq!(store.misses(), 4);
+        assert_eq!(store.len(), 4);
+        store.clear();
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn cached_hit_still_rejects_invalid_requests() {
+        let (cluster, wl, cfg) = fixture();
+        let sim = Simulator::new(&cluster, &wl, LoadBalance::Balanced, cfg).unwrap();
+        let store = TraceStore::new();
+        store
+            .products(&sim, &ProductRequest::system_only())
+            .unwrap();
+        // Degenerate and out-of-run windows fail even though a full-sweep
+        // entry exists.
+        assert!(store
+            .products(&sim, &ProductRequest::with_averages(50.0, 50.0))
+            .is_err());
+        assert!(store
+            .products(&sim, &ProductRequest::with_averages(5000.0, 6000.0))
+            .is_err());
+    }
+
+    #[test]
+    fn thread_count_invariance_holds_through_the_cache() {
+        let (cluster, wl, cfg) = fixture();
+        let mut c1 = cfg;
+        c1.threads = 1;
+        let mut c8 = cfg;
+        c8.threads = 8;
+        let sim1 = Simulator::new(&cluster, &wl, LoadBalance::Balanced, c1).unwrap();
+        let sim8 = Simulator::new(&cluster, &wl, LoadBalance::Balanced, c8).unwrap();
+        // Fresh store per thread count, so each genuinely simulates.
+        let p1 = TraceStore::new()
+            .products(&sim1, &ProductRequest::with_averages(20.0, 200.0))
+            .unwrap();
+        let p8 = TraceStore::new()
+            .products(&sim8, &ProductRequest::with_averages(20.0, 200.0))
+            .unwrap();
+        for scope in MeterScope::ALL {
+            let t1 = p1.system_trace(scope).unwrap();
+            let t8 = p8.system_trace(scope).unwrap();
+            for (a, b) in t1.watts.iter().zip(&t8.watts) {
+                assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+            }
+            for (a, b) in p1
+                .node_averages(scope)
+                .unwrap()
+                .iter()
+                .zip(p8.node_averages(scope).unwrap())
+            {
+                assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+            }
+        }
+        // And because the key ignores `threads`, either simulator's
+        // products would have served the other's request.
+        assert_eq!(simulation_key(&sim1), simulation_key(&sim8));
+    }
+}

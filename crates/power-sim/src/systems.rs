@@ -277,8 +277,7 @@ impl NodeBudget {
         let compute = c0 + self.c1() * self.mean_util - self.fan_w();
         let needed = target_cv * self.dc_w() / compute;
         let leak_per_socket = self.leak_frac * c0 / self.sockets as f64;
-        let from_leak =
-            (self.sockets as f64).sqrt() * leak_per_socket * LEAK_SIGMA / compute;
+        let from_leak = (self.sockets as f64).sqrt() * leak_per_socket * LEAK_SIGMA / compute;
         let node_sigma = (needed * needed - from_leak * from_leak).max(1e-8).sqrt();
         VariabilityModel {
             leakage_sigma: LEAK_SIGMA,
@@ -733,8 +732,7 @@ impl LcscCaseStudy {
             PresetWorkload::Hpl(h) => *h,
             _ => unreachable!("lcsc preset runs HPL"),
         };
-        let mut budget =
-            NodeBudget::cpu(59_100.0 / 160.0, 0.533, hpl.mean_core_utilization(), 4);
+        let mut budget = NodeBudget::cpu(59_100.0 / 160.0, 0.533, hpl.mean_core_utilization(), 4);
         budget.psu_eff = 0.93;
         budget.f_nom_mhz = 774.0;
         budget.v_nom = 1.018;
@@ -828,8 +826,8 @@ mod tests {
                 &FanPolicy::Pinned { speed: 0.5 },
                 60.0,
             );
-            let target = preset.targets.core_kw.unwrap() * 1000.0
-                / preset.cluster_spec.total_nodes as f64;
+            let target =
+                preset.targets.core_kw.unwrap() * 1000.0 / preset.cluster_spec.total_nodes as f64;
             assert!(
                 (power.wall_w - target).abs() / target < 0.01,
                 "{}: wall {} vs target {}",
@@ -850,7 +848,11 @@ mod tests {
             assert!(node.static_power.watts >= 0.0, "{}", preset.name);
             for proc in &node.processors {
                 assert!(proc.dynamic_w > 0.0, "{}", preset.name);
-                assert!(proc.leakage_w > 0.0 || preset.name == "Titan", "{}", preset.name);
+                assert!(
+                    proc.leakage_w > 0.0 || preset.name == "Titan",
+                    "{}",
+                    preset.name
+                );
             }
             assert!(node.memory.idle_w >= 0.0 && node.memory.active_w >= 0.0);
         }

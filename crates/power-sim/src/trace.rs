@@ -8,12 +8,91 @@
 //!
 //! Both store regularly sampled data (`t0 + i * dt`), matching the
 //! methodology's "one power sample per second" granularity requirement.
+//!
+//! # Window queries are O(1)
+//!
+//! Because sampling is regular, a window `[from, to)` maps to a fractional
+//! index span in sample coordinates, and every window integral is a
+//! difference of two cumulative-energy lookups. Each trace lazily builds a
+//! cumulative (prefix-sum) array over its samples on first query — using
+//! Neumaier-compensated summation so long traces lose no precision — after
+//! which [`SystemTrace::window_average`], [`SystemTrace::window_energy`] and
+//! [`NodeTrace::node_window_averages`] cost O(1) per node instead of a scan
+//! over every sample. The linear-scan reference implementations are kept as
+//! `*_naive` methods; differential tests and the ablation benchmark hold the
+//! two within 1e-9 of each other.
+//!
+//! The sample buffers stay public for ergonomic construction in tests and
+//! experiments. Mutating `watts`/`samples` **after** a window query would
+//! stale the cached prefix sums, so in-place scaling is offered as
+//! [`SystemTrace::scaled`] (returns a fresh trace) and any other in-place
+//! mutation must be followed by [`SystemTrace::invalidate_cache`] /
+//! [`NodeTrace::invalidate_cache`].
 
 use crate::{Result, SimError};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// Neumaier-compensated prefix sums: `prefix[i]` is the sum of
+/// `values[..i]`, with the running compensation folded into every entry.
+fn compensated_prefix(values: &[f64]) -> Vec<f64> {
+    let mut prefix = Vec::with_capacity(values.len() + 1);
+    prefix.push(0.0);
+    let mut sum = 0.0;
+    let mut comp = 0.0;
+    for &v in values {
+        let t = sum + v;
+        comp += if sum.abs() >= v.abs() {
+            (sum - t) + v
+        } else {
+            (v - t) + sum
+        };
+        sum = t;
+        prefix.push(sum + comp);
+    }
+    prefix
+}
+
+/// Cumulative sample-sum at fractional index `x ∈ [0, len]`: full samples
+/// below `floor(x)` plus a linear fraction of sample `floor(x)`.
+fn cum_at(prefix: &[f64], values: &[f64], x: f64) -> f64 {
+    let i = x as usize;
+    if i >= values.len() {
+        prefix[values.len()]
+    } else {
+        prefix[i] + values[i] * (x - i as f64)
+    }
+}
+
+/// Clamps `[from, to)` (seconds) to the sampled range and converts it to
+/// fractional sample coordinates; `None` when the overlap has zero measure.
+fn clamped_span(t0: f64, dt: f64, len: usize, from: f64, to: f64) -> Option<(f64, f64)> {
+    let n = len as f64;
+    let lo = ((from - t0) / dt).clamp(0.0, n);
+    let hi = ((to - t0) / dt).clamp(0.0, n);
+    if hi > lo {
+        Some((lo, hi))
+    } else {
+        None
+    }
+}
+
+fn err_degenerate_window() -> SimError {
+    SimError::InvalidConfig {
+        field: "to",
+        reason: "window end must exceed window start",
+    }
+}
+
+fn err_outside_window() -> SimError {
+    SimError::InvalidConfig {
+        field: "window",
+        reason: "window does not overlap the trace",
+    }
+}
 
 /// Whole-machine power versus time, regularly sampled.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SystemTrace {
     /// Time of the first sample (seconds).
     pub t0: f64,
@@ -21,6 +100,15 @@ pub struct SystemTrace {
     pub dt: f64,
     /// Total machine power at each sample (watts).
     pub watts: Vec<f64>,
+    /// Lazily built compensated prefix sums over `watts` (length + 1).
+    cum: OnceLock<Vec<f64>>,
+}
+
+impl PartialEq for SystemTrace {
+    fn eq(&self, other: &Self) -> bool {
+        // The prefix cache is derived state; equality is over the data.
+        self.t0 == other.t0 && self.dt == other.dt && self.watts == other.watts
+    }
 }
 
 impl SystemTrace {
@@ -32,7 +120,12 @@ impl SystemTrace {
                 reason: "sample interval must be positive",
             });
         }
-        Ok(SystemTrace { t0, dt, watts })
+        Ok(SystemTrace {
+            t0,
+            dt,
+            watts,
+            cum: OnceLock::new(),
+        })
     }
 
     /// Number of samples.
@@ -55,16 +148,62 @@ impl SystemTrace {
         self.t0 + self.watts.len() as f64 * self.dt
     }
 
+    /// The prefix-sum cache, built on first use.
+    fn cum(&self) -> &[f64] {
+        self.cum.get_or_init(|| compensated_prefix(&self.watts))
+    }
+
+    /// Drops the cached prefix sums. Required after mutating `watts` in
+    /// place; prefer [`SystemTrace::scaled`] where it fits.
+    pub fn invalidate_cache(&mut self) {
+        self.cum = OnceLock::new();
+    }
+
+    /// A copy of this trace with every sample multiplied by `factor`
+    /// (e.g. extrapolating a metered fraction to the full machine).
+    pub fn scaled(&self, factor: f64) -> Self {
+        SystemTrace {
+            t0: self.t0,
+            dt: self.dt,
+            watts: self.watts.iter().map(|w| w * factor).collect(),
+            cum: OnceLock::new(),
+        }
+    }
+
     /// Average power over the time window `[from, to)` in seconds.
     ///
     /// Samples are treated as averages over `[t_i, t_i + dt)`; partial
-    /// overlap at the window edges is weighted accordingly.
+    /// overlap at the window edges is weighted accordingly, and windows
+    /// extending beyond the trace clip to it. O(1) after the first query
+    /// on this trace.
     pub fn window_average(&self, from: f64, to: f64) -> Result<f64> {
         if !(to > from) {
-            return Err(SimError::InvalidConfig {
-                field: "to",
-                reason: "window end must exceed window start",
-            });
+            return Err(err_degenerate_window());
+        }
+        let (lo, hi) = clamped_span(self.t0, self.dt, self.watts.len(), from, to)
+            .ok_or_else(err_outside_window)?;
+        let cum = self.cum();
+        Ok((cum_at(cum, &self.watts, hi) - cum_at(cum, &self.watts, lo)) / (hi - lo))
+    }
+
+    /// Energy in joules over `[from, to)`, clipped to the trace. O(1)
+    /// after the first query; errors up front on degenerate windows and on
+    /// windows entirely outside the sampled range.
+    pub fn window_energy(&self, from: f64, to: f64) -> Result<f64> {
+        if !(to > from) {
+            return Err(err_degenerate_window());
+        }
+        let (lo, hi) = clamped_span(self.t0, self.dt, self.watts.len(), from, to)
+            .ok_or_else(err_outside_window)?;
+        let cum = self.cum();
+        Ok((cum_at(cum, &self.watts, hi) - cum_at(cum, &self.watts, lo)) * self.dt)
+    }
+
+    /// Linear-scan reference for [`SystemTrace::window_average`]; kept for
+    /// differential tests and the ablation benchmark.
+    pub fn window_average_naive(&self, from: f64, to: f64) -> Result<f64> {
+        if !(to > from) {
+            return Err(err_degenerate_window());
         }
         let mut weighted = 0.0;
         let mut weight = 0.0;
@@ -76,28 +215,28 @@ impl SystemTrace {
             weight += overlap;
         }
         if weight <= 0.0 {
-            return Err(SimError::InvalidConfig {
-                field: "window",
-                reason: "window does not overlap the trace",
-            });
+            return Err(err_outside_window());
         }
         Ok(weighted / weight)
     }
 
-    /// Energy in joules over `[from, to)`.
-    pub fn window_energy(&self, from: f64, to: f64) -> Result<f64> {
+    /// Linear-scan reference for [`SystemTrace::window_energy`]; kept for
+    /// differential tests and the ablation benchmark.
+    pub fn window_energy_naive(&self, from: f64, to: f64) -> Result<f64> {
+        if !(to > from) {
+            return Err(err_degenerate_window());
+        }
         let mut energy = 0.0;
+        let mut weight = 0.0;
         for (i, &w) in self.watts.iter().enumerate() {
             let a = self.time_at(i);
             let b = a + self.dt;
             let overlap = (b.min(to) - a.max(from)).max(0.0);
             energy += w * overlap;
+            weight += overlap;
         }
-        if !(to > from) {
-            return Err(SimError::InvalidConfig {
-                field: "to",
-                reason: "window end must exceed window start",
-            });
+        if weight <= 0.0 {
+            return Err(err_outside_window());
         }
         Ok(energy)
     }
@@ -107,7 +246,8 @@ impl SystemTrace {
         if self.watts.is_empty() {
             return f64::NAN;
         }
-        self.watts.iter().sum::<f64>() / self.watts.len() as f64
+        let cum = self.cum();
+        cum[self.watts.len()] / self.watts.len() as f64
     }
 
     /// Peak power over the whole trace.
@@ -117,7 +257,7 @@ impl SystemTrace {
 }
 
 /// Per-node power samples for a metered subset of nodes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NodeTrace {
     /// Global indices of the metered nodes.
     pub node_ids: Vec<usize>,
@@ -127,6 +267,17 @@ pub struct NodeTrace {
     pub dt: f64,
     /// `samples[k]` holds the trace of `node_ids[k]`.
     pub samples: Vec<Vec<f64>>,
+    /// Lazily built per-node compensated prefix sums.
+    cum: OnceLock<Vec<Vec<f64>>>,
+}
+
+impl PartialEq for NodeTrace {
+    fn eq(&self, other: &Self) -> bool {
+        self.node_ids == other.node_ids
+            && self.t0 == other.t0
+            && self.dt == other.dt
+            && self.samples == other.samples
+    }
 }
 
 impl NodeTrace {
@@ -157,6 +308,7 @@ impl NodeTrace {
             t0,
             dt,
             samples,
+            cum: OnceLock::new(),
         })
     }
 
@@ -170,27 +322,56 @@ impl NodeTrace {
         self.samples.first().map_or(0, Vec::len)
     }
 
+    /// Per-node prefix-sum caches, built on first use.
+    fn cum(&self) -> &[Vec<f64>] {
+        self.cum
+            .get_or_init(|| self.samples.iter().map(|s| compensated_prefix(s)).collect())
+    }
+
+    /// Drops the cached prefix sums. Required after mutating `samples` in
+    /// place.
+    pub fn invalidate_cache(&mut self) {
+        self.cum = OnceLock::new();
+    }
+
     /// Time-averaged power of each metered node over the whole trace.
     pub fn node_averages(&self) -> Vec<f64> {
+        let cum = self.cum();
         self.samples
             .iter()
-            .map(|s| {
+            .zip(cum)
+            .map(|(s, c)| {
                 if s.is_empty() {
                     f64::NAN
                 } else {
-                    s.iter().sum::<f64>() / s.len() as f64
+                    c[s.len()] / s.len() as f64
                 }
             })
             .collect()
     }
 
-    /// Time-averaged power of each node over the window `[from, to)`.
+    /// Time-averaged power of each node over the window `[from, to)`,
+    /// clipped to the trace. O(1) per node after the first query.
     pub fn node_window_averages(&self, from: f64, to: f64) -> Result<Vec<f64>> {
         if !(to > from) {
-            return Err(SimError::InvalidConfig {
-                field: "to",
-                reason: "window end must exceed window start",
-            });
+            return Err(err_degenerate_window());
+        }
+        let (lo, hi) = clamped_span(self.t0, self.dt, self.sample_count(), from, to)
+            .ok_or_else(err_outside_window)?;
+        let cum = self.cum();
+        Ok(self
+            .samples
+            .iter()
+            .zip(cum)
+            .map(|(s, c)| (cum_at(c, s, hi) - cum_at(c, s, lo)) / (hi - lo))
+            .collect())
+    }
+
+    /// Linear-scan reference for [`NodeTrace::node_window_averages`]; kept
+    /// for differential tests and the ablation benchmark.
+    pub fn node_window_averages_naive(&self, from: f64, to: f64) -> Result<Vec<f64>> {
+        if !(to > from) {
+            return Err(err_degenerate_window());
         }
         let mut out = Vec::with_capacity(self.samples.len());
         for series in &self.samples {
@@ -204,10 +385,7 @@ impl NodeTrace {
                 weight += overlap;
             }
             if weight <= 0.0 {
-                return Err(SimError::InvalidConfig {
-                    field: "window",
-                    reason: "window does not overlap the trace",
-                });
+                return Err(err_outside_window());
             }
             out.push(weighted / weight);
         }
@@ -270,6 +448,71 @@ mod tests {
         assert!((t.window_energy(0.0, 2.0).unwrap() - 210.0).abs() < 1e-12);
         // Whole trace: sum = 1450 J.
         assert!((t.window_energy(0.0, 10.0).unwrap() - 1450.0).abs() < 1e-12);
+        // Validation is up front: degenerate and non-overlapping windows
+        // error before any work.
+        assert!(t.window_energy(5.0, 5.0).is_err());
+        assert!(t.window_energy(50.0, 60.0).is_err());
+    }
+
+    #[test]
+    fn prefix_and_naive_agree() {
+        let t = SystemTrace::new(
+            12.5,
+            0.75,
+            (0..257)
+                .map(|i| 1e5 + (i as f64 * 0.37).sin() * 3e4)
+                .collect(),
+        )
+        .unwrap();
+        for &(from, to) in &[
+            (12.5, 205.25),
+            (13.0, 14.0),
+            (12.9, 13.1),
+            (-50.0, 20.0),
+            (100.0, 1e9),
+            (12.5, 12.5 + 0.75),
+        ] {
+            let fast = t.window_average(from, to).unwrap();
+            let slow = t.window_average_naive(from, to).unwrap();
+            assert!(
+                (fast - slow).abs() <= 1e-9 * (1.0 + slow.abs()),
+                "avg [{from}, {to}): {fast} vs {slow}"
+            );
+            let fast_e = t.window_energy(from, to).unwrap();
+            let slow_e = t.window_energy_naive(from, to).unwrap();
+            assert!(
+                (fast_e - slow_e).abs() <= 1e-9 * (1.0 + slow_e.abs()),
+                "energy [{from}, {to}): {fast_e} vs {slow_e}"
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_and_invalidate() {
+        let t = ramp_trace();
+        // Prime the cache, then derive a scaled copy: fresh cache, scaled
+        // answers.
+        assert!((t.window_average(0.0, 10.0).unwrap() - 145.0).abs() < 1e-12);
+        let double = t.scaled(2.0);
+        assert!((double.window_average(0.0, 10.0).unwrap() - 290.0).abs() < 1e-12);
+        // In-place mutation requires explicit invalidation.
+        let mut m = ramp_trace();
+        assert!((m.window_average(0.0, 10.0).unwrap() - 145.0).abs() < 1e-12);
+        for w in &mut m.watts {
+            *w *= 3.0;
+        }
+        m.invalidate_cache();
+        assert!((m.window_average(0.0, 10.0).unwrap() - 435.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equality_ignores_cache_state() {
+        let a = ramp_trace();
+        let b = ramp_trace();
+        let _ = a.window_average(0.0, 10.0); // prime only a's cache
+        assert_eq!(a, b);
+        let c = a.clone(); // clones carry the data (and any cache) along
+        assert_eq!(c, b);
     }
 
     #[test]
@@ -322,16 +565,12 @@ mod tests {
 
     #[test]
     fn node_window_averages() {
-        let t = NodeTrace::new(
-            vec![0],
-            0.0,
-            1.0,
-            vec![vec![100.0, 200.0, 300.0, 400.0]],
-        )
-        .unwrap();
+        let t = NodeTrace::new(vec![0], 0.0, 1.0, vec![vec![100.0, 200.0, 300.0, 400.0]]).unwrap();
         let w = t.node_window_averages(1.0, 3.0).unwrap();
         assert!((w[0] - 250.0).abs() < 1e-12);
         assert!(t.node_window_averages(10.0, 20.0).is_err());
         assert!(t.node_window_averages(2.0, 2.0).is_err());
+        let naive = t.node_window_averages_naive(1.0, 3.0).unwrap();
+        assert!((w[0] - naive[0]).abs() < 1e-12);
     }
 }

@@ -192,10 +192,7 @@ mod tests {
         }
         for (bin, &c) in counts.iter().enumerate() {
             let frac = c as f64 / n as f64;
-            assert!(
-                (frac - 1.0 / 6.0).abs() < 0.02,
-                "bin {bin}: frac = {frac}"
-            );
+            assert!((frac - 1.0 / 6.0).abs() < 0.02, "bin {bin}: frac = {frac}");
         }
     }
 

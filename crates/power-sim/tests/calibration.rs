@@ -164,8 +164,7 @@ fn figure2_distributions_near_normal() {
     ] {
         let cluster = Cluster::build(preset.cluster_spec.clone()).unwrap();
         let workload = preset.workload.workload();
-        let sim =
-            Simulator::new(&cluster, workload, preset.balance, sim_config(120.0)).unwrap();
+        let sim = Simulator::new(&cluster, workload, preset.balance, sim_config(120.0)).unwrap();
         let phases = workload.phases();
         let averages = sim
             .node_averages(

@@ -9,6 +9,7 @@ use power_sim::fan::{FanPolicy, FanSpec};
 use power_sim::hierarchy::{MeasurementPoint, PowerHierarchy};
 use power_sim::node::NodeSpec;
 use power_sim::thermal::{ThermalSpec, ThermalState};
+use power_sim::trace::{NodeTrace, SystemTrace};
 use power_sim::variability::{AsicSample, VariabilityModel};
 use power_sim::vid::VoltagePolicy;
 use power_stats::rng::seeded;
@@ -36,25 +37,27 @@ fn arb_node() -> impl Strategy<Value = NodeSpec> {
         0.0..200.0f64,
         0.75..1.0f64,
     )
-        .prop_map(|(proc_, sockets, mem_idle, mem_active, static_w, psu)| NodeSpec {
-            processors: vec![proc_; sockets],
-            memory: MemorySpec {
-                idle_w: mem_idle,
-                active_w: mem_active,
+        .prop_map(
+            |(proc_, sockets, mem_idle, mem_active, static_w, psu)| NodeSpec {
+                processors: vec![proc_; sockets],
+                memory: MemorySpec {
+                    idle_w: mem_idle,
+                    active_w: mem_active,
+                },
+                static_power: StaticSpec { watts: static_w },
+                fan: FanSpec {
+                    max_power_w: 120.0,
+                    min_speed: 0.3,
+                },
+                thermal: ThermalSpec {
+                    t_ambient_c: 25.0,
+                    r_th_max: 0.1,
+                    r_th_min: 0.05,
+                    tau_s: 120.0,
+                },
+                psu_efficiency: psu,
             },
-            static_power: StaticSpec { watts: static_w },
-            fan: FanSpec {
-                max_power_w: 120.0,
-                min_speed: 0.3,
-            },
-            thermal: ThermalSpec {
-                t_ambient_c: 25.0,
-                r_th_max: 0.1,
-                r_th_min: 0.05,
-                tau_s: 120.0,
-            },
-            psu_efficiency: psu,
-        })
+        )
 }
 
 fn pstate(f: f64, v: f64) -> PState {
@@ -200,6 +203,75 @@ proptest! {
             let mult = m.sample_node_multiplier(&mut rng);
             prop_assert!(mult >= 0.1);
             prop_assert!(mult <= 1.0 + 4.0 * node_sigma + 1e-9);
+        }
+    }
+
+    #[test]
+    fn prefix_sum_window_queries_match_naive_scan(
+        watts in prop::collection::vec(0.0..5_000.0f64, 1..300),
+        t0 in -120.0..120.0f64,
+        dt in 0.1..90.0f64,
+        // Window endpoints in *trace-relative* fractions so the cases
+        // cover interior windows, partial-overlap edges, full clipping,
+        // and fully-outside windows alike.
+        fa in -0.5..1.5f64,
+        fb in -0.5..1.5f64,
+    ) {
+        let trace = SystemTrace::new(t0, dt, watts.clone()).unwrap();
+        let span = trace.len() as f64 * dt;
+        let (lo, hi) = if fa < fb { (fa, fb) } else { (fb, fa) };
+        let from = t0 + lo * span;
+        let to = t0 + hi * span;
+
+        let close = |fast: f64, slow: f64| {
+            (fast - slow).abs() <= 1e-9 * (1.0 + slow.abs())
+        };
+        match (trace.window_average(from, to), trace.window_average_naive(from, to)) {
+            (Ok(fast), Ok(slow)) => prop_assert!(
+                close(fast, slow),
+                "average: prefix {fast} vs naive {slow} on [{from}, {to})"
+            ),
+            (fast, slow) => prop_assert_eq!(
+                fast.is_err(),
+                slow.is_err(),
+                "average error disagreement on [{}, {})",
+                from,
+                to
+            ),
+        }
+        match (trace.window_energy(from, to), trace.window_energy_naive(from, to)) {
+            (Ok(fast), Ok(slow)) => prop_assert!(
+                close(fast, slow),
+                "energy: prefix {fast} vs naive {slow} on [{from}, {to})"
+            ),
+            (fast, slow) => prop_assert_eq!(
+                fast.is_err(),
+                slow.is_err(),
+                "energy error disagreement on [{}, {})",
+                from,
+                to
+            ),
+        }
+
+        // Per-node queries: split the same samples across two nodes.
+        let nodes = NodeTrace::new(
+            vec![0, 1],
+            t0,
+            dt,
+            vec![watts.clone(), watts.iter().rev().copied().collect()],
+        )
+        .unwrap();
+        match (
+            nodes.node_window_averages(from, to),
+            nodes.node_window_averages_naive(from, to),
+        ) {
+            (Ok(fast), Ok(slow)) => {
+                prop_assert_eq!(fast.len(), slow.len());
+                for (f, s) in fast.iter().zip(&slow) {
+                    prop_assert!(close(*f, *s), "node average: {f} vs {s}");
+                }
+            }
+            (fast, slow) => prop_assert_eq!(fast.is_err(), slow.is_err()),
         }
     }
 

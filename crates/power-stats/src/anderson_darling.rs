@@ -110,7 +110,11 @@ mod tests {
     fn accepts_gaussian_data() {
         for seed in [1, 2, 3] {
             let ad = anderson_darling(&gaussian(300, seed)).unwrap();
-            assert!(!ad.rejects_normality(0.01), "seed {seed}: p = {}", ad.p_value);
+            assert!(
+                !ad.rejects_normality(0.01),
+                "seed {seed}: p = {}",
+                ad.p_value
+            );
             assert!(ad.a2 > 0.0);
             assert!(ad.a2_star >= ad.a2);
         }

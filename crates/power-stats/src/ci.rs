@@ -158,12 +158,7 @@ pub fn mean_ci_z_finite(
 /// 4 worked example states that measuring 4 of 210 nodes at `cv = 2%` gives
 /// 95% confidence of being "within 3.2%", while 292 of 18 688 nodes gives
 /// "within 0.2%".
-pub fn predicted_relative_accuracy(
-    confidence: f64,
-    cv: f64,
-    n: u64,
-    use_t: bool,
-) -> Result<f64> {
+pub fn predicted_relative_accuracy(confidence: f64, cv: f64, n: u64, use_t: bool) -> Result<f64> {
     if n < 2 {
         return Err(StatsError::InsufficientData {
             needed: 2,

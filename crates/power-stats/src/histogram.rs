@@ -263,7 +263,9 @@ mod tests {
     #[test]
     fn unimodal_gaussian_has_one_mode() {
         let mut rng = seeded(22);
-        let vals: Vec<f64> = (0..5000).map(|_| normal_draw(&mut rng, 400.0, 8.0)).collect();
+        let vals: Vec<f64> = (0..5000)
+            .map(|_| normal_draw(&mut rng, 400.0, 8.0))
+            .collect();
         let h = Histogram::new(&vals, Binning::Fixed(25)).unwrap();
         assert_eq!(h.modes(0.25), 1);
     }
@@ -271,7 +273,9 @@ mod tests {
     #[test]
     fn bimodal_mixture_has_two_modes() {
         let mut rng = seeded(23);
-        let mut vals: Vec<f64> = (0..2500).map(|_| normal_draw(&mut rng, 100.0, 3.0)).collect();
+        let mut vals: Vec<f64> = (0..2500)
+            .map(|_| normal_draw(&mut rng, 100.0, 3.0))
+            .collect();
         vals.extend((0..2500).map(|_| normal_draw(&mut rng, 160.0, 3.0)));
         let h = Histogram::new(&vals, Binning::Fixed(30)).unwrap();
         assert_eq!(h.modes(0.25), 2);

@@ -41,7 +41,6 @@
 // instead of silently accepted.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
-
 pub mod anderson_darling;
 pub mod bootstrap;
 pub mod ci;

@@ -217,7 +217,9 @@ mod tests {
     #[test]
     fn report_unsafe_for_bimodal() {
         let mut rng = seeded(36);
-        let mut vals: Vec<f64> = (0..500).map(|_| normal_draw(&mut rng, 100.0, 2.0)).collect();
+        let mut vals: Vec<f64> = (0..500)
+            .map(|_| normal_draw(&mut rng, 100.0, 2.0))
+            .collect();
         vals.extend((0..500).map(|_| normal_draw(&mut rng, 200.0, 2.0)));
         let report = assess_normality(&vals).unwrap();
         assert!(!report.procedure_is_safe());

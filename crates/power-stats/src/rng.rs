@@ -134,7 +134,9 @@ mod tests {
     #[test]
     fn scaled_draws() {
         let mut rng = seeded(5);
-        let s: Summary = (0..50_000).map(|_| normal_draw(&mut rng, 400.0, 8.0)).collect();
+        let s: Summary = (0..50_000)
+            .map(|_| normal_draw(&mut rng, 400.0, 8.0))
+            .collect();
         assert!((s.mean() - 400.0).abs() < 0.3);
         assert!((s.sample_std_dev().unwrap() - 8.0).abs() < 0.2);
     }

@@ -137,11 +137,7 @@ impl SampleSizePlan {
 ///
 /// The paper's point: for balanced workloads this is far more conservative
 /// than the normal-theory Equation 4.
-pub fn chernoff_hoeffding_nodes(
-    confidence: f64,
-    lambda: f64,
-    range_over_mu: f64,
-) -> Result<u64> {
+pub fn chernoff_hoeffding_nodes(confidence: f64, lambda: f64, range_over_mu: f64) -> Result<u64> {
     if !(confidence > 0.0 && confidence < 1.0) {
         return Err(StatsError::InvalidParameter {
             name: "confidence",

@@ -291,11 +291,7 @@ mod tests {
     #[test]
     fn ln_gamma_half_integer() {
         // Gamma(1/2) = sqrt(pi)
-        assert!(close(
-            ln_gamma(0.5),
-            0.5 * std::f64::consts::PI.ln(),
-            1e-13
-        ));
+        assert!(close(ln_gamma(0.5), 0.5 * std::f64::consts::PI.ln(), 1e-13));
         // Gamma(3/2) = sqrt(pi)/2
         assert!(close(
             ln_gamma(1.5),

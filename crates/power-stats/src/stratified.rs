@@ -211,8 +211,7 @@ mod tests {
         let summary = Summary::from_slice(&s.sample);
         assert!((est.mean - summary.mean()).abs() < 1e-12);
         // SE matches sqrt(fpc * s^2 / n).
-        let want =
-            ((1.0 - 0.05) * summary.sample_variance().unwrap() / 50.0).sqrt();
+        let want = ((1.0 - 0.05) * summary.sample_variance().unwrap() / 50.0).sqrt();
         assert!((est.std_error - want).abs() < 1e-12);
         assert_eq!(est.population, 1000);
         assert_eq!(est.sampled, 50);

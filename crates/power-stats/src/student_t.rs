@@ -217,7 +217,10 @@ mod tests {
         ];
         for (nu, want) in cases {
             let got = t_critical(0.95, nu).unwrap();
-            assert!((got - want).abs() < 1e-6, "nu = {nu}: got {got} want {want}");
+            assert!(
+                (got - want).abs() < 1e-6,
+                "nu = {nu}: got {got} want {want}"
+            );
         }
     }
 

@@ -246,20 +246,18 @@ mod tests {
 
     #[test]
     fn merge_matches_sequential() {
-        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 211) as f64 * 0.73 - 40.0).collect();
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| ((i * 37) % 211) as f64 * 0.73 - 40.0)
+            .collect();
         let whole = Summary::from_slice(&xs);
         let mut a = Summary::from_slice(&xs[..317]);
         let b = Summary::from_slice(&xs[317..]);
         a.merge(&b);
         assert_eq!(a.count(), whole.count());
         assert!((a.mean() - whole.mean()).abs() < 1e-10);
-        assert!(
-            (a.sample_variance().unwrap() - whole.sample_variance().unwrap()).abs() < 1e-8
-        );
+        assert!((a.sample_variance().unwrap() - whole.sample_variance().unwrap()).abs() < 1e-8);
         assert!((a.skewness().unwrap() - whole.skewness().unwrap()).abs() < 1e-8);
-        assert!(
-            (a.excess_kurtosis().unwrap() - whole.excess_kurtosis().unwrap()).abs() < 1e-7
-        );
+        assert!((a.excess_kurtosis().unwrap() - whole.excess_kurtosis().unwrap()).abs() < 1e-7);
     }
 
     #[test]

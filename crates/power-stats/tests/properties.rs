@@ -1,16 +1,16 @@
 //! Property-based tests for the statistics substrate.
 
-use proptest::prelude::*;
 use power_stats::ci::{fpc_factor, mean_ci_t, mean_ci_z};
 use power_stats::empirical::Empirical;
 use power_stats::histogram::{Binning, Histogram};
 use power_stats::normal::{standard_cdf, standard_quantile, z_critical};
+use power_stats::rng::seeded;
 use power_stats::sample_size::{chernoff_hoeffding_nodes, SampleSizePlan};
 use power_stats::sampling::{gather, sample_without_replacement};
 use power_stats::special::{beta_inc, erf, erfc, gamma_p, gamma_q};
 use power_stats::student_t::{t_critical, StudentT};
 use power_stats::summary::Summary;
-use power_stats::rng::seeded;
+use proptest::prelude::*;
 
 fn finite_values(n: usize) -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(-1e6..1e6f64, n..n * 4)

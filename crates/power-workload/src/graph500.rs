@@ -74,8 +74,7 @@ impl Graph500 {
         let steps = 20_000;
         let mut acc = 0.0;
         for i in 0..steps {
-            let t = self.phases.core_start()
-                + (i as f64 + 0.5) / steps as f64 * self.phases.core();
+            let t = self.phases.core_start() + (i as f64 + 0.5) / steps as f64 * self.phases.core();
             acc += self.utilization(0, t);
         }
         acc / steps as f64

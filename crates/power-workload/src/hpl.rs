@@ -257,8 +257,8 @@ impl Workload for Hpl {
         // Deterministic panel/update ripple, dephased per node so that the
         // machine-level sum stays jagged but bounded.
         if self.shape.ripple > 0.0 {
-            let phase = tau * self.shape.panel_steps * std::f64::consts::TAU
-                + (node as f64) * 2.399_963; // golden-angle dephasing
+            let phase =
+                tau * self.shape.panel_steps * std::f64::consts::TAU + (node as f64) * 2.399_963; // golden-angle dephasing
             u += self.shape.ripple * phase.sin();
         }
         u.clamp(0.0, 1.0)

@@ -192,5 +192,4 @@ mod tests {
         assert!(RunPhases::new(0.0, f64::NAN, 0.0).is_err());
         assert!(RunPhases::new(0.0, 100.0, f64::INFINITY).is_err());
     }
-
 }

@@ -1,0 +1,265 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API subset the workspace's `power-bench` targets use —
+//! [`Criterion::benchmark_group`], [`Criterion::bench_function`],
+//! [`BenchmarkId`], [`criterion_group!`], [`criterion_main!`] — with an
+//! honest adaptive wall-clock measurement loop: each benchmark is warmed
+//! up, iteration counts are calibrated so a batch is long enough for the
+//! OS timer, and min / median / mean per-iteration times over many
+//! batches are reported.
+//!
+//! No statistical outlier analysis, plots or history are produced; the
+//! printed `time: [min median mean]` line is the deliverable. The
+//! `POWER_BENCH_SAMPLES` environment variable overrides the per-bench
+//! sample count (e.g. for smoke runs in CI).
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers work.
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter, rendered `name/param`.
+    pub fn new<P: std::fmt::Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just a parameter, rendered on its own.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything `bench_function` accepts as an identifier.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to the closure of `bench_function`; its [`iter`](Bencher::iter)
+/// method runs and times the workload.
+pub struct Bencher<'a> {
+    samples: usize,
+    /// Collected per-iteration times (seconds), one per batch.
+    result: &'a mut Vec<f64>,
+}
+
+impl Bencher<'_> {
+    /// Times `f`, storing per-iteration statistics.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up for at least one iteration / 100 ms, estimating cost.
+        let warmup_budget = Duration::from_millis(100);
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_iters == 0 || warm_start.elapsed() < warmup_budget {
+            black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Batch size: long enough for timer resolution, small enough to
+        // fit many batches in the budget.
+        let batch = ((0.01 / per_iter.max(1e-9)).ceil() as u64).clamp(1, 1_000_000);
+        // Cap total measurement time at ~2 s.
+        let max_batches = (2.0 / (per_iter * batch as f64).max(1e-9)).ceil() as usize;
+        let batches = self.samples.min(max_batches).max(3);
+
+        self.result.clear();
+        for _ in 0..batches {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.result.push(t.elapsed().as_secs_f64() / batch as f64);
+        }
+    }
+}
+
+fn default_samples() -> usize {
+    std::env::var("POWER_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20)
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+fn run_one(full_id: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut times = Vec::new();
+    {
+        let mut bencher = Bencher {
+            samples,
+            result: &mut times,
+        };
+        f(&mut bencher);
+    }
+    if times.is_empty() {
+        println!("{full_id:<60} (no measurement: Bencher::iter never called)");
+        return;
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let min = times[0];
+    let median = times[times.len() / 2];
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    let mut line = String::new();
+    let _ = write!(
+        line,
+        "{full_id:<60} time: [{} {} {}]",
+        format_time(min),
+        format_time(median),
+        format_time(mean)
+    );
+    println!("{line}");
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            samples: default_samples(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== group: {name}");
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: self.samples,
+            _parent: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into_id(), self.samples, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample count.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(3);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(&full, self.samples, &mut f);
+        self
+    }
+
+    /// Ends the group (printing nothing extra; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, as in criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("scan", 51).into_id(), "scan/51");
+        assert_eq!(BenchmarkId::from_parameter(8).into_id(), "8");
+    }
+
+    #[test]
+    fn bench_runs_and_records() {
+        let mut c = Criterion { samples: 3 };
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| black_box(1 + 1));
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline shim of the `serde` facade.
+//!
+//! The workspace annotates its data types with `#[derive(Serialize,
+//! Deserialize)]` so they are ready for wire formats, but no code path
+//! actually serializes today. In hermetic build environments this shim
+//! supplies the names: marker traits in the type namespace and no-op
+//! derive macros in the macro namespace (both are imported by a single
+//! `use serde::{Deserialize, Serialize};`, exactly as with real serde).
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,20 @@
+//! No-op `Serialize` / `Deserialize` derive macros.
+//!
+//! The workspace only uses serde derives as forward-looking annotations —
+//! no code path serializes or deserializes at runtime — so in hermetic
+//! builds the derives expand to nothing. The `serde(...)` helper
+//! attribute is accepted (and ignored) for compatibility.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]` invocation.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]` invocation.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -80,8 +80,7 @@ fn main() {
     println!();
 
     // Forensics 1: how much was the interval worth on this system?
-    let sim = Simulator::new(&cluster, workload, preset.balance, sim_config)
-        .expect("config valid");
+    let sim = Simulator::new(&cluster, workload, preset.balance, sim_config).expect("config valid");
     let trace = sim.system_trace(MeterScope::Wall).expect("trace");
     let scan = optimal_interval(&trace, &phases, &TimingRule::level1(), 201)
         .expect("scan parameters valid");

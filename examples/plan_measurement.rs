@@ -9,14 +9,14 @@
 //!
 //! Run with: `cargo run --release --example plan_measurement`
 
+use hpcpower::method::extrapolate::extrapolate;
 use hpcpower::sim::engine::{MeterScope, SimulationConfig, Simulator};
 use hpcpower::sim::systems;
 use hpcpower::sim::Cluster;
+use hpcpower::stats::rng::seeded;
 use hpcpower::stats::sample_size::{sample_size_from_pilot, SampleSizePlan};
 use hpcpower::stats::sampling::sample_without_replacement;
 use hpcpower::stats::summary::Summary;
-use hpcpower::method::extrapolate::extrapolate;
-use hpcpower::stats::rng::seeded;
 
 const ELECTRICITY_EUR_PER_KWH: f64 = 0.18;
 const LIFETIME_YEARS: f64 = 5.0;

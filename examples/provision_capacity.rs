@@ -8,8 +8,8 @@ use hpcpower::method::provisioning::{provisioning_report, stranded_capacity};
 use hpcpower::sim::engine::{MeterScope, SimulationConfig, Simulator};
 use hpcpower::sim::systems;
 use hpcpower::sim::Cluster;
-use hpcpower::stats::sampling::sample_without_replacement;
 use hpcpower::stats::rng::seeded;
+use hpcpower::stats::sampling::sample_without_replacement;
 
 const NAMEPLATE_NODE_W: f64 = 520.0;
 const EXCEEDANCE: f64 = 0.001; // 99.9% of intervals under the breaker

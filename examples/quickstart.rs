@@ -26,7 +26,12 @@ fn main() {
         threads: std::thread::available_parallelism().map_or(4, |p| p.get()),
     };
 
-    println!("System: {} ({} nodes), workload: {}", preset.name, cluster.len(), workload.name());
+    println!(
+        "System: {} ({} nodes), workload: {}",
+        preset.name,
+        cluster.len(),
+        workload.name()
+    );
     println!();
     println!(
         "{:<16} {:>7} {:>12} {:>10} {:>10}",

@@ -34,8 +34,8 @@ fn main() {
         let preset = preset.with_total_nodes(n);
         let cluster = Cluster::build(preset.cluster_spec.clone()).expect("preset valid");
         let workload = preset.workload.workload();
-        let sim = Simulator::new(&cluster, workload, preset.balance, sim_config)
-            .expect("config valid");
+        let sim =
+            Simulator::new(&cluster, workload, preset.balance, sim_config).expect("config valid");
         let phases = workload.phases();
         let averages = sim
             .node_averages(
@@ -57,7 +57,11 @@ fn main() {
             s.sample_std_dev().unwrap(),
             cv * 100.0,
             normality.qq_corr,
-            if normality.procedure_is_safe() { "yes" } else { "NO" },
+            if normality.procedure_is_safe() {
+                "yes"
+            } else {
+                "NO"
+            },
             plan.required_nodes(population).unwrap(),
         );
     }
@@ -70,8 +74,7 @@ fn main() {
         .expect("preset exists");
     let cluster = Cluster::build(preset.cluster_spec.clone()).expect("valid");
     let workload = preset.workload.workload();
-    let sim = Simulator::new(&cluster, workload, preset.balance, sim_config)
-        .expect("config valid");
+    let sim = Simulator::new(&cluster, workload, preset.balance, sim_config).expect("config valid");
     let phases = workload.phases();
     let averages = sim
         .node_averages(

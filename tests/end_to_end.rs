@@ -124,9 +124,9 @@ fn sample_size_recommendation_validates_in_simulation() {
     // achieved accuracy against the plan's promise.
     use hpcpower::method::extrapolate::extrapolate;
     use hpcpower::sim::engine::{MeterScope, Simulator};
+    use hpcpower::stats::rng::seeded;
     use hpcpower::stats::sample_size::SampleSizePlan;
     use hpcpower::stats::sampling::sample_without_replacement;
-    use hpcpower::stats::rng::seeded;
 
     let preset = systems::tu_dresden();
     let cluster = Cluster::build(preset.cluster_spec.clone()).unwrap();
@@ -200,9 +200,7 @@ fn titan_gpu_scope_flows_through_the_stack() {
     let phases = workload.phases();
     let window = (phases.core_start() + 0.1 * phases.core(), phases.core_end());
 
-    let gpu = sim
-        .node_averages(window.0, window.1, preset.scope)
-        .unwrap();
+    let gpu = sim.node_averages(window.0, window.1, preset.scope).unwrap();
     let wall = sim
         .node_averages(window.0, window.1, hpcpower::sim::engine::MeterScope::Wall)
         .unwrap();

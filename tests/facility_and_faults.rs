@@ -28,7 +28,10 @@ fn lcsc_trace() -> (SystemTrace, hpcpower::workload::RunPhases) {
         },
     )
     .unwrap();
-    (sim.system_trace(MeterScope::Wall).unwrap(), workload.phases())
+    (
+        sim.system_trace(MeterScope::Wall).unwrap(),
+        workload.phases(),
+    )
 }
 
 /// Section 2.2's facility-meter warning, end to end: the facility reading

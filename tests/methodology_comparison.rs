@@ -43,15 +43,39 @@ fn run(
 fn window_sensitivity_gpu_vs_cpu() {
     let lcsc = systems::lcsc();
     let cluster = Cluster::build(lcsc.cluster_spec.clone()).unwrap();
-    let early = run(&lcsc, &cluster, Methodology::Level1, WindowPlacement::Earliest, 1);
-    let late = run(&lcsc, &cluster, Methodology::Level1, WindowPlacement::Latest, 1);
+    let early = run(
+        &lcsc,
+        &cluster,
+        Methodology::Level1,
+        WindowPlacement::Earliest,
+        1,
+    );
+    let late = run(
+        &lcsc,
+        &cluster,
+        Methodology::Level1,
+        WindowPlacement::Latest,
+        1,
+    );
     let gpu_swing = (early.reported_power_w - late.reported_power_w) / early.reported_power_w;
     assert!(gpu_swing > 0.12, "L-CSC swing {gpu_swing:.3}");
 
     let colosse = systems::colosse().with_total_nodes(96);
     let cluster = Cluster::build(colosse.cluster_spec.clone()).unwrap();
-    let early = run(&colosse, &cluster, Methodology::Level1, WindowPlacement::Earliest, 2);
-    let late = run(&colosse, &cluster, Methodology::Level1, WindowPlacement::Latest, 2);
+    let early = run(
+        &colosse,
+        &cluster,
+        Methodology::Level1,
+        WindowPlacement::Earliest,
+        2,
+    );
+    let late = run(
+        &colosse,
+        &cluster,
+        Methodology::Level1,
+        WindowPlacement::Latest,
+        2,
+    );
     let cpu_swing =
         ((early.reported_power_w - late.reported_power_w) / early.reported_power_w).abs();
     assert!(cpu_swing < 0.015, "Colosse swing {cpu_swing:.4}");
@@ -64,8 +88,20 @@ fn window_sensitivity_gpu_vs_cpu() {
 fn level2_tracks_level3() {
     let preset = systems::lcsc();
     let cluster = Cluster::build(preset.cluster_spec.clone()).unwrap();
-    let l2 = run(&preset, &cluster, Methodology::Level2, WindowPlacement::Middle, 3);
-    let l3 = run(&preset, &cluster, Methodology::Level3, WindowPlacement::Middle, 3);
+    let l2 = run(
+        &preset,
+        &cluster,
+        Methodology::Level2,
+        WindowPlacement::Middle,
+        3,
+    );
+    let l3 = run(
+        &preset,
+        &cluster,
+        Methodology::Level3,
+        WindowPlacement::Middle,
+        3,
+    );
     let rel = (l2.reported_power_w - l3.reported_power_w).abs() / l3.reported_power_w;
     // L2 meters 1/8 of nodes with PDU-grade instruments: a couple of
     // percent of subset-sampling + instrument error remain.
@@ -80,7 +116,13 @@ fn revised_methodology_reproducibility() {
     let cluster = Cluster::build(preset.cluster_spec.clone()).unwrap();
     let mut reports = Vec::new();
     for seed in 0..6 {
-        let m = run(&preset, &cluster, Methodology::Revised, WindowPlacement::Middle, 100 + seed);
+        let m = run(
+            &preset,
+            &cluster,
+            Methodology::Revised,
+            WindowPlacement::Middle,
+            100 + seed,
+        );
         reports.push(m);
     }
     let powers: Vec<f64> = reports.iter().map(|m| m.reported_power_w).collect();
@@ -132,7 +174,11 @@ fn graph500_defeats_short_windows_even_on_cpu_machines() {
         "spread = {:.4}",
         scan.measurement_spread()
     );
-    assert!(scan.gaming_gain() > 0.05, "gain = {:.4}", scan.gaming_gain());
+    assert!(
+        scan.gaming_gain() > 0.05,
+        "gain = {:.4}",
+        scan.gaming_gain()
+    );
 
     let fire = measure(
         &preset,
@@ -169,7 +215,13 @@ fn graph500_defeats_short_windows_even_on_cpu_machines() {
 fn rigour_reduces_error() {
     let preset = systems::lcsc();
     let cluster = Cluster::build(preset.cluster_spec.clone()).unwrap();
-    let l3 = run(&preset, &cluster, Methodology::Level3, WindowPlacement::Middle, 7);
+    let l3 = run(
+        &preset,
+        &cluster,
+        Methodology::Level3,
+        WindowPlacement::Middle,
+        7,
+    );
     let truth = l3.reported_power_w;
 
     let mut errs = std::collections::HashMap::new();
