@@ -123,6 +123,31 @@ impl SamplingMeter {
         self.gain
     }
 
+    /// Applies the instrument transfer function (gain, per-sample noise,
+    /// quantization) to one true power value — the streaming path used by
+    /// live telemetry, where samples arrive one at a time instead of as a
+    /// recorded series.
+    ///
+    /// `gauss` must be the meter's *persistent* normal sampler: the polar
+    /// method caches a spare variate, so a long-lived sampler consumes the
+    /// RNG in exactly the same order as a batch [`SamplingMeter::measure`]
+    /// over the same samples.
+    pub fn sample_one_with<R: Rng + ?Sized>(
+        &self,
+        gauss: &mut StandardNormal,
+        rng: &mut R,
+        true_w: f64,
+    ) -> f64 {
+        let mut w = true_w * self.gain;
+        if self.model.noise_sigma > 0.0 {
+            w *= 1.0 + self.model.noise_sigma * gauss.sample(rng);
+        }
+        if self.model.quantization_w > 0.0 {
+            w = (w / self.model.quantization_w).round() * self.model.quantization_w;
+        }
+        w
+    }
+
     /// Measures a true power series (`series[i]` is the average over
     /// `[t0 + i*dt, t0 + (i+1)*dt)`) over the window `[from, to)`.
     ///
@@ -154,14 +179,7 @@ impl SamplingMeter {
             if idx >= series.len() {
                 break;
             }
-            let mut w = series[idx] * self.gain;
-            if self.model.noise_sigma > 0.0 {
-                w *= 1.0 + self.model.noise_sigma * gauss.sample(rng);
-            }
-            if self.model.quantization_w > 0.0 {
-                w = (w / self.model.quantization_w).round() * self.model.quantization_w;
-            }
-            sum += w;
+            sum += self.sample_one_with(&mut gauss, rng, series[idx]);
             count += 1;
             t += self.model.sample_interval_s;
         }
@@ -365,6 +383,30 @@ mod tests {
         let mut bad = MeterModel::ideal();
         bad.quantization_w = f64::NAN;
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn streaming_path_reproduces_batch_measure() {
+        // Feeding the same samples one at a time through sample_one_with
+        // (with a persistent gauss sampler) must be bit-identical to a
+        // batch measure over the same window.
+        let mut rng = seeded(9);
+        let m = MeterModel::pdu_grade().instantiate(&mut rng).unwrap();
+        let series: Vec<f64> = (0..500)
+            .map(|i| 380.0 + (i as f64 * 0.31).sin() * 25.0)
+            .collect();
+        let mut batch_rng = seeded(10);
+        let batch = m
+            .measure(&mut batch_rng, &series, 0.0, 1.0, 0.0, 500.0)
+            .unwrap();
+        let mut stream_rng = seeded(10);
+        let mut gauss = StandardNormal::new();
+        let mut sum = 0.0;
+        for &w in &series {
+            sum += m.sample_one_with(&mut gauss, &mut stream_rng, w);
+        }
+        let avg = sum / series.len() as f64;
+        assert_eq!(avg, batch.average_w, "{avg} vs {}", batch.average_w);
     }
 
     #[test]

@@ -74,6 +74,46 @@ impl MeterFault {
             }
         }
     }
+
+    /// Applies the fault to one already-metered sample taken `t_rel`
+    /// seconds into the measurement window — the streaming path.
+    ///
+    /// Returns `None` when the sample is lost. `last_good` carries the
+    /// stuck-register state across calls and must start as `None` at the
+    /// window start; `rng` is drawn from only by [`MeterFault::DropSamples`],
+    /// in the same order as the batch [`FaultyMeter::measure`] loop.
+    pub fn apply_sample<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        w: f64,
+        t_rel: f64,
+        last_good: &mut Option<f64>,
+    ) -> Option<f64> {
+        let sample = match *self {
+            MeterFault::None => Some(w),
+            MeterFault::DropSamples { prob } => {
+                if rng.random::<f64>() < prob {
+                    None
+                } else {
+                    Some(w)
+                }
+            }
+            MeterFault::Drift { rate_per_hour } => Some(w * (1.0 + rate_per_hour * t_rel / 3600.0)),
+            MeterFault::StuckAfter { after_s } => {
+                if t_rel >= after_s {
+                    last_good.or(Some(w))
+                } else {
+                    Some(w)
+                }
+            }
+        };
+        if let Some(s) = sample {
+            if !matches!(*self, MeterFault::StuckAfter { after_s } if t_rel >= after_s) {
+                *last_good = Some(s);
+            }
+        }
+        sample
+    }
 }
 
 /// A sampling meter wrapped with a fault model.
@@ -126,40 +166,13 @@ impl FaultyMeter {
             if idx >= series.len() {
                 break;
             }
-            // Base instrument behaviour (gain + noise + quantization).
-            let mut w = series[idx] * self.meter.gain();
-            if model.noise_sigma > 0.0 {
-                w *= 1.0 + model.noise_sigma * gauss.sample(rng);
-            }
-            if model.quantization_w > 0.0 {
-                w = (w / model.quantization_w).round() * model.quantization_w;
-            }
-            // Fault layer.
-            let sample = match self.fault {
-                MeterFault::None => Some(w),
-                MeterFault::DropSamples { prob } => {
-                    if rng.random::<f64>() < prob {
-                        None
-                    } else {
-                        Some(w)
-                    }
-                }
-                MeterFault::Drift { rate_per_hour } => {
-                    Some(w * (1.0 + rate_per_hour * (t - window_start) / 3600.0))
-                }
-                MeterFault::StuckAfter { after_s } => {
-                    if t - window_start >= after_s {
-                        last_good.or(Some(w))
-                    } else {
-                        Some(w)
-                    }
-                }
-            };
-            if let Some(s) = sample {
-                if !matches!(self.fault, MeterFault::StuckAfter { after_s } if t - window_start >= after_s)
-                {
-                    last_good = Some(s);
-                }
+            // Base instrument behaviour (gain + noise + quantization),
+            // then the fault layer — both shared with the streaming path.
+            let w = self.meter.sample_one_with(&mut gauss, rng, series[idx]);
+            if let Some(s) = self
+                .fault
+                .apply_sample(rng, w, t - window_start, &mut last_good)
+            {
                 sum += s;
                 count += 1;
             }

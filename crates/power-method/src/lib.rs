@@ -41,6 +41,7 @@ pub mod level;
 pub mod measure;
 pub mod provisioning;
 pub mod report;
+pub mod streaming;
 pub mod subsystems;
 pub mod validate;
 pub mod window;
@@ -50,6 +51,7 @@ pub use fraction::FractionRule;
 pub use level::{Methodology, MethodologySpec};
 pub use measure::{Measurement, MeasurementPlan, NodeSelection, WindowPlacement};
 pub use report::Submission;
+pub use streaming::OnlineLevelMeasurement;
 pub use subsystems::SubsystemOverheads;
 pub use window::TimingRule;
 

@@ -1,0 +1,264 @@
+//! Online (streaming) execution of a methodology's timing rule.
+//!
+//! [`crate::measure`] computes a node's contribution *after* the run: it
+//! asks a meter for one averaged reading per timing window and averages
+//! those readings. A live campaign sees the same samples one at a time.
+//! [`OnlineLevelMeasurement`] is the order-insensitive accumulator that
+//! makes the two paths agree: it keeps an overlap-weighted running mean
+//! per (node, window) pair and reduces exactly the way the batch path
+//! does — per-window average first, then the unweighted mean across
+//! windows — so a Level 1 short window, Level 2 spaced segments and the
+//! revised full-core rule all stream without changing their semantics.
+
+use crate::extrapolate::{extrapolate, ExtrapolationReport};
+use crate::level::Methodology;
+use crate::measure::WindowPlacement;
+use crate::{MethodError, Result};
+use power_workload::RunPhases;
+
+/// Per-(node, window) overlap accumulator state.
+#[derive(Debug, Clone, Copy, Default)]
+struct WindowAcc {
+    weighted: f64,
+    weight: f64,
+}
+
+/// Streaming evaluation of one methodology's timing rule over a fleet of
+/// node slots.
+#[derive(Debug, Clone)]
+pub struct OnlineLevelMeasurement {
+    methodology: Methodology,
+    windows: Vec<(f64, f64)>,
+    /// `acc[slot][window]`.
+    acc: Vec<Vec<WindowAcc>>,
+    total_nodes: usize,
+    confidence: f64,
+}
+
+impl OnlineLevelMeasurement {
+    /// Creates an accumulator for `node_slots` metered nodes out of a
+    /// machine of `total_nodes`, with the timing windows the methodology
+    /// demands for `phases`.
+    pub fn new(
+        methodology: Methodology,
+        phases: &RunPhases,
+        placement: WindowPlacement,
+        node_slots: usize,
+        total_nodes: usize,
+        confidence: f64,
+    ) -> Result<Self> {
+        if node_slots == 0 {
+            return Err(MethodError::InvalidConfig {
+                field: "node_slots",
+                reason: "at least one metered node slot is required",
+            });
+        }
+        if total_nodes < node_slots {
+            return Err(MethodError::InvalidConfig {
+                field: "total_nodes",
+                reason: "machine cannot be smaller than the metered subset",
+            });
+        }
+        let windows = methodology
+            .spec()
+            .timing
+            .windows(phases, placement.fraction())?;
+        Ok(OnlineLevelMeasurement {
+            methodology,
+            windows: windows.clone(),
+            acc: vec![vec![WindowAcc::default(); windows.len()]; node_slots],
+            total_nodes,
+            confidence,
+        })
+    }
+
+    /// The methodology being evaluated.
+    pub fn methodology(&self) -> Methodology {
+        self.methodology
+    }
+
+    /// The timing windows in force.
+    pub fn windows(&self) -> &[(f64, f64)] {
+        &self.windows
+    }
+
+    /// Folds in one sample for node slot `slot` covering `[t, t + dt)`
+    /// at `watts`. Samples may arrive in any order; disjoint samples are
+    /// ignored. O(windows) per call, and the window count is 1 or a
+    /// small constant for every defined methodology.
+    pub fn observe(&mut self, slot: usize, t: f64, dt: f64, watts: f64) -> Result<()> {
+        let accs = self.acc.get_mut(slot).ok_or(MethodError::InvalidConfig {
+            field: "slot",
+            reason: "observation names a node slot outside the measurement",
+        })?;
+        for (acc, &(from, to)) in accs.iter_mut().zip(&self.windows) {
+            let overlap = (to.min(t + dt) - from.max(t)).max(0.0);
+            if overlap > 0.0 {
+                acc.weighted += watts * overlap;
+                acc.weight += overlap;
+            }
+        }
+        Ok(())
+    }
+
+    /// The node's contribution under the timing rule: the unweighted
+    /// mean over windows of each window's overlap-weighted average —
+    /// exactly the batch `measure` reduction. Errors if any window has
+    /// seen no samples for this slot.
+    pub fn node_average(&self, slot: usize) -> Result<f64> {
+        let accs = self.acc.get(slot).ok_or(MethodError::InvalidConfig {
+            field: "slot",
+            reason: "query names a node slot outside the measurement",
+        })?;
+        let mut sum = 0.0;
+        for acc in accs {
+            if !(acc.weight > 0.0) {
+                return Err(MethodError::InvalidConfig {
+                    field: "window",
+                    reason: "a timing window has received no samples",
+                });
+            }
+            sum += acc.weighted / acc.weight;
+        }
+        Ok(sum / accs.len() as f64)
+    }
+
+    /// Extrapolates the streamed subset to the machine with the standard
+    /// accuracy assessment.
+    pub fn finalize(&self) -> Result<ExtrapolationReport> {
+        let per_node: Vec<f64> = (0..self.acc.len())
+            .map(|slot| self.node_average(slot))
+            .collect::<Result<_>>()?;
+        extrapolate(&per_node, self.total_nodes, self.confidence)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use power_stats::rng::{seeded, StandardNormal};
+    use rand::Rng;
+
+    fn phases() -> RunPhases {
+        RunPhases::new(120.0, 3600.0, 120.0).unwrap()
+    }
+
+    /// Batch reference: per-window overlap-weighted averages of a dense
+    /// series, then the mean across windows.
+    fn batch_node_average(series: &[f64], t0: f64, dt: f64, windows: &[(f64, f64)]) -> f64 {
+        let mut sum = 0.0;
+        for &(from, to) in windows {
+            let (mut wsum, mut w) = (0.0, 0.0);
+            for (k, &v) in series.iter().enumerate() {
+                let t = t0 + k as f64 * dt;
+                let overlap = (to.min(t + dt) - from.max(t)).max(0.0);
+                wsum += v * overlap;
+                w += overlap;
+            }
+            sum += wsum / w;
+        }
+        sum / windows.len() as f64
+    }
+
+    #[test]
+    fn streaming_matches_batch_reduction_for_each_methodology() {
+        let dt = 7.0;
+        let steps = ((120.0 + 3600.0 + 120.0) / dt) as usize + 1;
+        let mut rng = seeded(17);
+        let mut gauss = StandardNormal::new();
+        for methodology in [
+            Methodology::Level1,
+            Methodology::Level2,
+            Methodology::Level3,
+            Methodology::Revised,
+        ] {
+            let series: Vec<Vec<f64>> = (0..3)
+                .map(|_| {
+                    (0..steps)
+                        .map(|_| 400.0 * (1.0 + 0.02 * gauss.sample(&mut rng)))
+                        .collect()
+                })
+                .collect();
+            let mut online = OnlineLevelMeasurement::new(
+                methodology,
+                &phases(),
+                WindowPlacement::Middle,
+                3,
+                100,
+                0.95,
+            )
+            .unwrap();
+            // Stream in a scrambled order to prove order-insensitivity.
+            let mut order: Vec<(usize, usize)> = (0..3)
+                .flat_map(|s| (0..steps).map(move |k| (s, k)))
+                .collect();
+            for i in (1..order.len()).rev() {
+                let j = rng.random_range(0..=i);
+                order.swap(i, j);
+            }
+            for (slot, k) in order {
+                online
+                    .observe(slot, k as f64 * dt, dt, series[slot][k])
+                    .unwrap();
+            }
+            for (slot, node_series) in series.iter().enumerate() {
+                let want = batch_node_average(node_series, 0.0, dt, online.windows());
+                let got = online.node_average(slot).unwrap();
+                assert!(
+                    (got - want).abs() <= 1e-9 * want,
+                    "{methodology:?} slot {slot}: {got} vs {want}"
+                );
+            }
+            let report = online.finalize().unwrap();
+            assert!((report.node_mean_w - 400.0).abs() < 10.0);
+        }
+    }
+
+    #[test]
+    fn uncovered_window_is_an_error() {
+        let mut online = OnlineLevelMeasurement::new(
+            Methodology::Level2,
+            &phases(),
+            WindowPlacement::Middle,
+            1,
+            10,
+            0.95,
+        )
+        .unwrap();
+        // Level 2 uses spaced segments; cover only the first window.
+        let (from, to) = online.windows()[0];
+        online.observe(0, from, to - from, 400.0).unwrap();
+        assert!(online.node_average(0).is_err());
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(OnlineLevelMeasurement::new(
+            Methodology::Level1,
+            &phases(),
+            WindowPlacement::Middle,
+            0,
+            10,
+            0.95
+        )
+        .is_err());
+        assert!(OnlineLevelMeasurement::new(
+            Methodology::Level1,
+            &phases(),
+            WindowPlacement::Middle,
+            20,
+            10,
+            0.95
+        )
+        .is_err());
+        assert!(OnlineLevelMeasurement::new(
+            Methodology::Revised,
+            &phases(),
+            WindowPlacement::Middle,
+            2,
+            10,
+            0.95
+        )
+        .is_ok());
+    }
+}

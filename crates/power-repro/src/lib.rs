@@ -18,6 +18,7 @@
 //! | `t_vs_z`        | §4.2 — z-quantile under-coverage |
 //! | `recommendation`| §6 — the revised max(16, 10%) rule across systems |
 //! | `rank_stability`| §1 — Green500 rank fragility |
+//! | `live_campaign` | online Table 5 — streaming ingestion + sequential stopping |
 //! | `all`           | everything above in sequence |
 //!
 //! The [`experiments`] module holds the runnable logic (shared with the

@@ -33,7 +33,7 @@
 
 use crate::cluster::Cluster;
 use crate::node::{NodePower, NodeSpec};
-use crate::thermal::ThermalState;
+use crate::thermal::{ThermalSpec, ThermalState};
 use crate::trace::{NodeTrace, SystemTrace};
 use crate::{Result, SimError};
 use power_stats::rng::{substream, StandardNormal};
@@ -227,6 +227,92 @@ impl RunProducts {
     pub fn subset_trace(&self, scope: MeterScope) -> Option<&NodeTrace> {
         self.subset.as_ref().map(|s| &s[scope.index()])
     }
+
+    /// The retained subset, if it covers every node of the machine
+    /// (node ids `0..n` in order) — a *full sweep* whose per-sample series
+    /// can answer any window or sub-subset question after the fact.
+    fn full_retained_subset(&self) -> Option<&[NodeTrace; 3]> {
+        let subset = self.subset.as_ref()?;
+        let ids = &subset[0].node_ids;
+        if !ids.is_empty() && ids.iter().enumerate().all(|(i, &id)| i == id) {
+            Some(subset)
+        } else {
+            None
+        }
+    }
+
+    /// Attempts to answer `want` from what this sweep retained, without
+    /// re-simulating anything.
+    ///
+    /// Beyond exact matches, two derivations are supported: a sweep that
+    /// retained per-sample series for *every* node can produce window
+    /// averages for any window and a system trace by aggregation, and a
+    /// retained subset can serve any sub-subset (in any order). Returns
+    /// `None` when `want` needs something this sweep did not keep. Derived
+    /// values agree with a fresh sweep to floating-point re-association
+    /// error (≲1e-9 relative), not bit-for-bit.
+    pub fn try_derive(&self, want: &ProductRequest) -> Option<RunProducts> {
+        let system = if want.system {
+            Some(match &self.system {
+                Some(system) => system.clone(),
+                None => {
+                    let full = self.full_retained_subset()?;
+                    [
+                        full[0].aggregate().ok()?,
+                        full[1].aggregate().ok()?,
+                        full[2].aggregate().ok()?,
+                    ]
+                }
+            })
+        } else {
+            None
+        };
+        let averages = match want.averages_window {
+            None => None,
+            Some(w) if self.request.averages_window == Some(w) => self.averages.clone(),
+            Some((from, to)) => {
+                let full = self.full_retained_subset()?;
+                Some([
+                    full[0].node_window_averages(from, to).ok()?,
+                    full[1].node_window_averages(from, to).ok()?,
+                    full[2].node_window_averages(from, to).ok()?,
+                ])
+            }
+        };
+        if want.averages_window.is_some() && averages.is_none() {
+            return None;
+        }
+        let subset = match &want.subset {
+            None => None,
+            Some(ids) if self.request.subset.as_ref() == Some(ids) => self.subset.clone(),
+            Some(ids) => {
+                let have = self.subset.as_ref()?;
+                let rows: Vec<usize> = ids
+                    .iter()
+                    .map(|id| have[0].node_ids.iter().position(|h| h == id))
+                    .collect::<Option<_>>()?;
+                let mut traces = Vec::with_capacity(3);
+                for scope in have.iter() {
+                    let samples: Vec<Vec<f64>> =
+                        rows.iter().map(|&r| scope.samples[r].clone()).collect();
+                    traces.push(NodeTrace::new(ids.clone(), scope.t0, scope.dt, samples).ok()?);
+                }
+                let [w, d, p]: [NodeTrace; 3] = traces.try_into().ok()?;
+                Some([w, d, p])
+            }
+        };
+        if want.subset.is_some() && subset.is_none() {
+            return None;
+        }
+        Some(RunProducts {
+            request: want.clone(),
+            dt: self.dt,
+            steps: self.steps,
+            system,
+            averages,
+            subset,
+        })
+    }
 }
 
 /// Per-worker accumulator for the sweep.
@@ -234,6 +320,94 @@ struct WorkerOut {
     system: [Vec<f64>; 3],
     averages: Vec<(usize, [f64; 3])>,
     subset: Vec<(usize, [Vec<f64>; 3])>,
+}
+
+/// One streamed per-node power sample; see [`Simulator::stream_subset`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamSample {
+    /// Global node index.
+    pub node: usize,
+    /// Sample index (the sample covers `[step * dt, (step + 1) * dt)`).
+    pub step: usize,
+    /// Start time of the sample in seconds (`step * dt`).
+    pub t: f64,
+    /// AC power at the node wall plug (watts).
+    pub wall_w: f64,
+    /// DC power downstream of the PSU (watts).
+    pub dc_w: f64,
+    /// Processor power only (watts).
+    pub processors_w: f64,
+}
+
+impl StreamSample {
+    /// The sample's power at `scope`, matching [`MeterScope::index`].
+    pub fn power(&self, scope: MeterScope) -> f64 {
+        match scope {
+            MeterScope::Wall => self.wall_w,
+            MeterScope::Dc => self.dc_w,
+            MeterScope::ProcessorsOnly => self.processors_w,
+        }
+    }
+}
+
+/// Sequential single-node simulation state — thermal history, the node's
+/// RNG substream and its noise sampler — advanced one sample per call.
+///
+/// Both the batch sweep ([`Simulator::run_products`]) and the streaming
+/// emitter ([`Simulator::stream_subset`]) drive nodes through this type,
+/// which is what guarantees they produce identical samples.
+struct NodeStepper<'s, 'a> {
+    sim: &'s Simulator<'a>,
+    node: usize,
+    thermal_spec: ThermalSpec,
+    thermal: ThermalState,
+    gauss: StandardNormal,
+    rng: StdRng,
+    factor: f64,
+    step: usize,
+}
+
+impl<'s, 'a> NodeStepper<'s, 'a> {
+    fn new(sim: &'s Simulator<'a>, node: usize) -> Self {
+        // Per-node inlet temperature: nominal ambient plus the node's
+        // position in the room's thermal gradient.
+        let mut thermal_spec = sim.cluster.spec().node.thermal;
+        thermal_spec.t_ambient_c += sim.cluster.ambient_offset(node);
+        NodeStepper {
+            sim,
+            node,
+            thermal_spec,
+            thermal: ThermalState::at_ambient(&thermal_spec),
+            gauss: StandardNormal::new(),
+            rng: substream(sim.config.seed, node as u64),
+            factor: sim.balance.factor(node, sim.cluster.len()),
+            step: 0,
+        }
+    }
+
+    /// Advances the node by one sample and returns its power breakdown.
+    fn step(&mut self, common_mult: f64) -> NodePower {
+        let sim = self.sim;
+        let dt = sim.config.dt;
+        let t = self.step as f64 * dt;
+        let mut u = sim.workload.utilization(self.node, t) * self.factor * common_mult;
+        if sim.config.noise_sigma > 0.0 {
+            u *= 1.0 + sim.config.noise_sigma * self.gauss.sample(&mut self.rng);
+        }
+        let u = u.clamp(0.0, 1.0);
+        let power = sim
+            .cluster
+            .node_power(self.node, t, u, self.thermal.temp_c)
+            .expect("node index validated by caller");
+        self.thermal.step(
+            &self.thermal_spec,
+            NodeSpec::heat_w(&power),
+            power.fan_speed,
+            dt,
+        );
+        self.step += 1;
+        power
+    }
 }
 
 /// A simulator binding a machine, a workload and a load-balance policy.
@@ -318,33 +492,50 @@ impl<'a> Simulator<'a> {
         node: usize,
         steps: usize,
         common: &[f64],
-        rng: &mut StdRng,
         mut sink: F,
     ) {
-        let spec = self.cluster.spec();
-        // Per-node inlet temperature: nominal ambient plus the node's
-        // position in the room's thermal gradient.
-        let mut thermal_spec = spec.node.thermal;
-        thermal_spec.t_ambient_c += self.cluster.ambient_offset(node);
-        let mut thermal = ThermalState::at_ambient(&thermal_spec);
-        let mut gauss = StandardNormal::new();
-        let factor = self.balance.factor(node, self.cluster.len());
+        let mut stepper = NodeStepper::new(self, node);
+        for (step, &common_mult) in common.iter().enumerate().take(steps) {
+            let power = stepper.step(common_mult);
+            sink(step, &power);
+        }
+    }
+
+    /// Streams per-node power samples for a metered subset in time-major
+    /// order (every node's sample 0, then every node's sample 1, ...) —
+    /// the shape live telemetry arrives in at a site.
+    ///
+    /// Each node evolves its own thermal state and RNG substream exactly
+    /// as in a batch sweep, so the streamed values are sample-for-sample
+    /// identical to [`Simulator::subset_trace`] over the same nodes.
+    pub fn stream_subset<F: FnMut(StreamSample)>(
+        &self,
+        nodes: &[usize],
+        mut emit: F,
+    ) -> Result<()> {
+        self.validate_request(&ProductRequest::subset_only(nodes))?;
+        let steps = self.run_steps();
+        let common = self.common_noise(steps);
         let dt = self.config.dt;
+        let mut steppers: Vec<NodeStepper<'_, '_>> = nodes
+            .iter()
+            .map(|&node| NodeStepper::new(self, node))
+            .collect();
         for (step, &common_mult) in common.iter().enumerate().take(steps) {
             let t = step as f64 * dt;
-            let mut u = self.workload.utilization(node, t) * factor * common_mult;
-            if self.config.noise_sigma > 0.0 {
-                u *= 1.0 + self.config.noise_sigma * gauss.sample(rng);
+            for stepper in &mut steppers {
+                let power = stepper.step(common_mult);
+                emit(StreamSample {
+                    node: stepper.node,
+                    step,
+                    t,
+                    wall_w: power.wall_w,
+                    dc_w: power.dc_w,
+                    processors_w: power.processors_w(),
+                });
             }
-            let u = u.clamp(0.0, 1.0);
-            let power = self
-                .cluster
-                .node_power(node, t, u, thermal.temp_c)
-                .expect("node index validated by caller");
-            sink(step, &power);
-            let fan_speed = power.fan_speed;
-            thermal.step(&thermal_spec, NodeSpec::heat_w(&power), fan_speed, dt);
         }
+        Ok(())
     }
 
     /// Validates `request` against this simulator without simulating
@@ -439,13 +630,12 @@ impl<'a> Simulator<'a> {
                         subset: subset_out,
                     } = out;
                     for &node in &work[lo..hi] {
-                        let mut rng = substream(sim.config.seed, node as u64);
                         let slot = slot_of.get(&node).copied();
                         let mut series =
                             slot.map(|_| [vec![0.0; steps], vec![0.0; steps], vec![0.0; steps]]);
                         let mut weighted = [0.0f64; 3];
                         let mut weight = 0.0f64;
-                        sim.run_node(node, steps, common, &mut rng, |step, power| {
+                        sim.run_node(node, steps, common, |step, power| {
                             let vals = [power.wall_w, power.dc_w, power.processors_w()];
                             if request.system {
                                 for (acc, v) in system.iter_mut().zip(vals) {
@@ -711,6 +901,41 @@ mod tests {
         let cv = s.coefficient_of_variation().unwrap();
         // Paper's observed regime: roughly 1-3%.
         assert!((0.005..0.06).contains(&cv), "cv = {cv}");
+    }
+
+    #[test]
+    fn stream_subset_matches_subset_trace() {
+        let cluster = Cluster::build(spec(12)).unwrap();
+        let phases = RunPhases::new(30.0, 300.0, 30.0).unwrap();
+        let wl = Hpl::new(HplVariant::CpuMainMemory, phases, 1.0e15).unwrap();
+        let sim = Simulator::new(&cluster, &wl, LoadBalance::Balanced, config()).unwrap();
+        let nodes = [7usize, 0, 11];
+        let mut streamed: Vec<Vec<StreamSample>> = vec![Vec::new(); nodes.len()];
+        let mut expected_step = 0usize;
+        sim.stream_subset(&nodes, |s| {
+            // Emission is time-major: every node once per step, in the
+            // requested order.
+            assert_eq!(s.step, expected_step / nodes.len());
+            let slot = expected_step % nodes.len();
+            assert_eq!(s.node, nodes[slot]);
+            assert!((s.t - s.step as f64 * sim.dt()).abs() < 1e-12);
+            streamed[slot].push(s);
+            expected_step += 1;
+        })
+        .unwrap();
+        for scope in MeterScope::ALL {
+            let batch = sim.subset_trace(&nodes, scope).unwrap();
+            for (slot, series) in batch.samples.iter().enumerate() {
+                assert_eq!(series.len(), streamed[slot].len());
+                for (a, b) in series.iter().zip(&streamed[slot]) {
+                    assert_eq!(*a, b.power(scope), "scope {scope:?} diverged");
+                }
+            }
+        }
+        // Invalid nodes are rejected up front, before any emission.
+        let mut emitted = 0usize;
+        assert!(sim.stream_subset(&[99], |_| emitted += 1).is_err());
+        assert_eq!(emitted, 0);
     }
 
     #[test]

@@ -116,11 +116,55 @@ fn subsumes(have: &ProductRequest, want: &ProductRequest) -> bool {
     true
 }
 
+/// Cache-effectiveness counters for a [`TraceStore`], as reported by
+/// [`TraceStore::stats`]. Live drivers and measurement campaigns surface
+/// these so "how much simulation did the cache save" is a first-class
+/// output of every experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Requests served from cache (including derived hits).
+    pub hits: u64,
+    /// Requests served by deriving from a cached full sweep's retained
+    /// series instead of re-simulating (a subset of `hits`).
+    pub derived: u64,
+    /// Requests that had to simulate.
+    pub misses: u64,
+    /// Cached sweeps currently held.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of requests served without simulating; 0 when idle.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hits ({} derived) / {} misses ({:.0}% hit rate, {} entries)",
+            self.hits,
+            self.derived,
+            self.misses,
+            self.hit_rate() * 100.0,
+            self.entries
+        )
+    }
+}
+
 /// A keyed cache of [`RunProducts`]; see the module docs.
 #[derive(Default)]
 pub struct TraceStore {
     entries: Mutex<Vec<(u64, Arc<RunProducts>)>>,
     hits: AtomicU64,
+    derived: AtomicU64,
     misses: AtomicU64,
 }
 
@@ -166,6 +210,28 @@ impl TraceStore {
                 return Ok(Arc::clone(products));
             }
         }
+        // No exact subsumption — but a cached full sweep (one that retained
+        // per-sample series for every node) can *derive* window averages
+        // for any window and traces for any sub-subset without
+        // re-simulating. Validate first so derivation cannot mask an
+        // invalid request either.
+        sim.validate_request(request)?;
+        let derived = {
+            let entries = self.lock();
+            entries
+                .iter()
+                .filter(|(k, _)| *k == key)
+                .find_map(|(_, p)| p.try_derive(request))
+        };
+        if let Some(products) = derived {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.derived.fetch_add(1, Ordering::Relaxed);
+            let products = Arc::new(products);
+            // Cache the derived entry so later identical requests hit the
+            // exact-subsumption fast path.
+            self.lock().push((key, Arc::clone(&products)));
+            return Ok(products);
+        }
         let products = Arc::new(sim.run_products(request)?);
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut entries = self.lock();
@@ -204,6 +270,21 @@ impl TraceStore {
     /// Requests that had to simulate since construction.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Requests served by derivation from a cached full sweep.
+    pub fn derived(&self) -> u64 {
+        self.derived.load(Ordering::Relaxed)
+    }
+
+    /// A consistent snapshot of the cache-effectiveness counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits(),
+            derived: self.derived(),
+            misses: self.misses(),
+            entries: self.len(),
+        }
     }
 }
 
@@ -315,6 +396,103 @@ mod tests {
         assert_eq!(store.len(), 4);
         store.clear();
         assert!(store.is_empty());
+    }
+
+    #[test]
+    fn full_sweep_derives_window_averages_and_sub_subsets() {
+        let (cluster, wl, cfg) = fixture();
+        let sim = Simulator::new(&cluster, &wl, LoadBalance::Balanced, cfg).unwrap();
+        let store = TraceStore::new();
+        let all: Vec<usize> = (0..cluster.len()).collect();
+        store
+            .products(&sim, &ProductRequest::subset_only(&all))
+            .unwrap();
+        assert_eq!(store.misses(), 1);
+
+        // A window-average request over a window never simulated for is
+        // derived from the retained series — no second sweep.
+        let p = store
+            .products(&sim, &ProductRequest::with_averages(50.0, 150.0))
+            .unwrap();
+        assert_eq!(store.misses(), 1, "derivation must not re-simulate");
+        assert_eq!(store.derived(), 1);
+        let fresh = sim.node_averages(50.0, 150.0, MeterScope::Wall).unwrap();
+        for (a, b) in p
+            .node_averages(MeterScope::Wall)
+            .unwrap()
+            .iter()
+            .zip(&fresh)
+        {
+            assert!(
+                (a - b).abs() <= 1e-9 * (1.0 + b.abs()),
+                "derived {a} vs swept {b}"
+            );
+        }
+        // The system trace comes from aggregating the retained series.
+        let derived_sys = p.system_trace(MeterScope::Dc).unwrap();
+        let fresh_sys = sim.system_trace(MeterScope::Dc).unwrap();
+        for (a, b) in derived_sys.watts.iter().zip(&fresh_sys.watts) {
+            assert!((a - b).abs() <= 1e-9 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+
+        // A scrambled sub-subset is sliced out of the retained rows —
+        // bit-identical to simulating just those nodes.
+        let p = store
+            .products(&sim, &ProductRequest::subset_only(&[9, 2, 17]))
+            .unwrap();
+        assert_eq!(store.misses(), 1);
+        assert_eq!(store.derived(), 2);
+        let direct = sim.subset_trace(&[9, 2, 17], MeterScope::Dc).unwrap();
+        assert_eq!(p.subset_trace(MeterScope::Dc).unwrap(), &direct);
+
+        // Derived entries are cached: the same request again is a plain hit.
+        store
+            .products(&sim, &ProductRequest::subset_only(&[9, 2, 17]))
+            .unwrap();
+        assert_eq!(store.derived(), 2);
+
+        let stats = store.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.derived, 2);
+        assert_eq!(stats.hits, 3);
+        assert!(stats.hit_rate() > 0.7);
+        assert_eq!(stats.entries, store.len());
+        let shown = format!("{stats}");
+        assert!(shown.contains("derived"), "{shown}");
+
+        // Invalid windows are rejected before derivation is attempted.
+        assert!(store
+            .products(&sim, &ProductRequest::with_averages(5000.0, 6000.0))
+            .is_err());
+    }
+
+    #[test]
+    fn partial_subset_entries_serve_contained_subsets() {
+        let (cluster, wl, cfg) = fixture();
+        let sim = Simulator::new(&cluster, &wl, LoadBalance::Balanced, cfg).unwrap();
+        let store = TraceStore::new();
+        store
+            .products(&sim, &ProductRequest::subset_only(&[1, 2, 3, 4]))
+            .unwrap();
+        // Contained subset: derived. Window averages: NOT derivable from a
+        // partial sweep — that needs every node's series.
+        let p = store
+            .products(&sim, &ProductRequest::subset_only(&[4, 2]))
+            .unwrap();
+        assert_eq!(store.misses(), 1);
+        assert_eq!(
+            p.subset_trace(MeterScope::Wall).unwrap().node_ids,
+            vec![4, 2]
+        );
+        store
+            .products(&sim, &ProductRequest::with_averages(50.0, 150.0))
+            .unwrap();
+        assert_eq!(store.misses(), 2, "partial sweep cannot answer averages");
+        // Disjoint subset: must simulate.
+        store
+            .products(&sim, &ProductRequest::subset_only(&[7, 8]))
+            .unwrap();
+        assert_eq!(store.misses(), 3);
     }
 
     #[test]

@@ -151,6 +151,36 @@ pub fn mean_ci_z_finite(
     })
 }
 
+/// Incremental (sequential) relative accuracy of the running mean held by
+/// `summary`, with the finite-population correction for a machine of
+/// `population` nodes.
+///
+/// This is the quantity a live campaign recomputes after every accepted
+/// node: the Eq. 1 (t) or Eq. 2 (z) half-width, shrunk by
+/// [`fpc_factor`], divided by the running mean. Because `summary` is a
+/// Welford accumulator the recomputation is O(1) per sample, which is what
+/// makes an online analogue of the paper's Table 5 stopping rule feasible.
+pub fn sequential_relative_accuracy(
+    summary: &Summary,
+    confidence: f64,
+    population: u64,
+    use_t: bool,
+) -> Result<f64> {
+    let base = if use_t {
+        mean_ci_t(summary, confidence)?
+    } else {
+        mean_ci_z(summary, confidence)?
+    };
+    let fpc = fpc_factor(population, summary.count())?;
+    if base.estimate == 0.0 {
+        return Err(StatsError::InvalidParameter {
+            name: "mean",
+            reason: "relative accuracy undefined for zero running mean",
+        });
+    }
+    Ok(base.half_width * fpc / base.estimate.abs())
+}
+
 /// Predicted relative accuracy of a mean estimate from `n` sampled nodes,
 /// given an assumed coefficient of variation `cv = sigma/mu`.
 ///
@@ -269,6 +299,32 @@ mod tests {
             confidence: 0.95,
         };
         assert!(zero.relative_accuracy().is_err());
+    }
+
+    #[test]
+    fn sequential_accuracy_matches_finite_ci() {
+        let s = demo_summary();
+        // The incremental helper must agree exactly with the batch
+        // finite-population interval it is the online form of.
+        for use_t in [true, false] {
+            let seq = sequential_relative_accuracy(&s, 0.95, 100, use_t).unwrap();
+            let ci = if use_t {
+                mean_ci_t_finite(&s, 0.95, 100).unwrap()
+            } else {
+                mean_ci_z_finite(&s, 0.95, 100).unwrap()
+            };
+            let batch = ci.relative_accuracy().unwrap();
+            assert!((seq - batch).abs() < 1e-15, "{seq} vs {batch}");
+        }
+        // Shrinks as the sample approaches a census.
+        let near = sequential_relative_accuracy(&s, 0.95, 21, true).unwrap();
+        let far = sequential_relative_accuracy(&s, 0.95, 10_000, true).unwrap();
+        assert!(near < far);
+        // Errors propagate: sample larger than the population.
+        assert!(sequential_relative_accuracy(&s, 0.95, 10, true).is_err());
+        let mut tiny = Summary::new();
+        tiny.push(1.0);
+        assert!(sequential_relative_accuracy(&tiny, 0.95, 100, true).is_err());
     }
 
     #[test]

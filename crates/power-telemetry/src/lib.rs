@@ -1,0 +1,129 @@
+//! Streaming power telemetry and online estimation.
+//!
+//! The batch pipeline (`power-sim` → `power-meter` → `power-method`)
+//! answers the paper's questions *after the fact*: simulate a full run,
+//! then measure it. Real measurement campaigns are live — samples arrive
+//! one at a time, out of order, from many collectors at once, and the
+//! operator wants to know *while the run is in flight* whether enough
+//! nodes have been metered to hit a target accuracy. This crate is that
+//! live half:
+//!
+//! * [`ring`] — fixed-capacity per-node ring buffers with the same
+//!   Neumaier-compensated prefix sums as `power_sim::trace`, giving O(1)
+//!   sliding-window averages and energies over the retained horizon;
+//! * [`ingest`] — multi-producer ingestion with watermarks: bounded
+//!   reordering of late samples, gap fill for dropped ones, and explicit
+//!   drop accounting (nothing is lost silently);
+//! * [`online`] — per-node and fleet-level Welford state feeding a
+//!   sequential stopping rule: recompute the paper's Eq. 1–2 confidence
+//!   interval after every accepted node and stop as soon as the
+//!   half-width reaches the target λ — the online analogue of Table 5;
+//! * [`anomaly`] — streaming detectors for the fault taxonomy of
+//!   `power_meter::faults`: drift (windowed mean slope), stuck registers
+//!   (run length), dropped samples (watermark gaps);
+//! * [`live`] — a live-campaign driver that feeds `power-sim` engine
+//!   output through sampling meters sample-by-sample and stops the
+//!   campaign with a defensible accuracy statement.
+
+#![warn(missing_docs)]
+// `!(a > b)` comparisons are deliberate throughout: unlike `a <= b` they
+// are true for NaN inputs, so malformed windows/parameters are rejected
+// instead of silently accepted.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod anomaly;
+pub mod ingest;
+pub mod live;
+pub mod online;
+pub mod ring;
+
+pub use anomaly::{AnomalyEvent, AnomalyKind, AnomalyMonitor, DetectorConfig};
+pub use ingest::{BackpressurePolicy, Collector, IngestConfig, IngestStats, Sample};
+pub use live::{run_live_campaign, LiveCampaignConfig, LiveCampaignReport};
+pub use online::{CiQuantile, CvAssumption, Decision, SequentialEstimator, StoppingRule};
+pub use ring::RingBuffer;
+
+/// Errors produced by the telemetry subsystem.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TelemetryError {
+    /// A configuration value was out of range.
+    InvalidConfig {
+        /// Offending field.
+        field: &'static str,
+        /// Violated constraint.
+        reason: &'static str,
+    },
+    /// A window query did not overlap any retained samples.
+    EmptyWindow,
+    /// The queried span has been evicted from the ring's retained horizon.
+    Evicted {
+        /// Oldest sequence number still retained.
+        oldest_retained: u64,
+    },
+    /// An underlying statistics call failed.
+    Stats(power_stats::StatsError),
+    /// An underlying simulation call failed.
+    Sim(power_sim::SimError),
+    /// An underlying metering call failed.
+    Meter(power_meter::MeterError),
+    /// An underlying methodology call failed.
+    Method(power_method::MethodError),
+}
+
+impl std::fmt::Display for TelemetryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TelemetryError::InvalidConfig { field, reason } => {
+                write!(f, "invalid telemetry config `{field}`: {reason}")
+            }
+            TelemetryError::EmptyWindow => write!(f, "window overlaps no retained samples"),
+            TelemetryError::Evicted { oldest_retained } => write!(
+                f,
+                "span evicted from ring (oldest retained seq = {oldest_retained})"
+            ),
+            TelemetryError::Stats(e) => write!(f, "stats error: {e}"),
+            TelemetryError::Sim(e) => write!(f, "simulation error: {e}"),
+            TelemetryError::Meter(e) => write!(f, "meter error: {e}"),
+            TelemetryError::Method(e) => write!(f, "methodology error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TelemetryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TelemetryError::Stats(e) => Some(e),
+            TelemetryError::Sim(e) => Some(e),
+            TelemetryError::Meter(e) => Some(e),
+            TelemetryError::Method(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<power_stats::StatsError> for TelemetryError {
+    fn from(e: power_stats::StatsError) -> Self {
+        TelemetryError::Stats(e)
+    }
+}
+
+impl From<power_sim::SimError> for TelemetryError {
+    fn from(e: power_sim::SimError) -> Self {
+        TelemetryError::Sim(e)
+    }
+}
+
+impl From<power_meter::MeterError> for TelemetryError {
+    fn from(e: power_meter::MeterError) -> Self {
+        TelemetryError::Meter(e)
+    }
+}
+
+impl From<power_method::MethodError> for TelemetryError {
+    fn from(e: power_method::MethodError) -> Self {
+        TelemetryError::Method(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TelemetryError>;

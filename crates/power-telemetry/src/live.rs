@@ -1,0 +1,566 @@
+//! Live measurement campaigns with sequential stopping.
+//!
+//! The batch pipeline picks `n` from Table 5, meters `n` nodes, and
+//! reports. The live driver inverts that: it meters nodes *one at a
+//! time* (a pilot batch first, then small increments), streams every
+//! simulated step through a sampling meter into the ingestion layer, and
+//! after each node's window average lands re-evaluates the sequential
+//! stopping rule. The campaign ends the moment the Eq. 1–2 confidence
+//! interval (with finite-population correction) reaches the target λ —
+//! typically after exactly the Table 5 node count, but *measured*, not
+//! assumed.
+//!
+//! Everything is deterministic: node selection, meter gains, meter
+//! noise, the block-bounded arrival jitter that exercises the reordering
+//! path, and fault injection all derive from `seed` via independent RNG
+//! substreams, so a campaign is exactly reproducible sample-for-sample.
+
+use crate::anomaly::{AnomalyEvent, AnomalyMonitor, DetectorConfig};
+use crate::ingest::{BackpressurePolicy, Collector, IngestConfig, IngestStats, Sample};
+use crate::online::{CiQuantile, CvAssumption, SequentialEstimator, StoppingRule};
+use crate::{Result, TelemetryError};
+use power_meter::faults::MeterFault;
+use power_meter::MeterModel;
+use power_sim::engine::MeterScope;
+use power_sim::Simulator;
+use power_stats::ci::ConfidenceInterval;
+use power_stats::rng::{substream, StandardNormal};
+use power_stats::sampling::sample_without_replacement;
+use power_stats::SampleSizePlan;
+use rand::Rng;
+
+/// RNG substream tags (arbitrary, fixed for reproducibility).
+const STREAM_SELECT: u64 = 0x11FE_CA3E_5E1E_C700;
+const STREAM_METER: u64 = 0x11FE_CA3E_3E7E_D000;
+const STREAM_JITTER: u64 = 0x11FE_CA3E_917E_4000;
+
+/// Configuration of a live campaign.
+#[derive(Debug, Clone)]
+pub struct LiveCampaignConfig {
+    /// Two-sided confidence level, e.g. `0.95`.
+    pub confidence: f64,
+    /// Target relative accuracy λ.
+    pub lambda: f64,
+    /// Critical-value family for the stopping rule and the reported CI.
+    pub quantile: CiQuantile,
+    /// CV source for the stopping rule.
+    pub cv: CvAssumption,
+    /// Instrument model every metered node gets an instance of.
+    pub meter: MeterModel,
+    /// Nodes metered before the rule is first consulted (≥ 2).
+    pub pilot_nodes: usize,
+    /// Nodes added per increment after the pilot.
+    pub batch_nodes: usize,
+    /// Hard cap on metered nodes (the campaign's meter budget).
+    pub max_nodes: usize,
+    /// Ingestion lateness bound; arrivals are jittered within blocks of
+    /// this size to exercise the reordering path.
+    pub lateness: u64,
+    /// Per-node ring capacity; `0` sizes rings to retain the whole run.
+    pub ring_capacity: usize,
+    /// Producer→consumer channel bound.
+    pub channel_capacity: usize,
+    /// Producer threads feeding the ingestion channel.
+    pub producers: usize,
+    /// Root seed for selection, metering, jitter and faults.
+    pub seed: u64,
+    /// Which power boundary the meters see.
+    pub scope: MeterScope,
+    /// Streaming anomaly detection, if wanted.
+    pub detector: Option<DetectorConfig>,
+    /// Faults injected into specific nodes' meters (node id → fault).
+    pub faults: Vec<(usize, MeterFault)>,
+}
+
+impl LiveCampaignConfig {
+    /// A reasonable default campaign for target accuracy `lambda` with
+    /// planned coefficient of variation `cv`.
+    pub fn table5(lambda: f64, cv: f64, meter: MeterModel) -> Self {
+        LiveCampaignConfig {
+            confidence: 0.95,
+            lambda,
+            quantile: CiQuantile::Normal,
+            cv: CvAssumption::Planned(cv),
+            meter,
+            pilot_nodes: 2,
+            batch_nodes: 1,
+            max_nodes: usize::MAX,
+            lateness: 4,
+            ring_capacity: 0,
+            channel_capacity: 256,
+            producers: 2,
+            seed: 2015,
+            scope: MeterScope::Wall,
+            detector: None,
+            faults: Vec::new(),
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.pilot_nodes < 2 {
+            return Err(TelemetryError::InvalidConfig {
+                field: "pilot_nodes",
+                reason: "pilot needs at least two nodes for a spread estimate",
+            });
+        }
+        if self.batch_nodes == 0 {
+            return Err(TelemetryError::InvalidConfig {
+                field: "batch_nodes",
+                reason: "increment must add at least one node",
+            });
+        }
+        if self.max_nodes < self.pilot_nodes {
+            return Err(TelemetryError::InvalidConfig {
+                field: "max_nodes",
+                reason: "node budget must cover the pilot",
+            });
+        }
+        if self.producers == 0 {
+            return Err(TelemetryError::InvalidConfig {
+                field: "producers",
+                reason: "at least one producer thread is required",
+            });
+        }
+        self.meter.validate()?;
+        for (_, fault) in &self.faults {
+            fault.validate()?;
+        }
+        Ok(())
+    }
+
+    /// The order in which a campaign over `population` nodes will meter
+    /// the machine: a seeded draw without replacement, truncated to the
+    /// node budget. Deterministic per (config, seed) — the same order
+    /// [`run_live_campaign`] uses, so callers can know up front which
+    /// node ids the pilot and the early batches will touch (e.g. to
+    /// target fault injection at nodes that will actually be metered).
+    pub fn selection_order(&self, population: usize) -> Result<Vec<usize>> {
+        let budget = self.max_nodes.min(population);
+        let mut select_rng = substream(self.seed ^ STREAM_SELECT, 0);
+        let mut all = sample_without_replacement(&mut select_rng, population, population)?;
+        all.truncate(budget);
+        Ok(all)
+    }
+}
+
+/// What a finished live campaign reports.
+#[derive(Debug, Clone)]
+pub struct LiveCampaignReport {
+    /// Machine size `N`.
+    pub population: usize,
+    /// Nodes actually metered.
+    pub metered_nodes: u64,
+    /// Node count at which the stopping rule fired, if it did before the
+    /// budget ran out.
+    pub stopped_at: Option<u64>,
+    /// Closed-form Eq. 5 node count for comparison (planned-CV rules).
+    pub planned_nodes: Option<u64>,
+    /// Fleet mean node power in watts.
+    pub mean_node_w: f64,
+    /// Confidence interval for the mean (empirical spread, FPC applied).
+    pub ci: ConfidenceInterval,
+    /// Achieved relative accuracy (half-width / mean).
+    pub relative_accuracy: f64,
+    /// Extrapolated machine power `N · mean` in watts.
+    pub reported_power_w: f64,
+    /// Measurement window `[from, to)` in run seconds.
+    pub window: (f64, f64),
+    /// Ingestion accounting across the whole campaign.
+    pub ingest: IngestStats,
+    /// Anomaly events, if a detector was configured.
+    pub anomalies: Vec<AnomalyEvent>,
+}
+
+/// Jitters `samples` in place within consecutive blocks of `lateness`
+/// entries (Fisher–Yates per block). Displacement is bounded by the
+/// block, so ingestion with the same lateness bound repairs the order
+/// losslessly — this exercises the reordering path without drops.
+fn block_jitter<R: Rng + ?Sized>(samples: &mut [Sample], lateness: u64, rng: &mut R) {
+    let block = lateness.max(1) as usize;
+    if block < 2 {
+        return;
+    }
+    for chunk in samples.chunks_mut(block) {
+        for i in (1..chunk.len()).rev() {
+            let j = rng.random_range(0..=i);
+            chunk.swap(i, j);
+        }
+    }
+}
+
+/// Runs a live campaign against `sim`.
+///
+/// Nodes are drawn without replacement in a seeded random order. Each
+/// batch streams the engine's per-step output through that node's meter
+/// (and fault, if injected), jitters arrival order within the lateness
+/// bound, pushes the samples through the multi-producer ingestion
+/// pipeline, and hands finalized window averages to the sequential
+/// estimator. The campaign stops at the rule's word, at a census of the
+/// candidate budget, or at `max_nodes`.
+pub fn run_live_campaign(
+    sim: &Simulator<'_>,
+    cfg: &LiveCampaignConfig,
+) -> Result<LiveCampaignReport> {
+    cfg.validate()?;
+    let population = sim.cluster().len();
+    let phases = sim.workload().phases();
+    let window = (phases.core_start(), phases.core_end());
+    let dt = sim.dt();
+    let steps = sim.run_steps();
+    let ring_capacity = if cfg.ring_capacity == 0 {
+        steps + 1
+    } else {
+        cfg.ring_capacity
+    };
+
+    let rule = StoppingRule {
+        confidence: cfg.confidence,
+        lambda: cfg.lambda,
+        population: population as u64,
+        quantile: cfg.quantile,
+        cv: cfg.cv,
+        min_nodes: cfg.pilot_nodes as u64,
+    };
+    let mut estimator = SequentialEstimator::new(rule)?;
+    let planned_nodes = match cfg.cv {
+        CvAssumption::Planned(cv) => Some(
+            SampleSizePlan::new(cfg.confidence, cfg.lambda, cv)?
+                .required_nodes(population as u64)?,
+        ),
+        CvAssumption::Empirical => None,
+    };
+
+    // Candidate order: seeded draw without replacement over the machine.
+    let candidates = cfg.selection_order(population)?;
+
+    let ingest_cfg = IngestConfig {
+        lateness: cfg.lateness,
+        ring_capacity,
+        channel_capacity: cfg.channel_capacity,
+        backpressure: BackpressurePolicy::Block,
+    };
+    let mut collector = Collector::new(candidates.len(), 0.0, dt, &ingest_cfg)?;
+    let mut monitor = match cfg.detector {
+        Some(det) => Some(AnomalyMonitor::new(candidates.len(), 0.0, dt, det)?),
+        None => None,
+    };
+
+    let mut next_slot = 0usize;
+    let mut stopped = false;
+    while next_slot < candidates.len() && !stopped {
+        let batch_len = if next_slot == 0 {
+            cfg.pilot_nodes.min(candidates.len())
+        } else {
+            cfg.batch_nodes.min(candidates.len() - next_slot)
+        };
+        let slots: Vec<usize> = (next_slot..next_slot + batch_len).collect();
+        let nodes: Vec<usize> = slots.iter().map(|&s| candidates[s]).collect();
+
+        // Stream the engine's output through each node's meter into
+        // per-node sample lists (seq = simulation step).
+        let mut metered: Vec<Vec<Sample>> = vec![Vec::with_capacity(steps); batch_len];
+        let mut meters = Vec::with_capacity(batch_len);
+        for &node in &nodes {
+            let mut rng = substream(cfg.seed ^ STREAM_METER, node as u64);
+            let meter = cfg.meter.instantiate(&mut rng)?;
+            let fault = cfg
+                .faults
+                .iter()
+                .find(|(n, _)| *n == node)
+                .map(|(_, f)| *f)
+                .unwrap_or(MeterFault::None);
+            meters.push((meter, fault, rng, StandardNormal::new(), None::<f64>));
+        }
+        let mut emit_err = None;
+        sim.stream_subset(&nodes, |s| {
+            let slot_in_batch = match nodes.iter().position(|&n| n == s.node) {
+                Some(p) => p,
+                None => {
+                    emit_err = Some(TelemetryError::InvalidConfig {
+                        field: "node",
+                        reason: "engine emitted a sample for an unrequested node",
+                    });
+                    return;
+                }
+            };
+            let (meter, fault, rng, gauss, last_good) = &mut meters[slot_in_batch];
+            let w = meter.sample_one_with(gauss, rng, s.power(cfg.scope));
+            // Fault layer, same draw order as `FaultyMeter::measure`;
+            // t_rel is measured from the window start, before which the
+            // stuck fault has nothing to freeze onto.
+            if let Some(faulted) = fault.apply_sample(rng, w, s.t - window.0, last_good) {
+                metered[slot_in_batch].push(Sample {
+                    node: slots[slot_in_batch],
+                    seq: s.step as u64,
+                    watts: faulted,
+                });
+            }
+        })?;
+        if let Some(e) = emit_err {
+            return Err(e);
+        }
+
+        // Bounded arrival jitter, then fan the batch out over producer
+        // threads — whole nodes per producer so per-node displacement
+        // stays within the lateness bound.
+        for (slot_in_batch, samples) in metered.iter_mut().enumerate() {
+            let mut rng = substream(cfg.seed ^ STREAM_JITTER, nodes[slot_in_batch] as u64);
+            block_jitter(samples, cfg.lateness, &mut rng);
+        }
+        let mut sources: Vec<Vec<Sample>> = vec![Vec::new(); cfg.producers.min(batch_len)];
+        for (slot_in_batch, samples) in metered.into_iter().enumerate() {
+            let p = slot_in_batch % sources.len();
+            sources[p].extend(samples);
+        }
+        crate::ingest::run_pipeline(
+            &mut collector,
+            &sources,
+            cfg.channel_capacity,
+            BackpressurePolicy::Block,
+        )?;
+        collector.flush();
+
+        // Finalized rings: replay into the detectors, reduce to window
+        // averages, and consult the stopping rule node by node.
+        for &slot in &slots {
+            let ring = collector.ring(slot).ok_or(TelemetryError::InvalidConfig {
+                field: "slot",
+                reason: "collector lost a node slot",
+            })?;
+            if let Some(mon) = monitor.as_mut() {
+                for seq in ring.first_seq()..ring.next_seq() {
+                    match ring.get(seq) {
+                        Some(w) => mon.observe(slot, w)?,
+                        None => mon.observe_missing(slot)?,
+                    }
+                }
+            }
+            let avg = ring
+                .window_average(window.0, window.1)
+                .map_err(|e| match e {
+                    // An all-dropped node is a campaign-level failure the
+                    // operator should see named.
+                    TelemetryError::EmptyWindow => TelemetryError::InvalidConfig {
+                        field: "node",
+                        reason: "a metered node delivered no usable window samples",
+                    },
+                    other => other,
+                })?;
+            let decision = estimator.push(avg);
+            if decision.stop {
+                stopped = true;
+                break;
+            }
+        }
+        next_slot += batch_len;
+    }
+
+    let ci = estimator.ci()?;
+    let relative_accuracy = ci.relative_accuracy()?;
+    let mean_node_w = estimator.mean();
+    Ok(LiveCampaignReport {
+        population,
+        metered_nodes: estimator.count(),
+        stopped_at: estimator.stopped_at(),
+        planned_nodes,
+        mean_node_w,
+        ci,
+        relative_accuracy,
+        reported_power_w: mean_node_w * population as f64,
+        window,
+        ingest: collector.stats(),
+        anomalies: monitor.map(|m| m.events().to_vec()).unwrap_or_default(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use power_sim::cluster::{Cluster, ClusterSpec};
+    use power_sim::components::{MemorySpec, ProcessorSpec, StaticSpec};
+    use power_sim::dvfs::{Governor, PState};
+    use power_sim::engine::SimulationConfig;
+    use power_sim::fan::{FanPolicy, FanSpec};
+    use power_sim::thermal::ThermalSpec;
+    use power_sim::variability::VariabilityModel;
+    use power_sim::vid::VoltagePolicy;
+    use power_sim::NodeSpec;
+    use power_workload::{Firestarter, LoadBalance, RunPhases};
+
+    fn spec(nodes: usize) -> ClusterSpec {
+        ClusterSpec {
+            name: "live-test".into(),
+            total_nodes: nodes,
+            node: NodeSpec {
+                processors: vec![
+                    ProcessorSpec {
+                        dynamic_w: 95.0,
+                        leakage_w: 20.0,
+                        idle_fraction: 0.12,
+                        f_nom_mhz: 2700.0,
+                        v_nom: 1.0,
+                        leakage_temp_coeff: 0.008,
+                        t_ref_c: 60.0,
+                    };
+                    2
+                ],
+                memory: MemorySpec {
+                    idle_w: 15.0,
+                    active_w: 25.0,
+                },
+                static_power: StaticSpec { watts: 40.0 },
+                fan: FanSpec {
+                    max_power_w: 60.0,
+                    min_speed: 0.3,
+                },
+                thermal: ThermalSpec {
+                    t_ambient_c: 25.0,
+                    r_th_max: 0.10,
+                    r_th_min: 0.04,
+                    tau_s: 120.0,
+                },
+                psu_efficiency: 0.92,
+            },
+            variability: VariabilityModel {
+                leakage_sigma: 0.12,
+                node_sigma: 0.015,
+                vid_bins: 6,
+                vid_leakage_corr: 0.7,
+            },
+            governor: Governor::Static(PState {
+                f_mhz: 2700.0,
+                voltage: VoltagePolicy::Fixed(1.0),
+            }),
+            fan_policy: FanPolicy::Pinned { speed: 0.5 },
+            ambient_gradient_c: 0.0,
+            seed: 99,
+        }
+    }
+
+    fn config() -> SimulationConfig {
+        SimulationConfig {
+            dt: 5.0,
+            noise_sigma: 0.01,
+            common_noise_sigma: 0.003,
+            seed: 7,
+            threads: 2,
+        }
+    }
+
+    fn campaign(cv: CvAssumption) -> LiveCampaignConfig {
+        LiveCampaignConfig {
+            cv,
+            lambda: 0.02,
+            ..LiveCampaignConfig::table5(0.02, 0.03, MeterModel::ideal())
+        }
+    }
+
+    #[test]
+    fn campaign_stops_and_meets_lambda() {
+        let cluster = Cluster::build(spec(120)).unwrap();
+        let phases = RunPhases::new(60.0, 600.0, 60.0).unwrap();
+        let wl = Firestarter::new(phases);
+        let sim = Simulator::new(&cluster, &wl, LoadBalance::Balanced, config()).unwrap();
+        let cfg = campaign(CvAssumption::Empirical);
+        let report = run_live_campaign(&sim, &cfg).unwrap();
+        let n = report.stopped_at.expect("rule must fire on 120 nodes");
+        assert_eq!(report.metered_nodes, n);
+        assert!((2..120).contains(&n), "stopped at {n}");
+        assert!(
+            report.relative_accuracy <= cfg.lambda + 1e-12,
+            "achieved {} > {}",
+            report.relative_accuracy,
+            cfg.lambda
+        );
+        // Block backpressure + in-bound jitter: lossless ingestion.
+        assert_eq!(report.ingest.dropped(), 0);
+        assert_eq!(report.ingest.gaps, 0);
+        assert!(report.ingest.reordered > 0, "jitter never exercised");
+        // Sanity on the extrapolated machine power (~300-450 W/node).
+        let per_node = report.reported_power_w / 120.0;
+        assert!((250.0..500.0).contains(&per_node), "{per_node}");
+        assert!(report.anomalies.is_empty());
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let cluster = Cluster::build(spec(60)).unwrap();
+        let phases = RunPhases::new(30.0, 300.0, 30.0).unwrap();
+        let wl = Firestarter::new(phases);
+        let sim = Simulator::new(&cluster, &wl, LoadBalance::Balanced, config()).unwrap();
+        let cfg = campaign(CvAssumption::Empirical);
+        let a = run_live_campaign(&sim, &cfg).unwrap();
+        let b = run_live_campaign(&sim, &cfg).unwrap();
+        assert_eq!(a.metered_nodes, b.metered_nodes);
+        assert_eq!(a.mean_node_w, b.mean_node_w);
+        assert_eq!(a.relative_accuracy, b.relative_accuracy);
+        assert_eq!(a.ingest, b.ingest);
+    }
+
+    #[test]
+    fn node_budget_caps_the_campaign() {
+        let cluster = Cluster::build(spec(60)).unwrap();
+        let phases = RunPhases::new(30.0, 300.0, 30.0).unwrap();
+        let wl = Firestarter::new(phases);
+        let sim = Simulator::new(&cluster, &wl, LoadBalance::Balanced, config()).unwrap();
+        let mut cfg = campaign(CvAssumption::Empirical);
+        cfg.lambda = 1e-6; // unreachable target
+        cfg.max_nodes = 10;
+        let report = run_live_campaign(&sim, &cfg).unwrap();
+        assert_eq!(report.metered_nodes, 10);
+        assert_eq!(report.stopped_at, None);
+        assert!(report.relative_accuracy > 1e-6);
+    }
+
+    #[test]
+    fn injected_faults_surface_as_anomalies() {
+        let cluster = Cluster::build(spec(40)).unwrap();
+        let phases = RunPhases::new(30.0, 600.0, 30.0).unwrap();
+        let wl = Firestarter::new(phases);
+        let sim = Simulator::new(&cluster, &wl, LoadBalance::Balanced, config()).unwrap();
+        let mut cfg = campaign(CvAssumption::Empirical);
+        cfg.lambda = 1e-6; // force a metering sweep of the whole budget
+        cfg.max_nodes = 40;
+        cfg.detector = Some(DetectorConfig {
+            drift_window: 24,
+            drift_threshold_per_hour: 0.5,
+            stuck_run: 10,
+            stuck_tolerance_w: 0.0,
+            gap_threshold: 5,
+        });
+        // Freeze every meter early: with dt = 5 s each node emits long
+        // runs of its stuck value — unambiguous for the run-length
+        // detector even at this coarse step.
+        cfg.faults = (0..40)
+            .map(|n| (n, MeterFault::StuckAfter { after_s: 100.0 }))
+            .collect();
+        let report = run_live_campaign(&sim, &cfg).unwrap();
+        let stuck = report
+            .anomalies
+            .iter()
+            .filter(|e| matches!(e.kind, crate::anomaly::AnomalyKind::Stuck { .. }))
+            .count();
+        assert!(stuck >= 30, "stuck events: {stuck} of 40 nodes");
+    }
+
+    #[test]
+    fn config_validation() {
+        let ok = campaign(CvAssumption::Empirical);
+        assert!(ok.validate().is_ok());
+        let mut bad = ok.clone();
+        bad.pilot_nodes = 1;
+        assert!(bad.validate().is_err());
+        let mut bad = ok.clone();
+        bad.batch_nodes = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = ok.clone();
+        bad.max_nodes = 1;
+        assert!(bad.validate().is_err());
+        let mut bad = ok.clone();
+        bad.producers = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = ok;
+        bad.faults = vec![(0, MeterFault::DropSamples { prob: 2.0 })];
+        assert!(bad.validate().is_err());
+    }
+}

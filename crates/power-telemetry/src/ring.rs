@@ -1,0 +1,417 @@
+//! Fixed-capacity per-node ring buffers with compensated prefix sums.
+//!
+//! A live campaign cannot hold a 28-hour, 1 Hz, 10,000-node trace in
+//! memory the way `power_sim::trace` does. The ring keeps the most recent
+//! `capacity` samples per node and, next to the circular value store, a
+//! circular buffer of *running* Neumaier-compensated cumulative sums —
+//! the same compensation `power_sim::trace` uses for its batch prefix
+//! sums. Any sliding-window average or energy over the retained horizon
+//! is then two prefix lookups: O(1) per query, no re-summation, and
+//! bit-for-bit stable against the order the window is asked in.
+//!
+//! Missing samples (dropped by a meter or never delivered before the
+//! ingestion watermark passed) occupy a slot with zero weight: they hold
+//! their place in time, contribute nothing to averages, and are counted.
+
+use crate::{Result, TelemetryError};
+
+/// A fixed-capacity ring of power samples with O(1) window queries.
+///
+/// Sample `k` (the `k`-th ever pushed, `k` starting at 0) covers the time
+/// span `[t0 + k·dt, t0 + (k+1)·dt)` — the same left-closed convention as
+/// `power_sim::trace::SystemTrace`. Once more than `capacity` samples
+/// have been pushed the oldest are evicted and queries touching them
+/// return [`TelemetryError::Evicted`].
+#[derive(Debug, Clone)]
+pub struct RingBuffer {
+    t0: f64,
+    dt: f64,
+    capacity: usize,
+    /// Circular value store; sample `k` lives at `k % capacity`.
+    values: Vec<f64>,
+    /// 1.0 for a present sample, 0.0 for a missing placeholder.
+    weights: Vec<f64>,
+    /// Circular boundary sums: `vcum` at boundary `k` is the compensated
+    /// cumulative value sum over samples `0..k`, stored at
+    /// `k % (capacity + 1)`. Boundaries `start..=next` are valid — one
+    /// more boundary than samples, hence the `+ 1`.
+    vcum: Vec<f64>,
+    /// Boundary sums of weights (integers, exactly representable).
+    wcum: Vec<f64>,
+    /// Oldest retained sequence number.
+    start: u64,
+    /// Next sequence number to be assigned.
+    next: u64,
+    /// Running compensated value sum (Neumaier: `vsum + vcomp` is the
+    /// corrected total over every sample ever pushed).
+    vsum: f64,
+    vcomp: f64,
+    wsum: f64,
+    evicted: u64,
+    missing: u64,
+}
+
+impl RingBuffer {
+    /// Creates an empty ring whose first sample will cover
+    /// `[t0, t0 + dt)`.
+    pub fn new(t0: f64, dt: f64, capacity: usize) -> Result<Self> {
+        if !(dt > 0.0 && dt.is_finite()) {
+            return Err(TelemetryError::InvalidConfig {
+                field: "dt",
+                reason: "sample interval must be positive and finite",
+            });
+        }
+        if !t0.is_finite() {
+            return Err(TelemetryError::InvalidConfig {
+                field: "t0",
+                reason: "origin must be finite",
+            });
+        }
+        if capacity == 0 {
+            return Err(TelemetryError::InvalidConfig {
+                field: "capacity",
+                reason: "ring capacity must be at least 1",
+            });
+        }
+        Ok(RingBuffer {
+            t0,
+            dt,
+            capacity,
+            values: vec![0.0; capacity],
+            weights: vec![0.0; capacity],
+            vcum: vec![0.0; capacity + 1],
+            wcum: vec![0.0; capacity + 1],
+            start: 0,
+            next: 0,
+            vsum: 0.0,
+            vcomp: 0.0,
+            wsum: 0.0,
+            evicted: 0,
+            missing: 0,
+        })
+    }
+
+    /// Appends the next sample in sequence.
+    pub fn push(&mut self, watts: f64) {
+        self.push_raw(watts, 1.0);
+    }
+
+    /// Appends a missing-sample placeholder: it holds its time slot but
+    /// carries zero weight in averages and zero energy.
+    pub fn push_missing(&mut self) {
+        self.missing += 1;
+        self.push_raw(0.0, 0.0);
+    }
+
+    fn push_raw(&mut self, v: f64, w: f64) {
+        if self.next - self.start == self.capacity as u64 {
+            self.start += 1;
+            self.evicted += 1;
+        }
+        let slot = (self.next % self.capacity as u64) as usize;
+        self.values[slot] = v;
+        self.weights[slot] = w;
+        // Neumaier running sum: the compensation term recovers the low
+        // bits lost when |vsum| and |v| differ by many orders.
+        let t = self.vsum + v;
+        self.vcomp += if self.vsum.abs() >= v.abs() {
+            (self.vsum - t) + v
+        } else {
+            (v - t) + self.vsum
+        };
+        self.vsum = t;
+        self.wsum += w;
+        let boundary = ((self.next + 1) % (self.capacity as u64 + 1)) as usize;
+        self.vcum[boundary] = self.vsum + self.vcomp;
+        self.wcum[boundary] = self.wsum;
+        self.next += 1;
+    }
+
+    /// Number of samples currently retained.
+    pub fn len(&self) -> usize {
+        (self.next - self.start) as usize
+    }
+
+    /// Whether no samples are retained.
+    pub fn is_empty(&self) -> bool {
+        self.next == self.start
+    }
+
+    /// Maximum number of retained samples.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Oldest retained sequence number.
+    pub fn first_seq(&self) -> u64 {
+        self.start
+    }
+
+    /// The sequence number the next push will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.next
+    }
+
+    /// Time origin of sequence number 0.
+    pub fn t0(&self) -> f64 {
+        self.t0
+    }
+
+    /// Sample interval in seconds.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Start of the retained horizon.
+    pub fn t_start(&self) -> f64 {
+        self.t0 + self.start as f64 * self.dt
+    }
+
+    /// End of the retained horizon (exclusive).
+    pub fn t_end(&self) -> f64 {
+        self.t0 + self.next as f64 * self.dt
+    }
+
+    /// Samples evicted so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Missing-sample placeholders pushed so far.
+    pub fn missing(&self) -> u64 {
+        self.missing
+    }
+
+    /// The retained sample at sequence number `seq`, or `None` if it was
+    /// evicted, is missing, or has not arrived yet.
+    pub fn get(&self, seq: u64) -> Option<f64> {
+        if seq < self.start || seq >= self.next {
+            return None;
+        }
+        let slot = (seq % self.capacity as u64) as usize;
+        if self.weights[slot] == 0.0 {
+            None
+        } else {
+            Some(self.values[slot])
+        }
+    }
+
+    /// Compensated cumulative sums at fractional sequence coordinate `x`
+    /// (valid for `start <= x <= next`): `(value_sum, weight_sum)`.
+    fn cum_at(&self, x: f64) -> (f64, f64) {
+        let k = (x.floor() as u64).clamp(self.start, self.next);
+        let frac = x - k as f64;
+        // Boundary k is the compensated sum over samples 0..k. Boundary 0
+        // is never written but its slot holds the 0.0 it was initialized
+        // with until the ring wraps, by which point start > 0 and the
+        // clamp above keeps k away from it.
+        let b = (k % (self.capacity as u64 + 1)) as usize;
+        let base_v = self.vcum[b];
+        let base_w = self.wcum[b];
+        if frac <= 0.0 {
+            return (base_v, base_w);
+        }
+        // frac > 0 implies k < next (callers clamp x to the horizon), so
+        // sample k is retained.
+        let slot = (k % self.capacity as u64) as usize;
+        (
+            base_v + frac * self.values[slot],
+            base_w + frac * self.weights[slot],
+        )
+    }
+
+    /// Validates `[from, to)` against the ring and returns it clamped to
+    /// fractional sequence coordinates.
+    fn clamped_span(&self, from: f64, to: f64) -> Result<(f64, f64)> {
+        if !(to > from) {
+            return Err(TelemetryError::InvalidConfig {
+                field: "to",
+                reason: "window end must exceed window start",
+            });
+        }
+        if !(from.is_finite() && to.is_finite()) {
+            return Err(TelemetryError::InvalidConfig {
+                field: "from",
+                reason: "window bounds must be finite",
+            });
+        }
+        if self.is_empty() || !(to > self.t0) || !(self.t_end() > from) {
+            return Err(TelemetryError::EmptyWindow);
+        }
+        if !(to > self.t_start()) {
+            // The window overlaps the stream's lifetime but only the part
+            // the ring has already discarded.
+            return Err(TelemetryError::Evicted {
+                oldest_retained: self.start,
+            });
+        }
+        let lo = ((from - self.t0) / self.dt).max(self.start as f64);
+        let hi = ((to - self.t0) / self.dt).min(self.next as f64);
+        Ok((lo, hi))
+    }
+
+    /// Average power over `[from, to)` restricted to the retained
+    /// horizon, skipping missing samples (weighted by overlap).
+    ///
+    /// With no missing samples this agrees with
+    /// `power_sim::trace::SystemTrace::window_average` over the same
+    /// series to within ~1e-9 relative.
+    pub fn window_average(&self, from: f64, to: f64) -> Result<f64> {
+        let (lo, hi) = self.clamped_span(from, to)?;
+        let (v_lo, w_lo) = self.cum_at(lo);
+        let (v_hi, w_hi) = self.cum_at(hi);
+        let dw = w_hi - w_lo;
+        if !(dw > 0.0) {
+            // Every overlapped slot was a missing placeholder.
+            return Err(TelemetryError::EmptyWindow);
+        }
+        Ok((v_hi - v_lo) / dw)
+    }
+
+    /// Energy in joules over `[from, to)` restricted to the retained
+    /// horizon; missing samples contribute zero.
+    pub fn window_energy(&self, from: f64, to: f64) -> Result<f64> {
+        let (lo, hi) = self.clamped_span(from, to)?;
+        let (v_lo, _) = self.cum_at(lo);
+        let (v_hi, _) = self.cum_at(hi);
+        Ok((v_hi - v_lo) * self.dt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_rejects_bad_parameters() {
+        assert!(RingBuffer::new(0.0, 0.0, 8).is_err());
+        assert!(RingBuffer::new(0.0, -1.0, 8).is_err());
+        assert!(RingBuffer::new(f64::NAN, 1.0, 8).is_err());
+        assert!(RingBuffer::new(0.0, 1.0, 0).is_err());
+        assert!(RingBuffer::new(0.0, 1.0, 1).is_ok());
+    }
+
+    #[test]
+    fn whole_sample_window_average_is_exact() {
+        let mut r = RingBuffer::new(0.0, 1.0, 16).unwrap();
+        for v in [100.0, 200.0, 300.0, 400.0] {
+            r.push(v);
+        }
+        assert_eq!(r.window_average(0.0, 4.0).unwrap(), 250.0);
+        assert_eq!(r.window_average(1.0, 3.0).unwrap(), 250.0);
+        assert_eq!(r.window_average(3.0, 4.0).unwrap(), 400.0);
+        assert_eq!(r.window_energy(0.0, 4.0).unwrap(), 1000.0);
+    }
+
+    #[test]
+    fn fractional_edges_weight_by_overlap() {
+        let mut r = RingBuffer::new(10.0, 2.0, 8).unwrap();
+        r.push(100.0);
+        r.push(300.0);
+        // [11, 13): half of sample 0, half of sample 1.
+        let avg = r.window_average(11.0, 13.0).unwrap();
+        assert!((avg - 200.0).abs() < 1e-12, "{avg}");
+        // Energy over the same span: (50 + 150) watt-samples x dt=2.
+        let e = r.window_energy(11.0, 13.0).unwrap();
+        assert!((e - 400.0).abs() < 1e-12, "{e}");
+    }
+
+    #[test]
+    fn window_clamps_to_retained_horizon() {
+        let mut r = RingBuffer::new(0.0, 1.0, 8).unwrap();
+        for v in [100.0, 200.0] {
+            r.push(v);
+        }
+        // Overhang past the live edge is clipped, not an error.
+        assert_eq!(r.window_average(1.0, 50.0).unwrap(), 200.0);
+        assert_eq!(r.window_average(-5.0, 1.0).unwrap(), 100.0);
+    }
+
+    #[test]
+    fn eviction_advances_horizon_and_is_reported() {
+        let mut r = RingBuffer::new(0.0, 1.0, 4).unwrap();
+        for k in 0..10 {
+            r.push(k as f64);
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.first_seq(), 6);
+        assert_eq!(r.evicted(), 6);
+        assert_eq!(r.t_start(), 6.0);
+        // Retained samples 6..10 average 7.5.
+        assert_eq!(r.window_average(0.0, 10.0).unwrap(), 7.5);
+        assert_eq!(r.window_average(6.0, 10.0).unwrap(), 7.5);
+        // A window entirely inside the evicted prefix names the horizon.
+        assert_eq!(
+            r.window_average(0.0, 3.0),
+            Err(TelemetryError::Evicted { oldest_retained: 6 })
+        );
+        // A window before the stream began is simply empty.
+        assert_eq!(
+            r.window_average(-10.0, -5.0),
+            Err(TelemetryError::EmptyWindow)
+        );
+        assert_eq!(r.get(5), None);
+        assert_eq!(r.get(6), Some(6.0));
+        assert_eq!(r.get(10), None);
+    }
+
+    #[test]
+    fn missing_samples_hold_time_but_not_weight() {
+        let mut r = RingBuffer::new(0.0, 1.0, 8).unwrap();
+        r.push(100.0);
+        r.push_missing();
+        r.push(300.0);
+        assert_eq!(r.missing(), 1);
+        assert_eq!(r.get(1), None);
+        // Average skips the gap entirely.
+        assert_eq!(r.window_average(0.0, 3.0).unwrap(), 200.0);
+        // A window covering only the gap is empty.
+        assert_eq!(r.window_average(1.0, 2.0), Err(TelemetryError::EmptyWindow));
+        // Energy counts the gap as zero power.
+        assert_eq!(r.window_energy(0.0, 3.0).unwrap(), 400.0);
+        // Fractional overlap with the gap discounts the weight.
+        let avg = r.window_average(0.0, 1.5).unwrap();
+        assert!((avg - 100.0).abs() < 1e-12, "{avg}");
+    }
+
+    #[test]
+    fn degenerate_and_disjoint_windows_are_rejected() {
+        let mut r = RingBuffer::new(0.0, 1.0, 4).unwrap();
+        r.push(1.0);
+        assert!(matches!(
+            r.window_average(2.0, 2.0),
+            Err(TelemetryError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            r.window_average(3.0, 2.0),
+            Err(TelemetryError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            r.window_average(f64::NAN, 2.0),
+            Err(TelemetryError::InvalidConfig { .. })
+        ));
+        assert_eq!(r.window_average(5.0, 9.0), Err(TelemetryError::EmptyWindow));
+        let empty = RingBuffer::new(0.0, 1.0, 4).unwrap();
+        assert_eq!(
+            empty.window_average(0.0, 1.0),
+            Err(TelemetryError::EmptyWindow)
+        );
+    }
+
+    #[test]
+    fn compensated_sums_survive_magnitude_spread() {
+        // A huge constant offset plus tiny increments: naive summation
+        // loses the increments; the compensated prefix keeps them.
+        let mut r = RingBuffer::new(0.0, 1.0, 1024).unwrap();
+        let base = 1.0e12;
+        for k in 0..1000 {
+            r.push(base + k as f64 * 1.0e-3);
+        }
+        let avg = r.window_average(0.0, 1000.0).unwrap();
+        let want = base + 999.0 * 1.0e-3 / 2.0;
+        assert!(
+            (avg - want).abs() / want < 1e-15,
+            "avg {avg} vs want {want}"
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Live campaign: meter nodes one at a time and stop the moment the
+//! accuracy target is met — the streaming analogue of the paper's
+//! Table 5 sample-size plan.
+//!
+//! An operator planning a submission does not need to meter the plan's
+//! node count up front: a pilot fixes the fleet's spread, then the
+//! sequential rule re-evaluates the Eq. 1-2 confidence interval after
+//! every accepted node and stops as soon as the relative accuracy drops
+//! under the target.
+//!
+//! Run with: `cargo run --release --example live_campaign`
+
+use hpcpower::meter::device::MeterModel;
+use hpcpower::prelude::*;
+use hpcpower::sim::engine::MeterScope;
+use hpcpower::sim::systems;
+
+fn main() {
+    // A 200-node slice of the Calcul Québec machine under in-core HPL.
+    let preset = systems::calcul_quebec().with_total_nodes(200);
+    let cluster = Cluster::build(preset.cluster_spec.clone()).expect("preset is valid");
+    let sim_config = SimulationConfig {
+        dt: 10.0,
+        noise_sigma: 0.01,
+        common_noise_sigma: 0.003,
+        seed: 99,
+        threads: std::thread::available_parallelism().map_or(4, |p| p.get()),
+    };
+    let sim = Simulator::new(
+        &cluster,
+        preset.workload.workload(),
+        preset.balance,
+        sim_config,
+    )
+    .expect("simulator");
+
+    // Target: 1% relative accuracy at 95% confidence, empirical spread
+    // learned from a 6-node pilot, PDU-grade meters, streaming through
+    // the watermarked ingestion pipeline.
+    let mut cfg = LiveCampaignConfig::table5(0.01, 0.03, MeterModel::pdu_grade());
+    cfg.cv = CvAssumption::Empirical;
+    cfg.pilot_nodes = 6;
+    cfg.scope = MeterScope::Wall;
+
+    let report = run_live_campaign(&sim, &cfg).expect("campaign");
+
+    println!(
+        "Campaign over {} ({} nodes):",
+        preset.name, report.population
+    );
+    match report.stopped_at {
+        Some(n) => println!("  stopping rule fired after {n} metered nodes"),
+        None => println!("  rule never fired — full census"),
+    }
+    println!(
+        "  mean node power {:.1} W, 95% CI [{:.1}, {:.1}] W",
+        report.mean_node_w,
+        report.ci.lower(),
+        report.ci.upper()
+    );
+    println!(
+        "  achieved accuracy {:.2}% (target {:.2}%)",
+        report.relative_accuracy * 100.0,
+        cfg.lambda * 100.0
+    );
+    println!(
+        "  extrapolated machine power {:.1} kW",
+        report.reported_power_w / 1000.0
+    );
+    println!("  ingest: {}", report.ingest);
+}

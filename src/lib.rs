@@ -15,6 +15,10 @@
 //! * [`meter`] — power metering instruments and measurement campaigns;
 //! * [`method`] — the EE HPC WG measurement methodology (Levels 1–3), the
 //!   paper's revised requirements, and the gaming analyses;
+//! * [`telemetry`] — streaming ingestion and online estimation: per-node
+//!   ring buffers, watermarked out-of-order ingestion, sequential
+//!   stopping (the online Table 5), streaming anomaly detectors, and the
+//!   live-campaign driver;
 //! * [`green500`] — ranked-list simulation and rank-stability analysis.
 //!
 //! # Example: measure a simulated machine under the revised rules
@@ -54,6 +58,7 @@ pub use power_meter as meter;
 pub use power_method as method;
 pub use power_sim as sim;
 pub use power_stats as stats;
+pub use power_telemetry as telemetry;
 pub use power_workload as workload;
 
 /// Convenience re-exports of the most commonly used types across the
@@ -73,5 +78,9 @@ pub mod prelude {
     pub use power_stats::ci::{mean_ci_t, ConfidenceInterval};
     pub use power_stats::sample_size::SampleSizePlan;
     pub use power_stats::summary::Summary;
+    pub use power_telemetry::{
+        run_live_campaign, CiQuantile, CvAssumption, LiveCampaignConfig, SequentialEstimator,
+        StoppingRule,
+    };
     pub use power_workload::{LoadBalance, RunPhases, Workload};
 }

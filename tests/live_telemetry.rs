@@ -1,0 +1,128 @@
+//! Online Table 5: the streaming subsystem end to end.
+//!
+//! The sequential stopping rule must land on the closed-form Eq. 5 node
+//! counts across the paper's full (lambda, sigma/mu) grid, and a live
+//! campaign through the ingestion pipeline must stop, meet its accuracy
+//! target, and lose no samples.
+
+use hpcpower::meter::device::MeterModel;
+use hpcpower::sim::engine::{MeterScope, SimulationConfig, Simulator};
+use hpcpower::sim::systems;
+use hpcpower::sim::Cluster;
+use hpcpower::stats::sample_size::paper_table5;
+use hpcpower::telemetry::online::{CiQuantile, CvAssumption, SequentialEstimator, StoppingRule};
+use hpcpower::telemetry::{run_live_campaign, LiveCampaignConfig};
+
+/// Pushing samples through the sequential rule with a planned CV stops
+/// within +-1 node of the Eq. 5 closed form, across the whole Table 5
+/// grid at N = 10 000.
+#[test]
+fn sequential_stopping_matches_table5_grid() {
+    for cell in paper_table5().unwrap() {
+        let rule = StoppingRule {
+            confidence: 0.95,
+            lambda: cell.lambda,
+            population: 10_000,
+            quantile: CiQuantile::Normal,
+            cv: CvAssumption::Planned(cell.cv),
+            min_nodes: 1,
+        };
+        let mut est = SequentialEstimator::new(rule).unwrap();
+        let mut stopped_at = None;
+        for _ in 0..10_000u64 {
+            let d = est.push(400.0);
+            if d.stop {
+                stopped_at = Some(d.n);
+                break;
+            }
+        }
+        let n = stopped_at.expect("rule must stop within the population");
+        assert!(
+            n.abs_diff(cell.nodes) <= 1,
+            "lambda {} cv {}: stopped at {n}, Table 5 says {}",
+            cell.lambda,
+            cell.cv,
+            cell.nodes
+        );
+    }
+}
+
+fn small_sim(cluster: &Cluster) -> SimulationConfig {
+    let _ = cluster;
+    SimulationConfig {
+        dt: 15.0,
+        noise_sigma: 0.01,
+        common_noise_sigma: 0.003,
+        seed: 2015,
+        threads: 2,
+    }
+}
+
+/// A live campaign over a scaled paper preset: the rule fires, the
+/// achieved accuracy honours the target, ingestion is lossless under the
+/// configured lateness bound, and the run is bit-deterministic.
+#[test]
+fn live_campaign_end_to_end() {
+    let preset = systems::lcsc().with_total_nodes(96);
+    let cluster = Cluster::build(preset.cluster_spec.clone()).unwrap();
+    let workload = preset.workload.workload();
+    let sim = Simulator::new(&cluster, workload, preset.balance, small_sim(&cluster)).unwrap();
+
+    let mut cfg = LiveCampaignConfig::table5(0.01, 0.03, MeterModel::ideal());
+    cfg.cv = CvAssumption::Empirical;
+    cfg.pilot_nodes = 6;
+    cfg.scope = MeterScope::Wall;
+    let report = run_live_campaign(&sim, &cfg).unwrap();
+
+    let n = report.stopped_at.expect("campaign must stop before census");
+    assert_eq!(report.metered_nodes, n);
+    assert!(n >= cfg.pilot_nodes as u64);
+    assert!((n as usize) < report.population);
+    assert!(
+        report.relative_accuracy <= cfg.lambda + 1e-12,
+        "achieved {} vs target {}",
+        report.relative_accuracy,
+        cfg.lambda
+    );
+    assert!(report.ci.contains(report.mean_node_w));
+    assert!(report.reported_power_w > 0.0);
+    // Lossless ingestion: everything emitted was accepted in order.
+    assert_eq!(report.ingest.dropped(), 0);
+    assert_eq!(report.ingest.gaps, 0);
+    assert!(report.ingest.accepted > 0);
+    assert!(report.anomalies.is_empty());
+
+    // Same seed, same report — streaming, threading and jitter are all
+    // derived deterministically from the config.
+    let again = run_live_campaign(&sim, &cfg).unwrap();
+    assert_eq!(again.stopped_at, report.stopped_at);
+    assert_eq!(again.mean_node_w.to_bits(), report.mean_node_w.to_bits());
+    assert_eq!(
+        again.reported_power_w.to_bits(),
+        report.reported_power_w.to_bits()
+    );
+}
+
+/// The planned-CV live campaign stops exactly where the offline plan
+/// says to meter, making the stream the online analogue of Table 5.
+#[test]
+fn live_campaign_matches_offline_plan() {
+    let preset = systems::lcsc().with_total_nodes(120);
+    let cluster = Cluster::build(preset.cluster_spec.clone()).unwrap();
+    let workload = preset.workload.workload();
+    let sim = Simulator::new(&cluster, workload, preset.balance, small_sim(&cluster)).unwrap();
+
+    for (lambda, cv) in [(0.01, 0.02), (0.02, 0.03), (0.02, 0.05)] {
+        let plan = hpcpower::stats::sample_size::SampleSizePlan::new(0.95, lambda, cv)
+            .and_then(|p| p.required_nodes(120))
+            .unwrap();
+        let cfg = LiveCampaignConfig::table5(lambda, cv, MeterModel::ideal());
+        let report = run_live_campaign(&sim, &cfg).unwrap();
+        assert_eq!(report.planned_nodes, Some(plan));
+        assert_eq!(
+            report.stopped_at,
+            Some(plan),
+            "lambda {lambda} cv {cv}: live stop must equal the plan"
+        );
+    }
+}
