@@ -191,6 +191,8 @@ pub struct RunProducts {
     request: ProductRequest,
     dt: f64,
     steps: usize,
+    /// Nodes in the swept machine — the population, not the subset size.
+    cluster_len: usize,
     system: Option<[SystemTrace; 3]>,
     averages: Option<[Vec<f64>; 3]>,
     subset: Option<[NodeTrace; 3]>,
@@ -229,12 +231,18 @@ impl RunProducts {
     }
 
     /// The retained subset, if it covers every node of the machine
-    /// (node ids `0..n` in order) — a *full sweep* whose per-sample series
-    /// can answer any window or sub-subset question after the fact.
+    /// (node ids `0..cluster_len` in order) — a *full sweep* whose
+    /// per-sample series can answer any window or sub-subset question
+    /// after the fact. A prefix subset on a larger machine is *not* a full
+    /// sweep: aggregating it would pass off a partial population as
+    /// machine-wide results.
     fn full_retained_subset(&self) -> Option<&[NodeTrace; 3]> {
         let subset = self.subset.as_ref()?;
         let ids = &subset[0].node_ids;
-        if !ids.is_empty() && ids.iter().enumerate().all(|(i, &id)| i == id) {
+        if ids.len() == self.cluster_len
+            && !ids.is_empty()
+            && ids.iter().enumerate().all(|(i, &id)| i == id)
+        {
             Some(subset)
         } else {
             None
@@ -308,6 +316,7 @@ impl RunProducts {
             request: want.clone(),
             dt: self.dt,
             steps: self.steps,
+            cluster_len: self.cluster_len,
             system,
             averages,
             subset,
@@ -734,6 +743,7 @@ impl<'a> Simulator<'a> {
             request: request.clone(),
             dt,
             steps,
+            cluster_len: n,
             system,
             averages,
             subset: subset_traces,
@@ -1007,6 +1017,43 @@ mod tests {
             combined.node_averages(MeterScope::ProcessorsOnly).unwrap(),
             lone_avgs.as_slice()
         );
+    }
+
+    #[test]
+    fn prefix_subset_is_not_a_full_sweep() {
+        // A retained subset whose ids happen to be the prefix 0..k of a
+        // larger machine must not be promoted to a full sweep: deriving
+        // system traces or window averages from it would report k-node
+        // aggregates as machine-wide results.
+        let cluster = Cluster::build(spec(20)).unwrap();
+        let phases = RunPhases::core_only(200.0).unwrap();
+        let wl = Firestarter::new(phases);
+        let sim = Simulator::new(&cluster, &wl, LoadBalance::Balanced, config()).unwrap();
+        let prefix = sim
+            .run_products(&ProductRequest::subset_only(&[0, 1, 2]))
+            .unwrap();
+        assert!(prefix.try_derive(&ProductRequest::system_only()).is_none());
+        assert!(prefix
+            .try_derive(&ProductRequest::with_averages(50.0, 200.0))
+            .is_none());
+        // Sub-subset slicing is still fine — it never claims the machine.
+        let sliced = prefix
+            .try_derive(&ProductRequest::subset_only(&[2, 0]))
+            .unwrap();
+        assert_eq!(
+            sliced.subset_trace(MeterScope::Wall).unwrap().node_ids,
+            vec![2, 0]
+        );
+        // A subset that genuinely covers the machine still derives both.
+        let all: Vec<usize> = (0..20).collect();
+        let full = sim
+            .run_products(&ProductRequest::subset_only(&all))
+            .unwrap();
+        let derived = full
+            .try_derive(&ProductRequest::with_averages(50.0, 200.0))
+            .unwrap();
+        assert_eq!(derived.node_averages(MeterScope::Wall).unwrap().len(), 20);
+        assert!(full.try_derive(&ProductRequest::system_only()).is_some());
     }
 
     #[test]

@@ -467,6 +467,41 @@ mod tests {
     }
 
     #[test]
+    fn prefix_subset_entry_cannot_answer_machine_wide_requests() {
+        // Regression: a cached subset over node ids 0..k of a larger
+        // machine used to be mistaken for a full sweep, serving k-node
+        // aggregates as machine-wide system traces and window averages.
+        let (cluster, wl, cfg) = fixture();
+        let n = cluster.len();
+        assert!(n > 3, "fixture machine must exceed the prefix subset");
+        let sim = Simulator::new(&cluster, &wl, LoadBalance::Balanced, cfg).unwrap();
+        let store = TraceStore::new();
+        store
+            .products(&sim, &ProductRequest::subset_only(&[0, 1, 2]))
+            .unwrap();
+        assert_eq!(store.misses(), 1);
+        let p = store
+            .products(&sim, &ProductRequest::with_averages(50.0, 150.0))
+            .unwrap();
+        assert_eq!(store.misses(), 2, "prefix subset must not derive averages");
+        assert_eq!(p.node_averages(MeterScope::Wall).unwrap().len(), n);
+        let fresh_store = TraceStore::new();
+        fresh_store
+            .products(&sim, &ProductRequest::subset_only(&[0, 1, 2]))
+            .unwrap();
+        let sys = fresh_store
+            .products(&sim, &ProductRequest::system_only())
+            .unwrap();
+        assert_eq!(
+            fresh_store.misses(),
+            2,
+            "prefix subset must not derive a system trace"
+        );
+        let direct = sim.system_trace(MeterScope::Wall).unwrap();
+        assert_eq!(sys.system_trace(MeterScope::Wall).unwrap(), &direct);
+    }
+
+    #[test]
     fn partial_subset_entries_serve_contained_subsets() {
         let (cluster, wl, cfg) = fixture();
         let sim = Simulator::new(&cluster, &wl, LoadBalance::Balanced, cfg).unwrap();

@@ -8,8 +8,11 @@
 //! sequence number seen by `lateness` slots, samples behind it are
 //! finalized into the node's [`RingBuffer`] in true order (gaps filled
 //! with missing placeholders), and anything arriving later still is
-//! dropped — *counted*, never silently discarded. The paper's accuracy
-//! claims rest on knowing exactly what fraction of samples made it.
+//! dropped. Duplicate offers of a still-pending sequence number keep the
+//! first arrival's value. Every such discard is *counted*, never silent:
+//! `accepted + dropped + duplicates` equals the samples offered. The
+//! paper's accuracy claims rest on knowing exactly what fraction of
+//! samples made it.
 //!
 //! The multi-producer front is plain `std::sync::mpsc` under
 //! `std::thread::scope`; a bounded channel provides backpressure with a
@@ -44,8 +47,12 @@ pub enum BackpressurePolicy {
 /// Ingestion tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IngestConfig {
-    /// Maximum out-of-orderness, in sequence slots, a sample may show and
-    /// still be accepted. `0` demands exact order.
+    /// Reordering budget in sequence slots: the per-node watermark trails
+    /// the newest sequence number seen by `lateness` slots, so a sample
+    /// displaced *strictly less than* `lateness` behind the newest arrival
+    /// is guaranteed accepted; displacement of `lateness` or more may fall
+    /// behind the watermark and be dropped as late. `0` demands exact
+    /// order.
     pub lateness: u64,
     /// Per-node ring capacity (samples retained for window queries).
     pub ring_capacity: usize,
@@ -105,10 +112,15 @@ pub struct IngestStats {
     /// Accepted samples that arrived out of order (buffered before
     /// finalization).
     pub reordered: u64,
+    /// Offers whose sequence number was already pending finalization; the
+    /// first arrival's value is kept. (Duplicates arriving behind the
+    /// watermark are counted in `late_dropped` instead.)
+    pub duplicates: u64,
 }
 
 impl IngestStats {
-    /// Total samples that were offered but never made it into a ring.
+    /// Samples lost to lateness or backpressure. Duplicates are counted
+    /// separately: discarding one loses no information.
     pub fn dropped(&self) -> u64 {
         self.late_dropped + self.backpressure_dropped
     }
@@ -118,8 +130,13 @@ impl std::fmt::Display for IngestStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} accepted ({} reordered), {} late-dropped, {} shed, {} gap slots",
-            self.accepted, self.reordered, self.late_dropped, self.backpressure_dropped, self.gaps
+            "{} accepted ({} reordered), {} late-dropped, {} shed, {} duplicates, {} gap slots",
+            self.accepted,
+            self.reordered,
+            self.late_dropped,
+            self.backpressure_dropped,
+            self.duplicates,
+            self.gaps
         )
     }
 }
@@ -137,6 +154,7 @@ struct NodeIngest {
     late_dropped: u64,
     gaps: u64,
     reordered: u64,
+    duplicates: u64,
 }
 
 impl NodeIngest {
@@ -150,6 +168,7 @@ impl NodeIngest {
             late_dropped: 0,
             gaps: 0,
             reordered: 0,
+            duplicates: 0,
         })
     }
 
@@ -163,10 +182,21 @@ impl NodeIngest {
             self.late_dropped += 1;
             return;
         }
+        match self.pending.entry(seq) {
+            // A duplicate of a still-pending sample: keep the first
+            // arrival's value and count the discard, so
+            // accepted + dropped + duplicates == offered.
+            std::collections::btree_map::Entry::Occupied(_) => {
+                self.duplicates += 1;
+                return;
+            }
+            std::collections::btree_map::Entry::Vacant(slot) => {
+                slot.insert(watts);
+            }
+        }
         if self.max_seen.is_some_and(|m| seq < m) {
             self.reordered += 1;
         }
-        self.pending.insert(seq, watts);
         self.max_seen = Some(self.max_seen.map_or(seq, |m| m.max(seq)));
         // The watermark trails the newest arrival by `lateness` slots:
         // anything at least that old can no longer be displaced.
@@ -274,6 +304,7 @@ impl Collector {
             s.late_dropped += n.late_dropped;
             s.gaps += n.gaps;
             s.reordered += n.reordered;
+            s.duplicates += n.duplicates;
         }
         s
     }
@@ -444,6 +475,31 @@ mod tests {
         assert_eq!(s.late_dropped, 1);
         // The late duplicate did not overwrite the finalized value.
         assert_eq!(c.ring(0).unwrap().get(3), Some(1.0));
+    }
+
+    #[test]
+    fn in_flight_duplicates_keep_first_value_and_are_counted() {
+        let mut c = Collector::new(1, 0.0, 1.0, &cfg(4)).unwrap();
+        for (seq, watts) in [(0u64, 10.0), (1, 20.0), (0, 999.0), (1, 999.0), (2, 30.0)] {
+            c.ingest(Sample {
+                node: 0,
+                seq,
+                watts,
+            })
+            .unwrap();
+        }
+        c.flush();
+        let s = c.stats();
+        assert_eq!(s.accepted, 3);
+        assert_eq!(s.duplicates, 2);
+        assert_eq!(s.dropped(), 0);
+        // Accounting closes: accepted + dropped + duplicates == offered.
+        assert_eq!(s.accepted + s.dropped() + s.duplicates, 5);
+        // The first arrival's values survived finalization.
+        let ring = c.ring(0).unwrap();
+        assert_eq!(ring.get(0), Some(10.0));
+        assert_eq!(ring.get(1), Some(20.0));
+        assert_eq!(ring.get(2), Some(30.0));
     }
 
     #[test]
