@@ -1,0 +1,111 @@
+//! Serving-layer benchmarks: in-process routing cost per endpoint and
+//! loopback end-to-end throughput on cached queries.
+//!
+//! The throughput group enforces the serving layer's hard budget: with
+//! the sweep already cached, the server must sustain at least 10 000
+//! requests per second over loopback TCP on `/v1/trace/window` — the
+//! prefix-sum window query is O(1), so the wire, parser, and router are
+//! the whole cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use power_serve::http::{read_request, HttpLimits};
+use power_serve::loadgen::{self, LoadPlan};
+use power_serve::router::route;
+use power_serve::server::{Server, ServerConfig};
+use power_serve::state::{ServeConfig, ServeState};
+use std::hint::black_box;
+use std::io::Cursor;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn parse(raw: &[u8]) -> power_serve::http::Request {
+    read_request(&mut Cursor::new(raw.to_vec()), &HttpLimits::default())
+        .expect("valid request")
+        .expect("non-empty request")
+}
+
+/// Router-only cost: no sockets, warm store.
+fn bench_route(c: &mut Criterion) {
+    let state = ServeState::new(ServeConfig {
+        max_nodes: 64,
+        ..ServeConfig::default()
+    });
+    let window = parse(&loadgen::get_request(
+        "/v1/trace/window?system=L-CSC&nodes=16&dt=120&from=600&to=3000",
+    ));
+    // Warm the cache so the timed loop measures the cached path.
+    let (_, warm) = route(&state, &window);
+    assert_eq!(warm.status, 200);
+    let healthz = parse(&loadgen::get_request("/healthz"));
+    let sample = parse(&loadgen::post_request(
+        "/v1/sample-size",
+        r#"{"lambda": 0.01, "cv": 0.05, "population": 10000}"#,
+    ));
+
+    let mut group = c.benchmark_group("serve_route");
+    group.bench_function(BenchmarkId::new("cached", "trace_window"), |b| {
+        b.iter(|| black_box(route(&state, &window).1.status))
+    });
+    group.bench_function(BenchmarkId::new("cheap", "healthz"), |b| {
+        b.iter(|| black_box(route(&state, &healthz).1.status))
+    });
+    group.bench_function(BenchmarkId::new("closed_form", "sample_size"), |b| {
+        b.iter(|| black_box(route(&state, &sample).1.status))
+    });
+    group.finish();
+}
+
+/// End-to-end loopback throughput on cached queries, with the >= 10k
+/// req/s budget asserted.
+fn bench_cached_throughput(c: &mut Criterion) {
+    let server = Server::start(
+        ServerConfig {
+            workers: 4,
+            queue_depth: 64,
+            ..ServerConfig::default()
+        },
+        Arc::new(ServeState::new(ServeConfig {
+            max_nodes: 64,
+            ..ServeConfig::default()
+        })),
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    let window =
+        loadgen::get_request("/v1/trace/window?system=L-CSC&nodes=16&dt=120&from=600&to=3000");
+    let (status, _) =
+        loadgen::http_request(addr, &window, Duration::from_secs(10)).expect("warm-up query");
+    assert_eq!(status, 200, "warm-up query");
+
+    let mut best_rps = 0.0f64;
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(3);
+    group.bench_function(BenchmarkId::new("cached", "trace_window"), |b| {
+        b.iter(|| {
+            let report = loadgen::run(
+                addr,
+                &LoadPlan {
+                    threads: 8,
+                    requests_per_thread: 128,
+                    targets: vec![window.clone()],
+                    timeout: Duration::from_secs(10),
+                },
+            );
+            assert!(report.conserved(), "{report}");
+            assert_eq!(report.failed, 0, "{report}");
+            best_rps = best_rps.max(report.throughput_rps());
+            black_box(report.succeeded)
+        })
+    });
+    group.finish();
+
+    println!("serve_throughput: best cached trace_window rate {best_rps:.0} req/s");
+    assert!(
+        best_rps >= 10_000.0,
+        "cached queries must sustain >= 10k req/s, measured {best_rps:.0}"
+    );
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_route, bench_cached_throughput);
+criterion_main!(benches);

@@ -49,7 +49,9 @@ pub mod window;
 pub use extrapolate::ExtrapolationReport;
 pub use fraction::FractionRule;
 pub use level::{Methodology, MethodologySpec};
-pub use measure::{Measurement, MeasurementPlan, NodeSelection, WindowPlacement};
+pub use measure::{
+    measure_with_store, Measurement, MeasurementPlan, NodeSelection, WindowPlacement,
+};
 pub use report::Submission;
 pub use streaming::OnlineLevelMeasurement;
 pub use subsystems::SubsystemOverheads;

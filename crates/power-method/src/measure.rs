@@ -157,11 +157,35 @@ impl Measurement {
     }
 }
 
-/// Executes `plan` for `workload` running on `cluster`.
+/// Executes `plan` for `workload` running on `cluster`, caching simulation
+/// sweeps in the process-wide [`TraceStore::global`].
 ///
 /// `sim_config.dt` should divide the meter's sampling interval reasonably
 /// (the meter resamples the simulated trace at its own rate).
 pub fn measure(
+    cluster: &Cluster,
+    workload: &dyn Workload,
+    balance: LoadBalance,
+    sim_config: SimulationConfig,
+    plan: &MeasurementPlan,
+) -> Result<Measurement> {
+    measure_with_store(
+        TraceStore::global(),
+        cluster,
+        workload,
+        balance,
+        sim_config,
+        plan,
+    )
+}
+
+/// [`measure`] against a caller-supplied [`TraceStore`].
+///
+/// Servers and tests that need isolated cache accounting (hit/miss/
+/// coalescing counters, an LRU bound) pass their own store; `measure`
+/// delegates here with the global one.
+pub fn measure_with_store(
+    store: &TraceStore,
     cluster: &Cluster,
     workload: &dyn Workload,
     balance: LoadBalance,
@@ -204,11 +228,11 @@ pub fn measure(
     };
     nodes.sort_unstable();
 
-    // Simulate the metered subset — through the shared store, so repeated
-    // plans over the same (machine, workload, config, subset) reuse one
-    // sweep (window-placement scans hit this path hundreds of times).
+    // Simulate the metered subset — through the store, so repeated plans
+    // over the same (machine, workload, config, subset) reuse one sweep
+    // (window-placement scans hit this path hundreds of times).
     let sim = Simulator::new(cluster, workload, balance, sim_config)?;
-    let products = TraceStore::global().products(&sim, &ProductRequest::subset_only(&nodes))?;
+    let products = store.products(&sim, &ProductRequest::subset_only(&nodes))?;
     let trace = products
         .subset_trace(MeterScope::Wall)
         .expect("subset was requested");

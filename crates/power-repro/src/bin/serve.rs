@@ -1,0 +1,250 @@
+//! The measurement query service: `power-serve` over the full preset
+//! catalog.
+//!
+//! Normal mode binds the requested address and serves until killed:
+//!
+//! ```text
+//! cargo run --release --bin serve -- --addr 127.0.0.1:8980
+//! ```
+//!
+//! `--smoke` runs the CI exercise instead: bind an ephemeral loopback
+//! port, hit every endpoint once, force a saturation `503`, check both
+//! sides of the admission ledger, and shut down cleanly. Exit status is
+//! nonzero on any failure.
+
+use power_serve::loadgen::{self, LoadPlan};
+use power_serve::server::{Server, ServerConfig};
+use power_serve::state::{ServeConfig, ServeState};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Args {
+    addr: String,
+    workers: usize,
+    queue_depth: usize,
+    store_capacity: usize,
+    smoke: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:8980".to_string(),
+        workers: 4,
+        queue_depth: 16,
+        store_capacity: 256,
+        smoke: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers must be an integer".to_string())?
+            }
+            "--queue" => {
+                args.queue_depth = value("--queue")?
+                    .parse()
+                    .map_err(|_| "--queue must be an integer".to_string())?
+            }
+            "--capacity" => {
+                args.store_capacity = value("--capacity")?
+                    .parse()
+                    .map_err(|_| "--capacity must be an integer".to_string())?
+            }
+            "--smoke" => args.smoke = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("serve: {msg}");
+            eprintln!(
+                "usage: serve [--addr HOST:PORT] [--workers N] [--queue N] [--capacity N] [--smoke]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.smoke {
+        return smoke();
+    }
+
+    let state = Arc::new(ServeState::new(ServeConfig {
+        store_capacity: Some(args.store_capacity),
+        ..ServeConfig::default()
+    }));
+    let server = match Server::start(
+        ServerConfig {
+            addr: args.addr.clone(),
+            workers: args.workers,
+            queue_depth: args.queue_depth,
+            ..ServerConfig::default()
+        },
+        state,
+    ) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("serve: cannot bind {}: {err}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("power-serve listening on http://{}", server.local_addr());
+    println!("  GET  /healthz");
+    println!("  GET  /metrics");
+    println!("  GET  /v1/systems");
+    println!("  GET  /v1/trace/window?system=...&from=...&to=...");
+    println!("  POST /v1/measure");
+    println!("  POST /v1/sample-size");
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+/// The CI smoke: every endpoint answers, saturation rejects with `503`
+/// and `Retry-After`, both admission ledgers agree, shutdown drains.
+fn smoke() -> ExitCode {
+    let timeout = Duration::from_secs(10);
+    // One worker and a one-slot queue make saturation deterministic.
+    let server = match Server::start(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            queue_depth: 1,
+            read_timeout: Duration::from_secs(20),
+            ..ServerConfig::default()
+        },
+        Arc::new(ServeState::new(ServeConfig {
+            max_nodes: 64,
+            ..ServeConfig::default()
+        })),
+    ) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("smoke: cannot bind loopback: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.local_addr();
+    println!("smoke: serving on {addr}");
+
+    let checks: Vec<(&str, Vec<u8>)> = vec![
+        ("GET /healthz", loadgen::get_request("/healthz")),
+        ("GET /v1/systems", loadgen::get_request("/v1/systems")),
+        (
+            "POST /v1/sample-size",
+            loadgen::post_request(
+                "/v1/sample-size",
+                r#"{"lambda": 0.01, "cv": 0.05, "population": 10000}"#,
+            ),
+        ),
+        (
+            "POST /v1/measure",
+            loadgen::post_request(
+                "/v1/measure",
+                r#"{"system": "L-CSC", "nodes": 16, "dt": 120, "seed": 5}"#,
+            ),
+        ),
+        (
+            "GET /v1/trace/window",
+            loadgen::get_request("/v1/trace/window?system=L-CSC&nodes=16&dt=120&from=600&to=3000"),
+        ),
+        ("GET /metrics", loadgen::get_request("/metrics")),
+    ];
+    for (label, raw) in &checks {
+        match loadgen::http_request(addr, raw, timeout) {
+            Ok((200, body)) => {
+                let head: String = body.chars().take(72).collect();
+                println!("smoke: {label} -> 200 {head}");
+            }
+            Ok((status, body)) => {
+                eprintln!("smoke: {label} -> {status}: {body}");
+                return ExitCode::FAILURE;
+            }
+            Err(err) => {
+                eprintln!("smoke: {label} failed: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Saturate: pin the only worker and fill the one queue slot with
+    // idle connections, then demand service.
+    let pin_worker = TcpStream::connect(addr).expect("pin connection");
+    std::thread::sleep(Duration::from_millis(300));
+    let fill_queue = TcpStream::connect(addr).expect("queue filler");
+    std::thread::sleep(Duration::from_millis(300));
+    let mut overflow = TcpStream::connect(addr).expect("overflow connection");
+    overflow.set_read_timeout(Some(timeout)).unwrap();
+    overflow
+        .write_all(&loadgen::get_request("/healthz"))
+        .expect("overflow write");
+    let mut raw = Vec::new();
+    overflow.read_to_end(&mut raw).expect("overflow read");
+    let text = String::from_utf8_lossy(&raw);
+    if !text.starts_with("HTTP/1.1 503 ") || !text.contains("retry-after:") {
+        eprintln!("smoke: saturation did not produce 503 + Retry-After:\n{text}");
+        return ExitCode::FAILURE;
+    }
+    println!("smoke: saturation -> 503 with retry-after");
+    drop(pin_worker);
+    drop(fill_queue);
+    std::thread::sleep(Duration::from_millis(300));
+
+    // A small load burst, then reconcile the two ledgers.
+    let report = loadgen::run(
+        addr,
+        &LoadPlan {
+            threads: 4,
+            requests_per_thread: 16,
+            targets: vec![loadgen::get_request("/healthz")],
+            timeout,
+        },
+    );
+    println!("smoke: loadgen {report}");
+    if !report.conserved() || report.failed != 0 {
+        eprintln!("smoke: load report does not balance");
+        return ExitCode::FAILURE;
+    }
+    let admission = server.state().metrics.admission();
+    if !admission.conserved() {
+        eprintln!("smoke: server admission ledger does not balance: {admission:?}");
+        return ExitCode::FAILURE;
+    }
+    // 6 endpoint checks + 3 saturation connections + the load burst.
+    let expected_offered = checks.len() as u64 + 3 + report.offered;
+    if admission.offered != expected_offered {
+        eprintln!(
+            "smoke: offered {} != expected {expected_offered}",
+            admission.offered
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "smoke: admission offered {} = accepted {} + rejected {}",
+        admission.offered, admission.accepted, admission.rejected
+    );
+
+    server.shutdown();
+    if loadgen::http_request(
+        addr,
+        &loadgen::get_request("/healthz"),
+        Duration::from_secs(2),
+    )
+    .is_ok()
+    {
+        eprintln!("smoke: server still answering after shutdown");
+        return ExitCode::FAILURE;
+    }
+    println!("smoke: shutdown drained cleanly; all checks passed");
+    ExitCode::SUCCESS
+}

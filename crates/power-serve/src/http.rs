@@ -1,0 +1,471 @@
+//! HTTP/1.1 subset: request parsing with hard limits, response writing.
+//!
+//! The server speaks exactly the protocol slice its clients need — one
+//! request per connection, `Connection: close` on every response — and is
+//! paranoid about the rest: the head and body are read under byte caps,
+//! malformed requests map to `400`, oversized bodies to `413`, and a
+//! socket read timeout (set by the caller) bounds how long a truncated
+//! request can occupy a worker. The parser never panics on arbitrary
+//! bytes; every failure is a typed [`HttpError`] the worker turns into a
+//! status line.
+
+use std::io::{Read, Write};
+
+/// Byte caps applied while reading a request.
+#[derive(Debug, Clone, Copy)]
+pub struct HttpLimits {
+    /// Maximum bytes of request line + headers (through `\r\n\r\n`).
+    pub max_head_bytes: usize,
+    /// Maximum request body bytes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        HttpLimits {
+            max_head_bytes: 8 * 1024,
+            max_body_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// Why a request could not be read; [`HttpError::status`] maps each case
+/// to the response the worker sends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Syntactically invalid request (or missing required framing).
+    BadRequest(&'static str),
+    /// Declared or actual body exceeds [`HttpLimits::max_body_bytes`].
+    PayloadTooLarge,
+    /// Head exceeds [`HttpLimits::max_head_bytes`].
+    HeadTooLarge,
+    /// The socket timed out or closed before a full request arrived.
+    Incomplete,
+}
+
+impl HttpError {
+    /// The response status for this failure.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::BadRequest(_) => 400,
+            HttpError::PayloadTooLarge => 413,
+            HttpError::HeadTooLarge => 431,
+            HttpError::Incomplete => 408,
+        }
+    }
+
+    /// Human-readable detail for the error body.
+    pub fn detail(&self) -> &'static str {
+        match self {
+            HttpError::BadRequest(reason) => reason,
+            HttpError::PayloadTooLarge => "request body exceeds the configured limit",
+            HttpError::HeadTooLarge => "request head exceeds the configured limit",
+            HttpError::Incomplete => "connection closed or timed out mid-request",
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.status(), self.detail())
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Decoded path component (no query string).
+    pub path: String,
+    /// Decoded query parameters in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Lower-cased header names with raw values.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First query parameter named `key`.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First header named `name` (ASCII case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8.
+    pub fn body_utf8(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body).map_err(|_| HttpError::BadRequest("body is not UTF-8"))
+    }
+}
+
+/// Reads one request from `stream` under `limits`.
+///
+/// `Ok(None)` means the peer closed cleanly before sending anything (the
+/// idle-connection case); any bytes followed by EOF/timeout is
+/// [`HttpError::Incomplete`].
+pub fn read_request<R: Read>(
+    stream: &mut R,
+    limits: &HttpLimits,
+) -> Result<Option<Request>, HttpError> {
+    // Read the head in chunks up to the cap, scanning for `\r\n\r\n`.
+    // The one-request-per-connection protocol means any body bytes
+    // over-read with the head stay ours to consume, so buffering is safe
+    // and keeps syscalls per request to a handful.
+    let mut buf = Vec::with_capacity(512);
+    let head_end = loop {
+        let old = buf.len();
+        let chunk = 512.min(limits.max_head_bytes - old);
+        buf.resize(old + chunk, 0);
+        match stream.read(&mut buf[old..]) {
+            Ok(0) => {
+                buf.truncate(old);
+                if buf.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::Incomplete);
+            }
+            Ok(n) => buf.truncate(old + n),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Err(HttpError::Incomplete)
+            }
+            Err(_) => return Err(HttpError::Incomplete),
+        }
+        // The terminator may straddle the previous chunk boundary.
+        let scan_from = old.saturating_sub(3);
+        if let Some(pos) = buf[scan_from..].windows(4).position(|w| w == b"\r\n\r\n") {
+            break scan_from + pos + 4;
+        }
+        if buf.len() >= limits.max_head_bytes {
+            return Err(HttpError::HeadTooLarge);
+        }
+    };
+    let (head, leftover) = buf.split_at(head_end);
+
+    let head_str =
+        std::str::from_utf8(head).map_err(|_| HttpError::BadRequest("head is not UTF-8"))?;
+    let mut lines = head_str.trim_end_matches("\r\n").split("\r\n");
+    let request_line = lines.next().ok_or(HttpError::BadRequest("empty head"))?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty() && m.bytes().all(|b| b.is_ascii_uppercase()))
+        .ok_or(HttpError::BadRequest("malformed method"))?;
+    let target = parts
+        .next()
+        .filter(|t| t.starts_with('/'))
+        .ok_or(HttpError::BadRequest("malformed request target"))?;
+    let version = parts
+        .next()
+        .ok_or(HttpError::BadRequest("missing HTTP version"))?;
+    if !(version == "HTTP/1.1" || version == "HTTP/1.0") || parts.next().is_some() {
+        return Err(HttpError::BadRequest("malformed HTTP version"));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(HttpError::BadRequest("malformed header line"))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::BadRequest("malformed header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = match headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.as_str())
+    {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::BadRequest("unparseable Content-Length"))?,
+        None if method == "POST" || method == "PUT" => {
+            return Err(HttpError::BadRequest(
+                "POST requires a Content-Length header",
+            ))
+        }
+        None => 0,
+    };
+    if content_length > limits.max_body_bytes {
+        return Err(HttpError::PayloadTooLarge);
+    }
+
+    // Body bytes over-read with the head come first; read the rest.
+    let mut body = vec![0u8; content_length];
+    let prefix = leftover.len().min(content_length);
+    body[..prefix].copy_from_slice(&leftover[..prefix]);
+    let mut read = prefix;
+    while read < content_length {
+        match stream.read(&mut body[read..]) {
+            Ok(0) => return Err(HttpError::Incomplete),
+            Ok(n) => read += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Err(HttpError::Incomplete)
+            }
+            Err(_) => return Err(HttpError::Incomplete),
+        }
+    }
+
+    let (path, query) = split_target(target)?;
+    Ok(Some(Request {
+        method: method.to_string(),
+        path,
+        query,
+        headers,
+        body,
+    }))
+}
+
+/// Splits a request target into a decoded path and query pairs.
+fn split_target(target: &str) -> Result<(String, Vec<(String, String)>), HttpError> {
+    let (path_raw, query_raw) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let path = percent_decode(path_raw)?;
+    let mut query = Vec::new();
+    if let Some(q) = query_raw {
+        for pair in q.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            query.push((percent_decode(k)?, percent_decode(v)?));
+        }
+    }
+    Ok((path, query))
+}
+
+/// Decodes `%xx` escapes and `+` (as space in query values).
+fn percent_decode(s: &str) -> Result<String, HttpError> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                if i + 2 >= bytes.len() {
+                    return Err(HttpError::BadRequest("truncated percent escape"));
+                }
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3])
+                    .map_err(|_| HttpError::BadRequest("invalid percent escape"))?;
+                let b = u8::from_str_radix(hex, 16)
+                    .map_err(|_| HttpError::BadRequest("invalid percent escape"))?;
+                out.push(b);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| HttpError::BadRequest("percent escape is not UTF-8"))
+}
+
+/// The canonical reason phrase for the status codes the service emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// A response to serialize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers beyond the always-present framing set.
+    pub headers: Vec<(&'static str, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+    /// `Content-Type` of the body.
+    pub content_type: &'static str,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: &crate::json::Json) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.render().into_bytes(),
+            content_type: "application/json",
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into().into_bytes(),
+            content_type: "text/plain; charset=utf-8",
+        }
+    }
+
+    /// A JSON error envelope: `{"error": detail}`.
+    pub fn error(status: u16, detail: &str) -> Response {
+        Response::json(
+            status,
+            &crate::json::Json::object([("error", crate::json::Json::str(detail))]),
+        )
+    }
+
+    /// Appends a header.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.headers.push((name, value.into()));
+        self
+    }
+
+    /// Serializes status line, headers and body to `stream`.
+    pub fn write_to<W: Write>(&self, stream: &mut W) -> std::io::Result<()> {
+        let mut out = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+            self.status,
+            reason_phrase(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        for (name, value) in &self.headers {
+            out.push_str(name);
+            out.push_str(": ");
+            out.push_str(value);
+            out.push_str("\r\n");
+        }
+        out.push_str("\r\n");
+        stream.write_all(out.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &[u8]) -> Result<Option<Request>, HttpError> {
+        read_request(&mut Cursor::new(raw.to_vec()), &HttpLimits::default())
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let req = parse(
+            b"GET /v1/trace/window?from=10&to=20.5&name=L%2DCSC+x HTTP/1.1\r\nHost: a\r\n\r\n",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/trace/window");
+        assert_eq!(req.query_param("from"), Some("10"));
+        assert_eq!(req.query_param("to"), Some("20.5"));
+        assert_eq!(req.query_param("name"), Some("L-CSC x"));
+        assert_eq!(req.header("host"), Some("a"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse(b"POST /v1/measure HTTP/1.1\r\nContent-Length: 7\r\n\r\n{\"a\":1}")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body_utf8().unwrap(), "{\"a\":1}");
+    }
+
+    #[test]
+    fn clean_close_is_none_truncated_is_incomplete() {
+        assert_eq!(parse(b"").unwrap(), None);
+        assert_eq!(parse(b"GET / HT").unwrap_err(), HttpError::Incomplete);
+        assert_eq!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").unwrap_err(),
+            HttpError::Incomplete
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_400() {
+        for raw in [
+            b"BAD_LINE\r\n\r\n".to_vec(),
+            b"get / HTTP/1.1\r\n\r\n".to_vec(),
+            b"GET  HTTP/1.1\r\n\r\n".to_vec(),
+            b"GET / HTTP/2.7\r\n\r\n".to_vec(),
+            b"GET / HTTP/1.1 extra\r\n\r\n".to_vec(),
+            b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n".to_vec(),
+            b"POST /x HTTP/1.1\r\n\r\n".to_vec(),
+            b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n".to_vec(),
+            b"GET /%zz HTTP/1.1\r\n\r\n".to_vec(),
+            b"GET /%2 HTTP/1.1\r\n\r\n".to_vec(),
+        ] {
+            match parse(&raw) {
+                Err(HttpError::BadRequest(_)) => {}
+                other => panic!("{:?} -> {:?}", String::from_utf8_lossy(&raw), other),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_head_and_body_are_rejected() {
+        let limits = HttpLimits {
+            max_head_bytes: 64,
+            max_body_bytes: 16,
+        };
+        let huge_head = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(200));
+        assert_eq!(
+            read_request(&mut Cursor::new(huge_head.into_bytes()), &limits).unwrap_err(),
+            HttpError::HeadTooLarge
+        );
+        let big_body = b"POST /x HTTP/1.1\r\nContent-Length: 1000\r\n\r\n".to_vec();
+        assert_eq!(
+            read_request(&mut Cursor::new(big_body), &limits).unwrap_err(),
+            HttpError::PayloadTooLarge
+        );
+    }
+
+    #[test]
+    fn response_serializes_with_framing_headers() {
+        let mut out = Vec::new();
+        Response::text(503, "busy")
+            .with_header("retry-after", "1")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("content-length: 4\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\nbusy"));
+    }
+}

@@ -1,0 +1,41 @@
+//! `power-serve`: a std-only concurrent measurement query service.
+//!
+//! The crate exposes the repository's simulation + estimation stack over
+//! a deliberately small HTTP/1.1 subset — no async runtime, no external
+//! HTTP dependency, just `TcpListener`, a fixed worker pool, and a
+//! bounded admission queue with explicit backpressure:
+//!
+//! * [`json`] — a self-contained JSON parser/renderer (the workspace's
+//!   vendored `serde` is a marker-trait shim, so the wire format lives
+//!   here);
+//! * [`http`] — the request parser and response writer, with hard byte
+//!   caps and total error enumeration (`400`/`408`/`413`/`431`);
+//! * [`router`] — pure request → response dispatch over the six
+//!   endpoints (`/v1/measure`, `/v1/sample-size`, `/v1/trace/window`,
+//!   `/v1/systems`, `/healthz`, `/metrics`);
+//! * [`state`] — shared catalog + the single-flight, LRU-bounded
+//!   [`power_sim::store::TraceStore`] all simulation endpoints go
+//!   through;
+//! * [`metrics`] — per-endpoint counters and latency histograms with a
+//!   Prometheus text rendering, plus the admission conservation law
+//!   `offered == accepted + rejected`;
+//! * [`server`] — the accept thread, worker pool, saturation `503`s and
+//!   graceful drain;
+//! * [`loadgen`] — a loopback load generator whose per-connection
+//!   accounting lines up with the server's admission counters.
+
+pub mod http;
+pub mod json;
+pub mod loadgen;
+pub mod metrics;
+pub mod router;
+pub mod server;
+pub mod state;
+
+pub use http::{HttpError, HttpLimits, Request, Response};
+pub use json::Json;
+pub use loadgen::{LoadPlan, LoadReport};
+pub use metrics::{AdmissionStats, Endpoint, Metrics};
+pub use router::route;
+pub use server::{Server, ServerConfig};
+pub use state::{ServeConfig, ServeState};

@@ -1,0 +1,224 @@
+//! A small loopback load generator for smoke tests and benchmarks.
+//!
+//! The client speaks the same one-request-per-connection protocol the
+//! server enforces (`Connection: close`), so its accounting lines up
+//! with the server's admission counters connection-for-connection: every
+//! request here is exactly one `offered` on the server side, and the
+//! report's `offered == succeeded + rejected + failed` mirrors the
+//! server's `offered == accepted + rejected`.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Builds a raw `GET` request for `path`.
+pub fn get_request(path: &str) -> Vec<u8> {
+    format!("GET {path} HTTP/1.1\r\nhost: loadgen\r\nconnection: close\r\n\r\n").into_bytes()
+}
+
+/// Builds a raw `POST` request for `path` carrying a JSON `body`.
+pub fn post_request(path: &str, body: &str) -> Vec<u8> {
+    format!(
+        "POST {path} HTTP/1.1\r\nhost: loadgen\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// Sends one raw request on a fresh connection and returns
+/// `(status, body)`. Reads to EOF — the server closes after one response.
+pub fn http_request(
+    addr: SocketAddr,
+    raw: &[u8],
+    timeout: Duration,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.write_all(raw)?;
+    let mut raw_response = Vec::new();
+    stream.read_to_end(&mut raw_response)?;
+    parse_response(&raw_response)
+}
+
+fn parse_response(raw: &[u8]) -> std::io::Result<(u16, String)> {
+    let text = String::from_utf8_lossy(raw);
+    let status = text
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.get(..3))
+        .and_then(|code| code.parse::<u16>().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed status line")
+        })?;
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+/// What to offer: raw requests issued round-robin by every thread.
+#[derive(Debug, Clone)]
+pub struct LoadPlan {
+    /// Concurrent client threads.
+    pub threads: usize,
+    /// Requests each thread sends (one connection per request).
+    pub requests_per_thread: usize,
+    /// Raw request bytes, cycled per thread in round-robin order.
+    pub targets: Vec<Vec<u8>>,
+    /// Per-connection timeout.
+    pub timeout: Duration,
+}
+
+impl Default for LoadPlan {
+    fn default() -> Self {
+        LoadPlan {
+            threads: 4,
+            requests_per_thread: 64,
+            targets: vec![get_request("/healthz")],
+            timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Aggregate outcome of a load run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoadReport {
+    /// Connections attempted (one per request).
+    pub offered: u64,
+    /// `2xx` responses.
+    pub succeeded: u64,
+    /// `503` backpressure rejections.
+    pub rejected: u64,
+    /// Non-503 error statuses (`4xx`/`5xx`).
+    pub error_status: u64,
+    /// Transport-level failures (connect, read, or write errors).
+    pub failed: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl LoadReport {
+    /// The client-side conservation law: every offered connection is
+    /// classified exactly once.
+    pub fn conserved(&self) -> bool {
+        self.offered == self.succeeded + self.rejected + self.error_status + self.failed
+    }
+
+    /// Completed requests (any HTTP response) per second.
+    pub fn throughput_rps(&self) -> f64 {
+        let answered = (self.succeeded + self.rejected + self.error_status) as f64;
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            answered / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+impl std::fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "offered {} = ok {} + 503 {} + err {} + failed {} in {:.2}s ({:.0} req/s)",
+            self.offered,
+            self.succeeded,
+            self.rejected,
+            self.error_status,
+            self.failed,
+            self.elapsed.as_secs_f64(),
+            self.throughput_rps()
+        )
+    }
+}
+
+/// Runs `plan` against `addr` and aggregates the outcome.
+pub fn run(addr: SocketAddr, plan: &LoadPlan) -> LoadReport {
+    let succeeded = Arc::new(AtomicU64::new(0));
+    let rejected = Arc::new(AtomicU64::new(0));
+    let error_status = Arc::new(AtomicU64::new(0));
+    let failed = Arc::new(AtomicU64::new(0));
+    let threads = plan.threads.max(1);
+    let per_thread = plan.requests_per_thread;
+    let targets = Arc::new(plan.targets.clone());
+    let timeout = plan.timeout;
+
+    let started = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let succeeded = Arc::clone(&succeeded);
+            let rejected = Arc::clone(&rejected);
+            let error_status = Arc::clone(&error_status);
+            let failed = Arc::clone(&failed);
+            let targets = Arc::clone(&targets);
+            std::thread::spawn(move || {
+                for i in 0..per_thread {
+                    let raw = &targets[(t + i) % targets.len()];
+                    match http_request(addr, raw, timeout) {
+                        Ok((status, _)) if (200..300).contains(&status) => {
+                            succeeded.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok((503, _)) => {
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(_) => {
+                            error_status.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        let _ = handle.join();
+    }
+
+    LoadReport {
+        offered: (threads * per_thread) as u64,
+        succeeded: succeeded.load(Ordering::Relaxed),
+        rejected: rejected.load(Ordering::Relaxed),
+        error_status: error_status.load(Ordering::Relaxed),
+        failed: failed.load(Ordering::Relaxed),
+        elapsed: started.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_conservation_and_throughput() {
+        let report = LoadReport {
+            offered: 10,
+            succeeded: 7,
+            rejected: 2,
+            error_status: 1,
+            failed: 0,
+            elapsed: Duration::from_secs(2),
+        };
+        assert!(report.conserved());
+        assert!((report.throughput_rps() - 5.0).abs() < 1e-9);
+        let broken = LoadReport {
+            offered: 10,
+            succeeded: 1,
+            ..LoadReport::default()
+        };
+        assert!(!broken.conserved());
+    }
+
+    #[test]
+    fn parses_a_response() {
+        let (status, body) =
+            parse_response(b"HTTP/1.1 200 OK\r\ncontent-length: 2\r\n\r\nhi").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "hi");
+        assert!(parse_response(b"garbage").is_err());
+    }
+}

@@ -1,0 +1,343 @@
+//! Per-endpoint request metrics and the `/metrics` text rendering.
+//!
+//! Counters are lock-free atomics; latency histograms reuse
+//! [`power_stats::histogram::Histogram`] (fixed-range linear bins whose
+//! edge-clamping insert keeps totals conserved) behind a mutex that is
+//! held only for one `insert`. The rendering is Prometheus text
+//! exposition format: `# TYPE` lines, labelled counters, and cumulative
+//! `_bucket`/`_sum`/`_count` histogram series.
+//!
+//! Two counter families carry the service's conservation laws:
+//!
+//! * admission: `offered == accepted + rejected` — every connection the
+//!   listener sees is either handed to a worker or turned away with 503;
+//! * per endpoint: `requests == errors + successes` is implied by
+//!   labelling errors separately.
+
+use power_sim::store::CacheStats;
+use power_stats::histogram::Histogram;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The service's endpoints, used as metric labels and histogram slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /v1/measure`.
+    Measure,
+    /// `POST /v1/sample-size`.
+    SampleSize,
+    /// `GET /v1/trace/window`.
+    TraceWindow,
+    /// `GET /v1/systems`.
+    Systems,
+    /// `GET /healthz`.
+    Healthz,
+    /// `GET /metrics`.
+    Metrics,
+    /// Anything else (404s, parse failures, unknown paths).
+    Other,
+}
+
+impl Endpoint {
+    /// Every endpoint, in rendering order.
+    pub const ALL: [Endpoint; 7] = [
+        Endpoint::Measure,
+        Endpoint::SampleSize,
+        Endpoint::TraceWindow,
+        Endpoint::Systems,
+        Endpoint::Healthz,
+        Endpoint::Metrics,
+        Endpoint::Other,
+    ];
+
+    /// Dense index into per-endpoint arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Endpoint::Measure => 0,
+            Endpoint::SampleSize => 1,
+            Endpoint::TraceWindow => 2,
+            Endpoint::Systems => 3,
+            Endpoint::Healthz => 4,
+            Endpoint::Metrics => 5,
+            Endpoint::Other => 6,
+        }
+    }
+
+    /// The metric label value.
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Measure => "measure",
+            Endpoint::SampleSize => "sample_size",
+            Endpoint::TraceWindow => "trace_window",
+            Endpoint::Systems => "systems",
+            Endpoint::Healthz => "healthz",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Other => "other",
+        }
+    }
+}
+
+/// Latency histogram range: 40 linear bins over [0, 100] ms. Requests
+/// slower than the range clamp into the top bin (totals stay conserved);
+/// the `_sum` series still accumulates true durations.
+const LATENCY_BINS: usize = 40;
+const LATENCY_MAX_US: f64 = 100_000.0;
+
+struct EndpointSlot {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    latency_sum_us: AtomicU64,
+    latency: Mutex<Histogram>,
+}
+
+impl EndpointSlot {
+    fn new() -> Self {
+        EndpointSlot {
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            latency_sum_us: AtomicU64::new(0),
+            latency: Mutex::new(
+                Histogram::with_range(0.0, LATENCY_MAX_US, LATENCY_BINS)
+                    .expect("static latency range is valid"),
+            ),
+        }
+    }
+}
+
+/// Admission counters; see the module docs for the conservation law.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdmissionStats {
+    /// Connections the listener accepted from the OS.
+    pub offered: u64,
+    /// Connections handed to a worker.
+    pub accepted: u64,
+    /// Connections turned away with `503` because the queue was full.
+    pub rejected: u64,
+}
+
+impl AdmissionStats {
+    /// The admission conservation law.
+    pub fn conserved(&self) -> bool {
+        self.offered == self.accepted + self.rejected
+    }
+}
+
+/// The server's metrics registry.
+pub struct Metrics {
+    endpoints: [EndpointSlot; 7],
+    offered: AtomicU64,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            endpoints: std::array::from_fn(|_| EndpointSlot::new()),
+            offered: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Metrics {
+    /// A zeroed registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records one handled request.
+    pub fn record(&self, endpoint: Endpoint, status: u16, latency: Duration) {
+        let slot = &self.endpoints[endpoint.index()];
+        slot.requests.fetch_add(1, Ordering::Relaxed);
+        if status >= 400 {
+            slot.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        slot.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+        slot.latency
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(us as f64);
+    }
+
+    /// Counts a connection the listener accepted from the OS.
+    pub fn connection_offered(&self) {
+        self.offered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a connection handed to a worker.
+    pub fn connection_accepted(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a connection rejected with `503`.
+    pub fn connection_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A snapshot of the admission counters. Reading `offered` last keeps
+    /// the conservation law intact under concurrent admissions: a
+    /// connection counted in `offered` may not yet be classified, but
+    /// never the reverse.
+    pub fn admission(&self) -> AdmissionStats {
+        let accepted = self.accepted.load(Ordering::Acquire);
+        let rejected = self.rejected.load(Ordering::Acquire);
+        let offered = self.offered.load(Ordering::Acquire);
+        AdmissionStats {
+            offered: offered.max(accepted + rejected),
+            accepted,
+            rejected,
+        }
+    }
+
+    /// Total requests recorded for `endpoint`.
+    pub fn requests(&self, endpoint: Endpoint) -> u64 {
+        self.endpoints[endpoint.index()]
+            .requests
+            .load(Ordering::Relaxed)
+    }
+
+    /// Total error (status >= 400) responses for `endpoint`.
+    pub fn errors(&self, endpoint: Endpoint) -> u64 {
+        self.endpoints[endpoint.index()]
+            .errors
+            .load(Ordering::Relaxed)
+    }
+
+    /// Renders the Prometheus text exposition, folding in the trace
+    /// store's cache counters.
+    pub fn render_prometheus(&self, stats: CacheStats) -> String {
+        let mut out = String::with_capacity(4096);
+
+        out.push_str("# TYPE power_serve_requests_total counter\n");
+        for ep in Endpoint::ALL {
+            out.push_str(&format!(
+                "power_serve_requests_total{{endpoint=\"{}\"}} {}\n",
+                ep.label(),
+                self.requests(ep)
+            ));
+        }
+        out.push_str("# TYPE power_serve_errors_total counter\n");
+        for ep in Endpoint::ALL {
+            out.push_str(&format!(
+                "power_serve_errors_total{{endpoint=\"{}\"}} {}\n",
+                ep.label(),
+                self.errors(ep)
+            ));
+        }
+
+        let admission = self.admission();
+        out.push_str("# TYPE power_serve_admission_total counter\n");
+        out.push_str(&format!(
+            "power_serve_admission_total{{outcome=\"offered\"}} {}\n",
+            admission.offered
+        ));
+        out.push_str(&format!(
+            "power_serve_admission_total{{outcome=\"accepted\"}} {}\n",
+            admission.accepted
+        ));
+        out.push_str(&format!(
+            "power_serve_admission_total{{outcome=\"rejected\"}} {}\n",
+            admission.rejected
+        ));
+
+        out.push_str("# TYPE power_serve_store_total counter\n");
+        for (outcome, value) in [
+            ("hits", stats.hits),
+            ("derived", stats.derived),
+            ("misses", stats.misses),
+            ("coalesced", stats.coalesced),
+            ("evictions", stats.evictions),
+        ] {
+            out.push_str(&format!(
+                "power_serve_store_total{{outcome=\"{outcome}\"}} {value}\n"
+            ));
+        }
+        out.push_str("# TYPE power_serve_store_entries gauge\n");
+        out.push_str(&format!("power_serve_store_entries {}\n", stats.entries));
+
+        out.push_str("# TYPE power_serve_latency_us histogram\n");
+        for ep in Endpoint::ALL {
+            let slot = &self.endpoints[ep.index()];
+            let hist = slot.latency.lock().unwrap_or_else(|e| e.into_inner());
+            let mut cumulative = 0u64;
+            for (i, count) in hist.counts().iter().enumerate() {
+                cumulative += count;
+                let (_, hi) = hist.bin_edges(i);
+                let le = if i + 1 == hist.bins() {
+                    "+Inf".to_string()
+                } else {
+                    format!("{hi:.0}")
+                };
+                // Skip empty interior buckets to keep the page small, but
+                // always emit the +Inf terminator.
+                if *count > 0 || i + 1 == hist.bins() {
+                    out.push_str(&format!(
+                        "power_serve_latency_us_bucket{{endpoint=\"{}\",le=\"{le}\"}} {cumulative}\n",
+                        ep.label()
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "power_serve_latency_us_sum{{endpoint=\"{}\"}} {}\n",
+                ep.label(),
+                slot.latency_sum_us.load(Ordering::Relaxed)
+            ));
+            out.push_str(&format!(
+                "power_serve_latency_us_count{{endpoint=\"{}\"}} {}\n",
+                ep.label(),
+                hist.total()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_renders() {
+        let m = Metrics::new();
+        m.record(Endpoint::Measure, 200, Duration::from_micros(1500));
+        m.record(Endpoint::Measure, 400, Duration::from_micros(300));
+        m.record(Endpoint::Healthz, 200, Duration::from_micros(40));
+        m.connection_offered();
+        m.connection_accepted();
+        m.connection_offered();
+        m.connection_rejected();
+        assert_eq!(m.requests(Endpoint::Measure), 2);
+        assert_eq!(m.errors(Endpoint::Measure), 1);
+        let admission = m.admission();
+        assert!(admission.conserved());
+        assert_eq!(admission.offered, 2);
+
+        let page = m.render_prometheus(CacheStats {
+            hits: 5,
+            derived: 1,
+            misses: 2,
+            coalesced: 3,
+            evictions: 0,
+            entries: 2,
+        });
+        assert!(page.contains("power_serve_requests_total{endpoint=\"measure\"} 2"));
+        assert!(page.contains("power_serve_errors_total{endpoint=\"measure\"} 1"));
+        assert!(page.contains("power_serve_admission_total{outcome=\"offered\"} 2"));
+        assert!(page.contains("power_serve_store_total{outcome=\"coalesced\"} 3"));
+        assert!(page.contains("power_serve_latency_us_count{endpoint=\"measure\"} 2"));
+        assert!(page.contains("le=\"+Inf\"} 2"));
+    }
+
+    #[test]
+    fn latency_overflow_clamps_into_top_bucket() {
+        let m = Metrics::new();
+        m.record(Endpoint::Systems, 200, Duration::from_secs(10));
+        let page = m.render_prometheus(CacheStats::default());
+        assert!(page.contains("power_serve_latency_us_count{endpoint=\"systems\"} 1"));
+        assert!(page.contains("power_serve_latency_us_sum{endpoint=\"systems\"} 10000000"));
+    }
+}

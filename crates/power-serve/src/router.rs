@@ -1,0 +1,790 @@
+//! Endpoint dispatch: parsed request in, response out.
+//!
+//! The router is a pure function of ([`ServeState`], [`Request`]) so every
+//! endpoint is unit-testable without a socket. Endpoints:
+//!
+//! | method | path               | what it serves                                   |
+//! |--------|--------------------|--------------------------------------------------|
+//! | POST   | `/v1/measure`      | full EE HPC WG measurement ([`measure_with_store`]) |
+//! | POST   | `/v1/sample-size`  | Eq. 5 finite-population plan (Table 5 as a service) |
+//! | GET    | `/v1/trace/window` | O(1) prefix-sum window average over a cached sweep |
+//! | GET    | `/v1/systems`      | the queryable system catalog                     |
+//! | GET    | `/healthz`         | liveness + uptime                                |
+//! | GET    | `/metrics`         | Prometheus-style counters and histograms         |
+//!
+//! Domain errors map to `400` (invalid parameters), `404` (unknown system
+//! or path), `405` (wrong method on a known path), `422` (well-formed but
+//! unsatisfiable request). Every simulation-backed endpoint goes through
+//! the state's shared [`TraceStore`], so repeated and concurrent queries
+//! coalesce into single sweeps.
+
+use crate::http::{Request, Response};
+use crate::json::Json;
+use crate::metrics::Endpoint;
+use crate::state::ServeState;
+use power_method::level::Methodology;
+use power_method::measure::{measure_with_store, MeasurementPlan, NodeSelection, WindowPlacement};
+use power_sim::cluster::Cluster;
+use power_sim::engine::{MeterScope, ProductRequest, SimulationConfig};
+use power_sim::systems::SystemPreset;
+use power_sim::Simulator;
+use power_stats::sample_size::SampleSizePlan;
+
+/// Dispatches one request.
+pub fn route(state: &ServeState, req: &Request) -> (Endpoint, Response) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (Endpoint::Healthz, healthz(state)),
+        ("GET", "/metrics") => (Endpoint::Metrics, metrics(state)),
+        ("GET", "/v1/systems") => (Endpoint::Systems, systems(state)),
+        ("POST", "/v1/sample-size") => (Endpoint::SampleSize, sample_size(req)),
+        ("POST", "/v1/measure") => (Endpoint::Measure, measure(state, req)),
+        ("GET", "/v1/trace/window") => (Endpoint::TraceWindow, trace_window(state, req)),
+        (_, "/healthz") => (Endpoint::Healthz, method_not_allowed("GET")),
+        (_, "/metrics") => (Endpoint::Metrics, method_not_allowed("GET")),
+        (_, "/v1/systems") => (Endpoint::Systems, method_not_allowed("GET")),
+        (_, "/v1/sample-size") => (Endpoint::SampleSize, method_not_allowed("POST")),
+        (_, "/v1/measure") => (Endpoint::Measure, method_not_allowed("POST")),
+        (_, "/v1/trace/window") => (Endpoint::TraceWindow, method_not_allowed("GET")),
+        _ => (
+            Endpoint::Other,
+            Response::error(404, "no such endpoint; see /v1/systems, /v1/measure, /v1/sample-size, /v1/trace/window, /healthz, /metrics"),
+        ),
+    }
+}
+
+fn method_not_allowed(allow: &'static str) -> Response {
+    Response::error(405, "method not allowed").with_header("allow", allow)
+}
+
+fn healthz(state: &ServeState) -> Response {
+    Response::json(
+        200,
+        &Json::object([
+            ("status", Json::str("ok")),
+            ("uptime_s", Json::num(state.started.elapsed().as_secs_f64())),
+            ("systems", Json::num(state.catalog.len() as f64)),
+        ]),
+    )
+}
+
+fn metrics(state: &ServeState) -> Response {
+    Response::text(200, state.metrics.render_prometheus(state.store.stats()))
+}
+
+fn systems(state: &ServeState) -> Response {
+    let items: Vec<Json> = state
+        .catalog
+        .iter()
+        .map(|p| {
+            let phases = p.workload.workload().phases();
+            Json::object([
+                ("name", Json::str(p.name)),
+                ("total_nodes", Json::num(p.cluster_spec.total_nodes as f64)),
+                ("workload", Json::str(p.workload.workload().name())),
+                ("core_seconds", Json::num(phases.core())),
+                ("run_seconds", Json::num(phases.total())),
+                ("scope", Json::str(scope_label(p.scope))),
+                ("paper_population", Json::num(p.targets.population as f64)),
+            ])
+        })
+        .collect();
+    Response::json(200, &Json::object([("systems", Json::Array(items))]))
+}
+
+/// `POST /v1/sample-size` — Eq. 4/5: how many nodes must a site meter.
+fn sample_size(req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    let confidence = match opt_f64(&body, "confidence") {
+        Ok(v) => v.unwrap_or(0.95),
+        Err(r) => return r,
+    };
+    let lambda = match req_f64(&body, "lambda") {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let cv = match req_f64(&body, "cv") {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let population = match req_u64(&body, "population") {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let plan = match SampleSizePlan::new(confidence, lambda, cv) {
+        Ok(p) => p,
+        Err(e) => return Response::error(400, &e.to_string()),
+    };
+    let (n0, n_inf, n) = match plan.n0().and_then(|n0| {
+        Ok((
+            n0,
+            plan.required_nodes_infinite()?,
+            plan.required_nodes(population)?,
+        ))
+    }) {
+        Ok(v) => v,
+        Err(e) => return Response::error(422, &e.to_string()),
+    };
+    let achieved = plan.achieved_lambda(n, population).ok();
+    Response::json(
+        200,
+        &Json::object([
+            ("confidence", Json::num(plan.confidence())),
+            ("lambda", Json::num(plan.lambda())),
+            ("cv", Json::num(plan.cv())),
+            ("population", Json::num(population as f64)),
+            ("n0", Json::num(n0)),
+            ("required_nodes_infinite", Json::num(n_inf as f64)),
+            ("required_nodes", Json::num(n as f64)),
+            ("achieved_lambda", achieved.map_or(Json::Null, Json::num)),
+        ]),
+    )
+}
+
+/// The simulation identity a request selects: a (scaled) preset plus the
+/// engine configuration. Shared by `/v1/measure` and `/v1/trace/window`.
+struct SimSelection {
+    preset: SystemPreset,
+    config: SimulationConfig,
+}
+
+fn select_sim(
+    state: &ServeState,
+    system: &str,
+    nodes: Option<u64>,
+    dt: Option<f64>,
+    seed: u64,
+) -> Result<SimSelection, Response> {
+    let preset = state.preset(system).ok_or_else(|| {
+        Response::error(
+            404,
+            &format!("unknown system `{system}`; GET /v1/systems lists the catalog"),
+        )
+    })?;
+    let full = preset.cluster_spec.total_nodes;
+    let nodes = match nodes {
+        Some(0) => return Err(Response::error(400, "nodes must be positive")),
+        Some(n) if n as usize > state.config.max_nodes => {
+            return Err(Response::error(
+                400,
+                &format!(
+                    "nodes = {n} exceeds the service limit of {}",
+                    state.config.max_nodes
+                ),
+            ))
+        }
+        Some(n) => (n as usize).min(full),
+        None => full.min(state.config.max_nodes),
+    };
+    let preset = preset.clone().with_total_nodes(nodes);
+    let total_s = preset.workload.workload().phases().total();
+    let dt = match dt {
+        Some(v) if !(v.is_finite() && v > 0.0) => {
+            return Err(Response::error(
+                400,
+                "dt must be a positive number of seconds",
+            ))
+        }
+        Some(v) => v,
+        // Default: ~512 samples across the run, never finer than 1 Hz.
+        None => (total_s / 512.0).max(1.0),
+    };
+    let steps = (total_s / dt).ceil().max(1.0);
+    let cells = steps * nodes as f64;
+    if cells > state.config.max_cells as f64 {
+        return Err(Response::error(
+            422,
+            &format!(
+                "request would sweep {cells:.0} node-samples (limit {}); raise dt or lower nodes",
+                state.config.max_cells
+            ),
+        ));
+    }
+    let config = SimulationConfig {
+        dt,
+        noise_sigma: state.config.noise_sigma,
+        common_noise_sigma: state.config.common_noise_sigma,
+        seed,
+        threads: state.config.sim_threads.max(1),
+    };
+    Ok(SimSelection { preset, config })
+}
+
+/// `POST /v1/measure` — the full methodology pipeline as a service.
+fn measure(state: &ServeState, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    let system = match req_str(&body, "system") {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let methodology = match body.get("methodology").map(|m| m.as_str()) {
+        None => Methodology::Revised,
+        Some(Some(name)) => match parse_methodology(name) {
+            Some(m) => m,
+            None => {
+                return Response::error(
+                    400,
+                    "methodology must be one of level1, level2, level3, revised",
+                )
+            }
+        },
+        Some(None) => return Response::error(400, "methodology must be a string"),
+    };
+    let selection = match body.get("selection").map(|s| s.as_str()) {
+        None => NodeSelection::Random,
+        Some(Some("random")) => NodeSelection::Random,
+        Some(Some("first_n")) => NodeSelection::FirstN,
+        Some(Some("lowest_vid")) => NodeSelection::LowestVid,
+        _ => return Response::error(400, "selection must be one of random, first_n, lowest_vid"),
+    };
+    let placement = match body.get("placement") {
+        None => WindowPlacement::Middle,
+        Some(p) => match (p.as_str(), p.as_f64()) {
+            (Some("earliest"), _) => WindowPlacement::Earliest,
+            (Some("middle"), _) => WindowPlacement::Middle,
+            (Some("latest"), _) => WindowPlacement::Latest,
+            (None, Some(f)) if (0.0..=1.0).contains(&f) => WindowPlacement::Fraction(f),
+            _ => {
+                return Response::error(
+                    400,
+                    "placement must be earliest, middle, latest, or a fraction in [0, 1]",
+                )
+            }
+        },
+    };
+    let seed = match opt_u64(&body, "seed") {
+        Ok(v) => v.unwrap_or(1),
+        Err(r) => return r,
+    };
+    let nodes = match opt_u64(&body, "nodes") {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let dt = match opt_f64(&body, "dt") {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let selection_sim = match select_sim(state, system, nodes, dt, seed) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let cluster = match Cluster::build(selection_sim.preset.cluster_spec.clone()) {
+        Ok(c) => c,
+        Err(e) => return Response::error(422, &e.to_string()),
+    };
+    let plan = MeasurementPlan {
+        selection,
+        placement,
+        ..MeasurementPlan::honest(methodology, seed)
+    };
+    let measurement = match measure_with_store(
+        &state.store,
+        &cluster,
+        selection_sim.preset.workload.workload(),
+        selection_sim.preset.balance,
+        selection_sim.config,
+        &plan,
+    ) {
+        Ok(m) => m,
+        Err(e) => return Response::error(422, &e.to_string()),
+    };
+
+    let windows: Vec<Json> = measurement
+        .windows
+        .iter()
+        .map(|&(from, to)| Json::Array(vec![Json::num(from), Json::num(to)]))
+        .collect();
+    let mut members = vec![
+        ("system", Json::str(selection_sim.preset.name)),
+        ("methodology", Json::str(methodology_label(methodology))),
+        ("total_nodes", Json::num(measurement.total_nodes as f64)),
+        (
+            "metered_nodes",
+            Json::num(measurement.metered_nodes.len() as f64),
+        ),
+        (
+            "machine_fraction",
+            Json::num(measurement.machine_fraction()),
+        ),
+        ("windows", Json::Array(windows)),
+        ("subset_power_w", Json::num(measurement.subset_power_w)),
+        ("overhead_w", Json::num(measurement.overhead_w)),
+        ("reported_power_w", Json::num(measurement.reported_power_w)),
+        ("rmax_flops", Json::num(measurement.rmax_flops)),
+        ("flops_per_watt", Json::num(measurement.flops_per_watt())),
+        ("dt", Json::num(selection_sim.config.dt)),
+        ("seed", Json::num(seed as f64)),
+    ];
+    if measurement.metered_nodes.len() <= 128 {
+        members.push((
+            "metered_node_ids",
+            Json::Array(
+                measurement
+                    .metered_nodes
+                    .iter()
+                    .map(|&id| Json::num(id as f64))
+                    .collect(),
+            ),
+        ));
+    }
+    if let Some(a) = &measurement.assessment {
+        members.push((
+            "assessment",
+            Json::object([
+                ("estimate_w", Json::num(a.estimate_w)),
+                ("ci_lower_w", Json::num(a.ci_lower_w)),
+                ("ci_upper_w", Json::num(a.ci_upper_w)),
+                ("confidence", Json::num(a.confidence)),
+                ("relative_accuracy", Json::num(a.relative_accuracy)),
+                ("cv", Json::num(a.cv)),
+            ]),
+        ));
+    }
+    Response::json(200, &Json::object(members))
+}
+
+/// `GET /v1/trace/window` — O(1) window averages over the cached sweep.
+fn trace_window(state: &ServeState, req: &Request) -> Response {
+    let system = match req.query_param("system") {
+        Some(s) => s,
+        None => return Response::error(400, "missing required query parameter `system`"),
+    };
+    let from = match parse_query_f64(req, "from") {
+        Ok(Some(v)) => v,
+        Ok(None) => return Response::error(400, "missing required query parameter `from`"),
+        Err(r) => return r,
+    };
+    let to = match parse_query_f64(req, "to") {
+        Ok(Some(v)) => v,
+        Ok(None) => return Response::error(400, "missing required query parameter `to`"),
+        Err(r) => return r,
+    };
+    let scope = match req.query_param("scope") {
+        None => MeterScope::Wall,
+        Some(s) => match parse_scope(s) {
+            Some(s) => s,
+            None => return Response::error(400, "scope must be one of wall, dc, processors"),
+        },
+    };
+    let nodes = match parse_query_u64(req, "nodes") {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let dt = match parse_query_f64(req, "dt") {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let seed = match parse_query_u64(req, "seed") {
+        Ok(v) => v.unwrap_or(1),
+        Err(r) => return r,
+    };
+    let selection = match select_sim(state, system, nodes, dt, seed) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let cluster = match Cluster::build(selection.preset.cluster_spec.clone()) {
+        Ok(c) => c,
+        Err(e) => return Response::error(422, &e.to_string()),
+    };
+    let sim = match Simulator::new(
+        &cluster,
+        selection.preset.workload.workload(),
+        selection.preset.balance,
+        selection.config,
+    ) {
+        Ok(s) => s,
+        Err(e) => return Response::error(422, &e.to_string()),
+    };
+    let products = match state.store.products(&sim, &ProductRequest::system_only()) {
+        Ok(p) => p,
+        Err(e) => return Response::error(422, &e.to_string()),
+    };
+    let trace = products
+        .system_trace(scope)
+        .expect("system trace was requested");
+    let (average_w, energy_j) = match trace
+        .window_average(from, to)
+        .and_then(|avg| Ok((avg, trace.window_energy(from, to)?)))
+    {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, &e.to_string()),
+    };
+    Response::json(
+        200,
+        &Json::object([
+            ("system", Json::str(selection.preset.name)),
+            (
+                "nodes",
+                Json::num(selection.preset.cluster_spec.total_nodes as f64),
+            ),
+            ("scope", Json::str(scope_label(scope))),
+            ("from", Json::num(from)),
+            ("to", Json::num(to)),
+            ("average_w", Json::num(average_w)),
+            ("energy_j", Json::num(energy_j)),
+            ("dt", Json::num(products.dt())),
+            ("samples", Json::num(products.steps() as f64)),
+            ("run_seconds", Json::num(trace.t_end())),
+        ]),
+    )
+}
+
+// ---- small parsing helpers ----------------------------------------------
+
+fn parse_body(req: &Request) -> Result<Json, Response> {
+    let text = req
+        .body_utf8()
+        .map_err(|e| Response::error(400, e.detail()))?;
+    if text.trim().is_empty() {
+        return Err(Response::error(400, "request body must be a JSON object"));
+    }
+    let body = Json::parse(text).map_err(|e| Response::error(400, &e.to_string()))?;
+    match body {
+        Json::Object(_) => Ok(body),
+        _ => Err(Response::error(400, "request body must be a JSON object")),
+    }
+}
+
+fn req_f64(body: &Json, key: &str) -> Result<f64, Response> {
+    opt_f64(body, key)?
+        .ok_or_else(|| Response::error(400, &format!("missing required field `{key}`")))
+}
+
+fn opt_f64(body: &Json, key: &str) -> Result<Option<f64>, Response> {
+    match body.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| Response::error(400, &format!("field `{key}` must be a finite number"))),
+    }
+}
+
+fn req_u64(body: &Json, key: &str) -> Result<u64, Response> {
+    opt_u64(body, key)?
+        .ok_or_else(|| Response::error(400, &format!("missing required field `{key}`")))
+}
+
+fn opt_u64(body: &Json, key: &str) -> Result<Option<u64>, Response> {
+    match body.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+            Response::error(
+                400,
+                &format!("field `{key}` must be a non-negative integer"),
+            )
+        }),
+    }
+}
+
+fn req_str<'a>(body: &'a Json, key: &str) -> Result<&'a str, Response> {
+    match body.get(key) {
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| Response::error(400, &format!("field `{key}` must be a string"))),
+        None => Err(Response::error(
+            400,
+            &format!("missing required field `{key}`"),
+        )),
+    }
+}
+
+fn parse_query_f64(req: &Request, key: &str) -> Result<Option<f64>, Response> {
+    match req.query_param(key) {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse::<f64>()
+            .ok()
+            .filter(|v| v.is_finite())
+            .map(Some)
+            .ok_or_else(|| {
+                Response::error(
+                    400,
+                    &format!("query parameter `{key}` must be a finite number"),
+                )
+            }),
+    }
+}
+
+fn parse_query_u64(req: &Request, key: &str) -> Result<Option<u64>, Response> {
+    match req.query_param(key) {
+        None => Ok(None),
+        Some(raw) => raw.parse::<u64>().map(Some).map_err(|_| {
+            Response::error(
+                400,
+                &format!("query parameter `{key}` must be a non-negative integer"),
+            )
+        }),
+    }
+}
+
+fn parse_methodology(name: &str) -> Option<Methodology> {
+    match name.to_ascii_lowercase().as_str() {
+        "level1" | "l1" => Some(Methodology::Level1),
+        "level2" | "l2" => Some(Methodology::Level2),
+        "level3" | "l3" => Some(Methodology::Level3),
+        "revised" => Some(Methodology::Revised),
+        _ => None,
+    }
+}
+
+fn methodology_label(m: Methodology) -> &'static str {
+    match m {
+        Methodology::Level1 => "level1",
+        Methodology::Level2 => "level2",
+        Methodology::Level3 => "level3",
+        Methodology::Revised => "revised",
+    }
+}
+
+fn parse_scope(name: &str) -> Option<MeterScope> {
+    match name.to_ascii_lowercase().as_str() {
+        "wall" => Some(MeterScope::Wall),
+        "dc" => Some(MeterScope::Dc),
+        "processors" | "processors_only" => Some(MeterScope::ProcessorsOnly),
+        _ => None,
+    }
+}
+
+fn scope_label(scope: MeterScope) -> &'static str {
+    match scope {
+        MeterScope::Wall => "wall",
+        MeterScope::Dc => "dc",
+        MeterScope::ProcessorsOnly => "processors",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{ServeConfig, ServeState};
+
+    fn get(path: &str) -> Request {
+        let raw = format!("GET {path} HTTP/1.1\r\n\r\n");
+        crate::http::read_request(
+            &mut std::io::Cursor::new(raw.into_bytes()),
+            &crate::http::HttpLimits::default(),
+        )
+        .unwrap()
+        .unwrap()
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        let raw = format!(
+            "POST {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        crate::http::read_request(
+            &mut std::io::Cursor::new(raw.into_bytes()),
+            &crate::http::HttpLimits::default(),
+        )
+        .unwrap()
+        .unwrap()
+    }
+
+    fn state() -> ServeState {
+        ServeState::new(ServeConfig {
+            max_nodes: 64,
+            ..ServeConfig::default()
+        })
+    }
+
+    fn body_json(resp: &Response) -> Json {
+        Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn healthz_and_systems() {
+        let state = state();
+        let (ep, resp) = route(&state, &get("/healthz"));
+        assert_eq!(ep, Endpoint::Healthz);
+        assert_eq!(resp.status, 200);
+        assert_eq!(body_json(&resp).get("status").unwrap().as_str(), Some("ok"));
+
+        let (_, resp) = route(&state, &get("/v1/systems"));
+        let systems = body_json(&resp);
+        assert_eq!(
+            systems.get("systems").unwrap().as_array().unwrap().len(),
+            10
+        );
+    }
+
+    #[test]
+    fn sample_size_matches_table5_cell() {
+        let state = state();
+        let (_, resp) = route(
+            &state,
+            &post(
+                "/v1/sample-size",
+                r#"{"lambda": 0.005, "cv": 0.05, "population": 10000}"#,
+            ),
+        );
+        assert_eq!(resp.status, 200, "{:?}", resp.body);
+        let body = body_json(&resp);
+        // The paper's Table 5: lambda 0.5%, cv 5%, N = 10 000 -> 370.
+        assert_eq!(body.get("required_nodes").unwrap().as_u64(), Some(370));
+        assert_eq!(body.get("confidence").unwrap().as_f64(), Some(0.95));
+    }
+
+    #[test]
+    fn sample_size_rejects_bad_parameters() {
+        let state = state();
+        for body in [
+            r#"{"cv": 0.05, "population": 100}"#,
+            r#"{"lambda": 0.01, "population": 100}"#,
+            r#"{"lambda": 0.01, "cv": 0.05}"#,
+            r#"{"lambda": -1, "cv": 0.05, "population": 100}"#,
+            r#"{"lambda": 0.01, "cv": 0.05, "population": 0.5}"#,
+            r#"not json"#,
+            r#"[1,2]"#,
+        ] {
+            let (_, resp) = route(&state, &post("/v1/sample-size", body));
+            assert_eq!(resp.status, 400, "{body}");
+        }
+        // population = 0 is well-formed but unsatisfiable.
+        let (_, resp) = route(
+            &state,
+            &post(
+                "/v1/sample-size",
+                r#"{"lambda": 0.01, "cv": 0.05, "population": 0}"#,
+            ),
+        );
+        assert_eq!(resp.status, 422);
+    }
+
+    #[test]
+    fn measure_runs_end_to_end_and_caches() {
+        let state = state();
+        let body =
+            r#"{"system": "L-CSC", "methodology": "revised", "nodes": 24, "dt": 60, "seed": 7}"#;
+        let (ep, resp) = route(&state, &post("/v1/measure", body));
+        assert_eq!(ep, Endpoint::Measure);
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let m = body_json(&resp);
+        assert_eq!(m.get("total_nodes").unwrap().as_u64(), Some(24));
+        // Revised rule on 24 nodes: max(16, 10%) = 16.
+        assert_eq!(m.get("metered_nodes").unwrap().as_u64(), Some(16));
+        assert!(m.get("reported_power_w").unwrap().as_f64().unwrap() > 0.0);
+        assert!(m.get("assessment").is_some());
+        assert_eq!(state.store.misses(), 1);
+
+        // The identical request is served from cache: no second sweep.
+        let (_, resp2) = route(&state, &post("/v1/measure", body));
+        assert_eq!(resp2.status, 200);
+        assert_eq!(state.store.misses(), 1);
+        assert!(state.store.hits() >= 1);
+    }
+
+    #[test]
+    fn measure_validates_inputs() {
+        let state = state();
+        for (body, status) in [
+            (r#"{"methodology": "revised"}"#, 400),
+            (r#"{"system": "No Such Machine"}"#, 404),
+            (r#"{"system": "L-CSC", "methodology": "level9"}"#, 400),
+            (r#"{"system": "L-CSC", "nodes": 0}"#, 400),
+            (r#"{"system": "L-CSC", "nodes": 100000}"#, 400),
+            (r#"{"system": "L-CSC", "dt": -3}"#, 400),
+            (r#"{"system": "L-CSC", "nodes": 24, "dt": 0.001}"#, 422),
+            (r#"{"system": "L-CSC", "selection": "best_nodes"}"#, 400),
+            (r#"{"system": "L-CSC", "placement": 7}"#, 400),
+        ] {
+            let (_, resp) = route(&state, &post("/v1/measure", body));
+            assert_eq!(
+                resp.status,
+                status,
+                "{body}: {}",
+                String::from_utf8_lossy(&resp.body)
+            );
+        }
+        // Nothing invalid was simulated or cached.
+        assert_eq!(state.store.misses(), 0);
+    }
+
+    #[test]
+    fn trace_window_is_cached_and_o1_on_repeat() {
+        let state = state();
+        let path = "/v1/trace/window?system=Colosse&nodes=16&dt=120&from=1200&to=4800";
+        let (ep, resp) = route(&state, &get(path));
+        assert_eq!(ep, Endpoint::TraceWindow);
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let body = body_json(&resp);
+        let avg = body.get("average_w").unwrap().as_f64().unwrap();
+        assert!(avg > 0.0);
+        // Energy over the window is consistent with the average.
+        let energy = body.get("energy_j").unwrap().as_f64().unwrap();
+        assert!((energy - avg * 3600.0).abs() <= 1e-6 * energy.abs());
+        assert_eq!(state.store.misses(), 1);
+
+        // A different window over the same sweep: pure cache hit.
+        let (_, resp2) = route(
+            &state,
+            &get("/v1/trace/window?system=Colosse&nodes=16&dt=120&from=0&to=600"),
+        );
+        assert_eq!(resp2.status, 200);
+        assert_eq!(state.store.misses(), 1, "window change must not re-sweep");
+
+        // Scope selection works against the same cached products.
+        let (_, resp3) = route(
+            &state,
+            &get("/v1/trace/window?system=Colosse&nodes=16&dt=120&from=1200&to=4800&scope=dc"),
+        );
+        let dc = body_json(&resp3)
+            .get("average_w")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!(dc < avg, "DC power sits below wall power");
+        assert_eq!(state.store.misses(), 1);
+    }
+
+    #[test]
+    fn trace_window_validates_inputs() {
+        let state = state();
+        for path in [
+            "/v1/trace/window",
+            "/v1/trace/window?system=Colosse",
+            "/v1/trace/window?system=Colosse&from=10",
+            "/v1/trace/window?system=Colosse&from=ten&to=20",
+            "/v1/trace/window?system=Colosse&from=10&to=20&scope=psu",
+            "/v1/trace/window?system=Colosse&nodes=16&dt=120&from=500&to=100",
+        ] {
+            let (_, resp) = route(&state, &get(path));
+            assert_eq!(resp.status, 400, "{path}");
+        }
+        let (_, resp) = route(&state, &get("/v1/trace/window?system=Nope&from=0&to=10"));
+        assert_eq!(resp.status, 404);
+    }
+
+    #[test]
+    fn unknown_paths_and_wrong_methods() {
+        let state = state();
+        let (ep, resp) = route(&state, &get("/v2/everything"));
+        assert_eq!(ep, Endpoint::Other);
+        assert_eq!(resp.status, 404);
+        let (ep, resp) = route(&state, &post("/healthz", "{}"));
+        assert_eq!(ep, Endpoint::Healthz);
+        assert_eq!(resp.status, 405);
+        let (_, resp) = route(&state, &get("/v1/measure"));
+        assert_eq!(resp.status, 405);
+    }
+
+    #[test]
+    fn metrics_renders_store_and_request_counters() {
+        let state = state();
+        let (_, _) = route(&state, &get("/healthz"));
+        state
+            .metrics
+            .record(Endpoint::Healthz, 200, std::time::Duration::from_micros(10));
+        let (_, resp) = route(&state, &get("/metrics"));
+        assert_eq!(resp.status, 200);
+        let page = String::from_utf8(resp.body).unwrap();
+        assert!(page.contains("power_serve_requests_total{endpoint=\"healthz\"} 1"));
+        assert!(page.contains("power_serve_store_total{outcome=\"misses\"} 0"));
+    }
+}

@@ -1,0 +1,324 @@
+//! The TCP front end: accept thread, bounded admission queue, worker
+//! pool, and graceful shutdown.
+//!
+//! Concurrency shape:
+//!
+//! * One **accept thread** owns the listener. Every connection it
+//!   accepts is counted `offered`, then either pushed onto the bounded
+//!   queue (`accepted`) or — if the queue is at capacity — answered
+//!   directly with `503` + `Retry-After` and closed (`rejected`). The
+//!   accept thread never parses requests, so rejection stays cheap even
+//!   when every worker is busy.
+//! * A fixed pool of **worker threads** pops connections off the queue,
+//!   reads exactly one request per connection (the server always replies
+//!   `Connection: close`), routes it, and records per-endpoint metrics.
+//! * **Graceful shutdown** flips a flag, wakes the accept thread with a
+//!   loopback connection, joins it, then lets the workers drain the
+//!   queue and every in-flight request before joining them. No accepted
+//!   connection is abandoned.
+//!
+//! The conservation law `offered == accepted + rejected` is the
+//! server-side half of the accounting the load generator checks from the
+//! outside (see [`crate::loadgen`]).
+
+use crate::http::{read_request, HttpError, HttpLimits, Request, Response};
+use crate::metrics::Endpoint;
+use crate::router::route;
+use crate::state::ServeState;
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables for the TCP front end.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address. Use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Admission queue depth. Connections beyond `workers` in flight plus
+    /// this many waiting are rejected with `503`.
+    pub queue_depth: usize,
+    /// Parser limits (head and body byte caps).
+    pub limits: HttpLimits,
+    /// Socket read timeout; a connection idle longer than this is
+    /// answered `408` and closed, so a silent client cannot pin a worker.
+    pub read_timeout: Duration,
+    /// `Retry-After` seconds advertised on `503` rejections.
+    pub retry_after_s: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 16,
+            limits: HttpLimits::default(),
+            read_timeout: Duration::from_secs(5),
+            retry_after_s: 1,
+        }
+    }
+}
+
+struct Shared {
+    state: Arc<ServeState>,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    limits: HttpLimits,
+    read_timeout: Duration,
+}
+
+/// A running server. Dropping it without calling [`Server::shutdown`]
+/// detaches the threads; call `shutdown` for a clean drain.
+pub struct Server {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener and spawns the accept thread and worker pool.
+    pub fn start(config: ServerConfig, state: Arc<ServeState>) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            state,
+            queue: Mutex::new(VecDeque::with_capacity(config.queue_depth)),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            limits: config.limits,
+            read_timeout: config.read_timeout,
+        });
+
+        let workers = config.workers.max(1);
+        let queue_depth = config.queue_depth.max(1);
+        let mut worker_handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("power-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))?,
+            );
+        }
+        let accept_shared = Arc::clone(&shared);
+        let retry_after = config.retry_after_s;
+        let accept_handle = std::thread::Builder::new()
+            .name("power-serve-accept".to_string())
+            .spawn(move || accept_loop(&listener, &accept_shared, queue_depth, retry_after))?;
+
+        Ok(Server {
+            local_addr,
+            shared,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared state, for inspecting metrics and the store.
+    pub fn state(&self) -> &Arc<ServeState> {
+        &self.shared.state
+    }
+
+    /// Graceful shutdown: stop accepting, drain the queue and in-flight
+    /// requests, join every thread.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept thread out of its blocking accept(). The wake
+        // connection is detected via the shutdown flag before it is
+        // counted, so it never perturbs the admission accounting.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        // Workers drain whatever was already admitted, then exit.
+        self.shared.queue_cv.notify_all();
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared, queue_depth: usize, retry_after_s: u32) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // The shutdown wake-up (or a client racing it); either way we
+            // are no longer admitting.
+            break;
+        }
+        shared.state.metrics.connection_offered();
+        let overflow = {
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if queue.len() >= queue_depth {
+                Some(stream)
+            } else {
+                queue.push_back(stream);
+                shared.state.metrics.connection_accepted();
+                shared.queue_cv.notify_one();
+                None
+            }
+        };
+        if let Some(stream) = overflow {
+            shared.state.metrics.connection_rejected();
+            reject_saturated(stream, shared, retry_after_s);
+        }
+    }
+}
+
+/// Answers a connection the queue could not admit. Kept out of the
+/// accept loop's queue lock; a short write timeout keeps a slow reader
+/// from stalling admission.
+fn reject_saturated(mut stream: TcpStream, shared: &Shared, retry_after_s: u32) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let response = Response::error(503, "server saturated; retry shortly")
+        .with_header("retry-after", retry_after_s.to_string());
+    let _ = response.write_to(&mut stream);
+    // Lingering close: signal end-of-response, then drain the request
+    // bytes the client already sent. Closing with unread data in the
+    // receive buffer would RST the connection and can destroy the 503
+    // before the client reads it. The drain is bounded (few reads, short
+    // timeout) so a slow sender cannot pin the accept thread.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut sink = [0u8; 1024];
+    for _ in 0..8 {
+        match std::io::Read::read(&mut stream, &mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+    shared
+        .state
+        .metrics
+        .record(Endpoint::Other, 503, Duration::ZERO);
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break Some(stream);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = shared
+                    .queue_cv
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        match stream {
+            Some(stream) => handle_connection(shared, stream),
+            None => break,
+        }
+    }
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(shared.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.read_timeout));
+    let started = Instant::now();
+    match read_request(&mut stream, &shared.limits) {
+        Ok(Some(request)) => {
+            let (endpoint, response) = dispatch(&shared.state, &request);
+            shared
+                .state
+                .metrics
+                .record(endpoint, response.status, started.elapsed());
+            let _ = response.write_to(&mut stream);
+        }
+        Ok(None) => {
+            // Clean close before any bytes: not a request, nothing to
+            // count beyond the admission it already consumed.
+        }
+        Err(err) => {
+            let response = error_response(&err);
+            shared
+                .state
+                .metrics
+                .record(Endpoint::Other, response.status, started.elapsed());
+            let _ = response.write_to(&mut stream);
+        }
+    }
+}
+
+/// Routes one request, converting a handler panic into a `500` instead of
+/// killing the worker thread.
+fn dispatch(state: &Arc<ServeState>, request: &Request) -> (Endpoint, Response) {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(state, request)));
+    match result {
+        Ok(routed) => routed,
+        Err(_) => (
+            Endpoint::Other,
+            Response::error(500, "internal error while handling the request"),
+        ),
+    }
+}
+
+fn error_response(err: &HttpError) -> Response {
+    Response::error(err.status(), err.detail())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loadgen;
+
+    #[test]
+    fn starts_serves_and_shuts_down() {
+        let server = Server::start(ServerConfig::default(), Arc::new(ServeState::default()))
+            .expect("bind loopback");
+        let addr = server.local_addr();
+        let (status, body) = loadgen::http_request(
+            addr,
+            &loadgen::get_request("/healthz"),
+            Duration::from_secs(5),
+        )
+        .expect("healthz");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"status\""), "{body}");
+        assert!(body.contains("\"ok\""), "{body}");
+
+        let admission = server.state().metrics.admission();
+        assert!(admission.conserved());
+        assert_eq!(admission.offered, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_gets_400_and_connection_closes() {
+        let server = Server::start(ServerConfig::default(), Arc::new(ServeState::default()))
+            .expect("bind loopback");
+        let addr = server.local_addr();
+        let (status, _) =
+            loadgen::http_request(addr, b"NOT-A-REQUEST\r\n\r\n", Duration::from_secs(5))
+                .expect("server answers malformed input");
+        assert_eq!(status, 400);
+        assert_eq!(server.state().metrics.errors(Endpoint::Other), 1);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,121 @@
+//! Shared server state: configuration, system catalog, trace store,
+//! metrics.
+//!
+//! One [`ServeState`] is shared (via `Arc`) by every worker thread. All
+//! interior mutability lives in the [`TraceStore`] and [`Metrics`] — the
+//! catalog and configuration are immutable after construction, so
+//! handlers never contend except on the caches they are supposed to
+//! share.
+
+use crate::metrics::Metrics;
+use power_sim::store::TraceStore;
+use power_sim::systems::SystemPreset;
+use std::time::Instant;
+
+/// Resource and simulation-shape limits for the service.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// LRU cap on cached sweeps (entries). `None` disables the bound.
+    pub store_capacity: Option<usize>,
+    /// Largest machine a single request may simulate. Requests naming a
+    /// preset larger than this must scale it down via `nodes`.
+    pub max_nodes: usize,
+    /// Cap on `nodes * samples` for one sweep, bounding per-request
+    /// memory and CPU.
+    pub max_cells: u64,
+    /// Worker threads each simulation sweep may use. Kept small by
+    /// default — request-level parallelism comes from the server's worker
+    /// pool, not from each sweep fanning out.
+    pub sim_threads: usize,
+    /// Per-node relative noise sigma for served simulations.
+    pub noise_sigma: f64,
+    /// Machine-wide relative noise sigma for served simulations.
+    pub common_noise_sigma: f64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            store_capacity: Some(256),
+            max_nodes: 4096,
+            max_cells: 16_000_000,
+            sim_threads: 2,
+            noise_sigma: 0.01,
+            common_noise_sigma: 0.004,
+        }
+    }
+}
+
+/// Immutable-after-construction state shared by all workers.
+pub struct ServeState {
+    /// Service limits.
+    pub config: ServeConfig,
+    /// Every queryable system preset.
+    pub catalog: Vec<SystemPreset>,
+    /// The sweep cache all simulation-backed endpoints share.
+    pub store: TraceStore,
+    /// Request metrics.
+    pub metrics: Metrics,
+    /// Server start time, for `/healthz` uptime.
+    pub started: Instant,
+}
+
+impl ServeState {
+    /// Builds the state: the full preset catalog (the four Figure 1 /
+    /// Table 2 trace systems plus the six Table 3/4 variability systems)
+    /// and a trace store bounded per `config`.
+    pub fn new(config: ServeConfig) -> Self {
+        let mut catalog = SystemPreset::trace_presets();
+        catalog.extend(SystemPreset::variability_presets());
+        let store = match config.store_capacity {
+            Some(cap) => TraceStore::bounded(cap),
+            None => TraceStore::new(),
+        };
+        ServeState {
+            config,
+            catalog,
+            store,
+            metrics: Metrics::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Looks up a preset by name (ASCII case-insensitive).
+    pub fn preset(&self, name: &str) -> Option<&SystemPreset> {
+        self.catalog
+            .iter()
+            .find(|p| p.name.eq_ignore_ascii_case(name))
+    }
+}
+
+impl Default for ServeState {
+    fn default() -> Self {
+        ServeState::new(ServeConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_holds_all_ten_paper_systems() {
+        let state = ServeState::default();
+        assert_eq!(state.catalog.len(), 10);
+        assert!(state.preset("L-CSC").is_some());
+        assert!(state.preset("l-csc").is_some(), "lookup ignores case");
+        assert!(state.preset("Titan").is_some());
+        assert!(state.preset("HAL 9000").is_none());
+    }
+
+    #[test]
+    fn store_capacity_follows_config() {
+        let state = ServeState::default();
+        assert_eq!(state.store.capacity(), Some(256));
+        let unbounded = ServeState::new(ServeConfig {
+            store_capacity: None,
+            ..ServeConfig::default()
+        });
+        assert_eq!(unbounded.store.capacity(), None);
+    }
+}

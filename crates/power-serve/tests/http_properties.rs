@@ -1,0 +1,126 @@
+//! Property tests for the HTTP front door: whatever bytes arrive —
+//! malformed, truncated, oversized, or valid-but-weird — the parser
+//! answers with a total, bounded verdict (a request, a clean close, or a
+//! 4xx-class error) and never panics. The router downstream is equally
+//! total over arbitrary paths and bodies.
+
+use power_serve::http::{read_request, HttpLimits};
+use power_serve::router::route;
+use power_serve::state::{ServeConfig, ServeState};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+fn parse(bytes: &[u8]) -> Result<Option<power_serve::http::Request>, power_serve::http::HttpError> {
+    read_request(&mut Cursor::new(bytes.to_vec()), &HttpLimits::default())
+}
+
+/// Every error the parser can produce maps to a client-side status.
+fn assert_client_error(status: u16) {
+    assert!(
+        matches!(status, 400 | 408 | 413 | 431),
+        "unexpected error status {status}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Total over arbitrary byte soup: a verdict, never a panic.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(0u8..=255u8, 0..2048)) {
+        match parse(&bytes) {
+            Ok(_) => {}
+            Err(e) => assert_client_error(e.status()),
+        }
+    }
+
+    /// Line noise shaped like a request line still parses or 400s.
+    #[test]
+    fn ascii_noise_never_panics(bytes in prop::collection::vec(32u8..127u8, 1..512)) {
+        let mut raw = bytes.clone();
+        raw.extend_from_slice(b"\r\n\r\n");
+        match parse(&raw) {
+            Ok(_) => {}
+            Err(e) => assert_client_error(e.status()),
+        }
+    }
+
+    /// Any truncation of a valid request is an error or a clean close —
+    /// never a success and never a hang.
+    #[test]
+    fn truncated_requests_fail_cleanly(cut in 0usize..96) {
+        let full = b"POST /v1/sample-size HTTP/1.1\r\ncontent-length: 34\r\n\r\n{\"lambda\":1,\"cv\":1,\"population\":9}";
+        let cut = cut.min(full.len() - 1);
+        match parse(&full[..cut]) {
+            Ok(None) => assert_eq!(cut, 0, "only an empty prefix is a clean close"),
+            Ok(Some(_)) => panic!("truncated request parsed as complete"),
+            Err(e) => assert_client_error(e.status()),
+        }
+    }
+
+    /// Declared bodies larger than the cap are refused with 413 before
+    /// the server reads (or allocates) the body.
+    #[test]
+    fn oversized_bodies_get_413(extra in 1u64..1_000_000) {
+        let limits = HttpLimits::default();
+        let declared = limits.max_body_bytes as u64 + extra;
+        let raw = format!(
+            "POST /v1/measure HTTP/1.1\r\ncontent-length: {declared}\r\n\r\n"
+        );
+        let err = read_request(&mut Cursor::new(raw.into_bytes()), &limits)
+            .expect_err("oversized body must be refused");
+        prop_assert_eq!(err.status(), 413);
+    }
+
+    /// Unbounded header sections are refused with 431.
+    #[test]
+    fn oversized_heads_get_431(filler in 8192usize..16384) {
+        let raw = format!(
+            "GET /healthz HTTP/1.1\r\nx-padding: {}\r\n\r\n",
+            "a".repeat(filler)
+        );
+        let err = parse(raw.as_bytes()).expect_err("oversized head must be refused");
+        prop_assert_eq!(err.status(), 431);
+    }
+
+    /// A POST that never declares a length cannot make the reader wait
+    /// for a body that may never come: refused up front with 400.
+    #[test]
+    fn post_without_content_length_gets_400(path_tail in prop::collection::vec(97u8..123u8, 0..16)) {
+        let raw = format!(
+            "POST /v1/{} HTTP/1.1\r\nhost: x\r\n\r\n",
+            String::from_utf8(path_tail).unwrap()
+        );
+        let err = parse(raw.as_bytes()).expect_err("missing content-length must be refused");
+        prop_assert_eq!(err.status(), 400);
+    }
+
+    /// The router is total too: arbitrary paths, queries, and JSON-ish
+    /// bodies produce a response with a sensible status, never a panic.
+    #[test]
+    fn router_is_total_over_arbitrary_requests(
+        path in prop::collection::vec(33u8..127u8, 0..64),
+        body in prop::collection::vec(32u8..127u8, 0..128),
+        post in prop::bool::ANY,
+    ) {
+        let state = ServeState::new(ServeConfig { max_nodes: 32, ..ServeConfig::default() });
+        let path: String = String::from_utf8(path).unwrap().replace(' ', "");
+        let body = String::from_utf8(body).unwrap();
+        let raw = if post {
+            format!(
+                "POST /{path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+                body.len()
+            )
+        } else {
+            format!("GET /{path} HTTP/1.1\r\n\r\n")
+        };
+        if let Ok(Some(request)) = parse(raw.as_bytes()) {
+            let (_, response) = route(&state, &request);
+            prop_assert!(
+                (200..=599).contains(&response.status),
+                "status {} for {raw:?}",
+                response.status
+            );
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Loopback integration tests for the serving layer: concurrent clients
+//! over every endpoint, request coalescing through the shared trace
+//! store, saturation backpressure with conserved accounting, and
+//! graceful shutdown draining in-flight work.
+
+use power_serve::loadgen::{self, LoadPlan};
+use power_serve::server::{Server, ServerConfig};
+use power_serve::state::{ServeConfig, ServeState};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn small_state() -> Arc<ServeState> {
+    Arc::new(ServeState::new(ServeConfig {
+        max_nodes: 64,
+        ..ServeConfig::default()
+    }))
+}
+
+fn start(config: ServerConfig) -> Server {
+    Server::start(config, small_state()).expect("bind loopback")
+}
+
+/// One request per endpoint, issued from many threads at once; every
+/// response must be well-formed and the admission ledger must balance.
+#[test]
+fn eight_concurrent_clients_cover_all_six_endpoints() {
+    let server = start(ServerConfig {
+        workers: 4,
+        queue_depth: 64,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    let measure_body =
+        r#"{"system": "L-CSC", "nodes": 16, "dt": 120, "seed": 3, "methodology": "revised"}"#;
+    let sample_body = r#"{"lambda": 0.01, "cv": 0.05, "population": 5000}"#;
+    let requests: Vec<(Vec<u8>, u16)> = vec![
+        (loadgen::get_request("/healthz"), 200),
+        (loadgen::get_request("/metrics"), 200),
+        (loadgen::get_request("/v1/systems"), 200),
+        (loadgen::post_request("/v1/sample-size", sample_body), 200),
+        (loadgen::post_request("/v1/measure", measure_body), 200),
+        (
+            loadgen::get_request("/v1/trace/window?system=L-CSC&nodes=16&dt=120&from=600&to=3000"),
+            200,
+        ),
+    ];
+
+    let threads = 8;
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let requests = requests.clone();
+            std::thread::spawn(move || {
+                for (raw, want) in &requests {
+                    let (status, body) =
+                        loadgen::http_request(addr, raw, TIMEOUT).expect("request completes");
+                    assert_eq!(status, *want, "{body}");
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("client thread");
+    }
+
+    // All 8 identical /v1/measure requests and all 8 identical trace
+    // windows map to at most two distinct sweeps; single-flight plus the
+    // cache guarantee nothing ran twice.
+    let state = server.state();
+    assert!(
+        state.store.misses() <= 2,
+        "48 requests must not trigger more than 2 sweeps, saw {}",
+        state.store.misses()
+    );
+    assert!(state.store.hits() >= 14, "repeat queries served from cache");
+
+    let admission = state.metrics.admission();
+    assert!(admission.conserved(), "{admission:?}");
+    assert_eq!(admission.offered, (threads * requests.len()) as u64);
+    assert_eq!(admission.rejected, 0);
+    server.shutdown();
+}
+
+/// The tentpole coalescing guarantee, end to end over TCP: identical
+/// concurrent uncached /v1/measure requests produce exactly one
+/// simulation sweep.
+#[test]
+fn identical_concurrent_measures_coalesce_to_one_sweep() {
+    let server = start(ServerConfig {
+        workers: 8,
+        queue_depth: 32,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+    let body = r#"{"system": "Colosse", "nodes": 24, "dt": 60, "seed": 11}"#;
+
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let raw = loadgen::post_request("/v1/measure", body);
+                loadgen::http_request(addr, &raw, TIMEOUT).expect("measure completes")
+            })
+        })
+        .collect();
+    let responses: Vec<(u16, String)> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client"))
+        .collect();
+
+    let reference = &responses[0].1;
+    for (status, body) in &responses {
+        assert_eq!(*status, 200, "{body}");
+        assert_eq!(body, reference, "identical requests get identical answers");
+    }
+    let state = server.state();
+    assert_eq!(state.store.misses(), 1, "exactly one simulation ran");
+    assert_eq!(state.store.hits(), 7, "the other seven were served from it");
+    server.shutdown();
+}
+
+/// With one worker pinned and a queue of one, further connections are
+/// turned away with `503` + `Retry-After`, the ledger still balances,
+/// and service resumes once the pressure lifts.
+#[test]
+fn saturation_rejects_with_503_and_recovers() {
+    let server = start(ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        read_timeout: Duration::from_secs(20),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    // Pin the only worker: an idle connection it will sit on reading.
+    let pin_worker = TcpStream::connect(addr).expect("pin connection");
+    std::thread::sleep(Duration::from_millis(300));
+    // Fill the queue's single slot.
+    let fill_queue = TcpStream::connect(addr).expect("queue filler");
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Everything beyond capacity is rejected, with the retry hint.
+    let mut saw_503 = 0;
+    for _ in 0..4 {
+        let mut stream = TcpStream::connect(addr).expect("overflow connection");
+        stream.set_read_timeout(Some(TIMEOUT)).unwrap();
+        stream
+            .write_all(&loadgen::get_request("/healthz"))
+            .expect("write");
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).expect("read 503");
+        let text = String::from_utf8_lossy(&raw);
+        assert!(text.starts_with("HTTP/1.1 503 "), "{text}");
+        assert!(text.contains("retry-after: 1"), "{text}");
+        saw_503 += 1;
+    }
+    assert_eq!(saw_503, 4);
+
+    // Release the pinned connections; the worker sees EOF and moves on.
+    drop(pin_worker);
+    drop(fill_queue);
+    std::thread::sleep(Duration::from_millis(300));
+
+    let (status, _) = loadgen::http_request(addr, &loadgen::get_request("/healthz"), TIMEOUT)
+        .expect("service recovered");
+    assert_eq!(status, 200);
+
+    let admission = server.state().metrics.admission();
+    assert!(admission.conserved(), "{admission:?}");
+    // 2 pinned + 4 rejected + 1 recovery probe.
+    assert_eq!(admission.offered, 7);
+    assert_eq!(admission.rejected, 4);
+    assert_eq!(admission.accepted, 3);
+    server.shutdown();
+}
+
+/// Shutdown must drain: a request already admitted — even one whose body
+/// is still arriving — gets its answer before the threads exit, and the
+/// port stops accepting afterwards.
+#[test]
+fn graceful_shutdown_drains_in_flight_requests() {
+    let server = start(ServerConfig {
+        workers: 2,
+        queue_depth: 8,
+        read_timeout: Duration::from_secs(20),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    let body = r#"{"lambda": 0.01, "cv": 0.05, "population": 5000}"#;
+    let raw = loadgen::post_request("/v1/sample-size", body);
+    // Send everything but the last 10 bytes, so the worker is mid-read.
+    let split = raw.len() - 10;
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(TIMEOUT)).unwrap();
+    stream.write_all(&raw[..split]).expect("write head");
+    std::thread::sleep(Duration::from_millis(300));
+
+    let shutdown = std::thread::spawn(move || server.shutdown());
+    std::thread::sleep(Duration::from_millis(300));
+
+    // The drain must wait for this request to finish, then answer it.
+    stream.write_all(&raw[split..]).expect("write tail");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read response");
+    let text = String::from_utf8_lossy(&response);
+    assert!(
+        text.starts_with("HTTP/1.1 200 "),
+        "in-flight request answered during drain: {text}"
+    );
+    assert!(text.contains("\"required_nodes\""), "{text}");
+    shutdown.join().expect("shutdown completes");
+
+    // The listener is gone: new connections are refused (or immediately
+    // closed if they raced into the final backlog).
+    match loadgen::http_request(
+        addr,
+        &loadgen::get_request("/healthz"),
+        Duration::from_secs(2),
+    ) {
+        Err(_) => {}
+        Ok((status, _)) => panic!("server answered after shutdown with {status}"),
+    }
+}
+
+/// Satellite 6: the load generator's client-side ledger and the server's
+/// `/metrics` admission counters describe the same world.
+#[test]
+fn loadgen_and_metrics_agree_on_totals() {
+    let server = start(ServerConfig {
+        workers: 2,
+        queue_depth: 8,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    let plan = LoadPlan {
+        threads: 8,
+        requests_per_thread: 24,
+        targets: vec![
+            loadgen::get_request("/healthz"),
+            loadgen::get_request("/v1/systems"),
+            loadgen::post_request(
+                "/v1/sample-size",
+                r#"{"lambda": 0.02, "cv": 0.1, "population": 2000}"#,
+            ),
+        ],
+        timeout: TIMEOUT,
+    };
+    let report = loadgen::run(addr, &plan);
+    assert!(report.conserved(), "{report}");
+    assert_eq!(report.offered, 8 * 24);
+    assert_eq!(
+        report.failed, 0,
+        "loopback transport must not fail: {report}"
+    );
+    assert_eq!(report.error_status, 0, "all requests are valid: {report}");
+
+    let (status, page) =
+        loadgen::http_request(addr, &loadgen::get_request("/metrics"), TIMEOUT).expect("metrics");
+    assert_eq!(status, 200);
+    let offered = metric(&page, "power_serve_admission_total{outcome=\"offered\"}");
+    let accepted = metric(&page, "power_serve_admission_total{outcome=\"accepted\"}");
+    let rejected = metric(&page, "power_serve_admission_total{outcome=\"rejected\"}");
+
+    // The /metrics connection itself is admitted (and counted) before the
+    // page renders, so the page includes it.
+    assert_eq!(offered, accepted + rejected, "server-side conservation");
+    assert_eq!(offered, report.offered + 1, "one ledger, both sides");
+    assert_eq!(rejected, report.rejected);
+    assert_eq!(accepted, report.succeeded + 1);
+    server.shutdown();
+}
+
+fn metric(page: &str, series: &str) -> u64 {
+    page.lines()
+        .find_map(|line| line.strip_prefix(series))
+        .and_then(|rest| rest.trim().parse().ok())
+        .unwrap_or_else(|| panic!("series {series} missing from:\n{page}"))
+}

@@ -30,11 +30,30 @@
 //! queried afterwards: O(1) window queries on the returned traces (see
 //! [`crate::trace`]) make one cached sweep answer arbitrarily many
 //! downstream window questions.
+//!
+//! # Serving-layer extensions
+//!
+//! Long-running servers (see the `power-serve` crate) put two additional
+//! demands on the store that batch drivers never did:
+//!
+//! * **Single-flight coalescing** — N concurrent requests for the same
+//!   uncached sweep must trigger exactly one simulation. The first caller
+//!   becomes the *leader* and simulates; the rest wait on a per-request
+//!   flight and are then served from cache (counted in
+//!   [`CacheStats::coalesced`]). If the leader fails, a waiter takes over,
+//!   so errors never strand followers.
+//! * **An LRU capacity bound** — [`TraceStore::bounded`] caps the number
+//!   of cached sweeps; inserting past the cap evicts the
+//!   least-recently-used entry (counted in [`CacheStats::evictions`]).
+//!   Eviction only ever forgets — a later request re-simulates and gets
+//!   identical results — so subsumption-derived correctness is unaffected.
+//!   The default remains unbounded, preserving batch behavior.
 
 use crate::engine::{ProductRequest, RunProducts, Simulator};
 use crate::Result;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// FNV-1a, the workspace's standard cheap stable hash.
 #[derive(Debug, Clone, Copy)]
@@ -129,6 +148,11 @@ pub struct CacheStats {
     pub derived: u64,
     /// Requests that had to simulate.
     pub misses: u64,
+    /// Requests that waited on an identical in-flight simulation instead
+    /// of starting their own (a subset of `hits`).
+    pub coalesced: u64,
+    /// Entries evicted by the LRU capacity bound.
+    pub evictions: u64,
     /// Cached sweeps currently held.
     pub entries: usize,
 }
@@ -149,29 +173,116 @@ impl std::fmt::Display for CacheStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} hits ({} derived) / {} misses ({:.0}% hit rate, {} entries)",
+            "{} hits ({} derived, {} coalesced) / {} misses ({:.0}% hit rate, {} entries, {} evicted)",
             self.hits,
             self.derived,
+            self.coalesced,
             self.misses,
             self.hit_rate() * 100.0,
-            self.entries
+            self.entries,
+            self.evictions
         )
     }
+}
+
+/// One cached sweep plus its recency stamp for LRU eviction.
+struct Entry {
+    key: u64,
+    products: Arc<RunProducts>,
+    last_used: u64,
+}
+
+/// A single in-flight simulation other callers can wait on.
+struct Flight {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            done: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        while !*done {
+            done = self.cv.wait(done).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn finish(&self) {
+        *self.done.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Removes the leader's flight from the in-flight map and wakes waiters
+/// when the leader is done — on success, error, and unwind alike, so a
+/// failing leader can never strand its followers.
+struct FlightGuard<'a> {
+    store: &'a TraceStore,
+    fingerprint: u64,
+    flight: Arc<Flight>,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        self.store
+            .inflight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&self.fingerprint);
+        self.flight.finish();
+    }
+}
+
+/// Fingerprints a `(simulation key, product request)` pair — the identity
+/// single-flight coalescing groups concurrent callers by.
+fn request_fingerprint(key: u64, request: &ProductRequest) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(key);
+    h.write_bytes(format!("{request:?}").as_bytes());
+    h.finish()
 }
 
 /// A keyed cache of [`RunProducts`]; see the module docs.
 #[derive(Default)]
 pub struct TraceStore {
-    entries: Mutex<Vec<(u64, Arc<RunProducts>)>>,
+    entries: Mutex<Vec<Entry>>,
+    /// Entry cap; `None` is unbounded (the batch-pipeline default).
+    capacity: Option<usize>,
+    /// Monotonic recency clock for LRU stamps.
+    clock: AtomicU64,
+    inflight: Mutex<HashMap<u64, Arc<Flight>>>,
     hits: AtomicU64,
     derived: AtomicU64,
     misses: AtomicU64,
+    coalesced: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl TraceStore {
-    /// An empty store.
+    /// An empty, unbounded store.
     pub fn new() -> Self {
         TraceStore::default()
+    }
+
+    /// An empty store holding at most `max_entries` cached sweeps,
+    /// evicting least-recently-used entries past the cap. Long-running
+    /// servers use this so the cache cannot grow without limit.
+    pub fn bounded(max_entries: usize) -> Self {
+        TraceStore {
+            capacity: Some(max_entries.max(1)),
+            ..TraceStore::default()
+        }
+    }
+
+    /// The configured entry cap, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
     }
 
     /// The process-wide shared store. Drivers and library call sites that
@@ -182,8 +293,50 @@ impl TraceStore {
         GLOBAL.get_or_init(TraceStore::new)
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<(u64, Arc<RunProducts>)>> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Entry>> {
         self.entries.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn stamp(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Exact-subsumption lookup, bumping the hit entry's recency.
+    fn lookup(&self, key: u64, request: &ProductRequest) -> Option<Arc<RunProducts>> {
+        let stamp = self.stamp();
+        let mut entries = self.lock();
+        entries
+            .iter_mut()
+            .find(|e| e.key == key && subsumes(e.products.request(), request))
+            .map(|e| {
+                e.last_used = stamp;
+                Arc::clone(&e.products)
+            })
+    }
+
+    /// Inserts `products` under `key`, evicting LRU entries past the cap.
+    /// Must be called with fresh products only (never with an Arc already
+    /// in the store).
+    fn insert(&self, key: u64, products: Arc<RunProducts>) {
+        let stamp = self.stamp();
+        let mut entries = self.lock();
+        entries.push(Entry {
+            key,
+            products,
+            last_used: stamp,
+        });
+        if let Some(cap) = self.capacity {
+            while entries.len() > cap {
+                let oldest = entries
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(i, _)| i)
+                    .expect("non-empty over cap");
+                entries.swap_remove(oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Returns the products for `request` under `sim`, simulating only on
@@ -192,36 +345,79 @@ impl TraceStore {
     /// Validation always runs (a cached entry is never returned for a
     /// request the engine would reject), so error behaviour is identical
     /// with and without the store.
+    ///
+    /// Concurrent identical requests are coalesced: one caller simulates,
+    /// the rest block until the sweep lands and are then served from
+    /// cache.
     pub fn products(
         &self,
         sim: &Simulator<'_>,
         request: &ProductRequest,
     ) -> Result<Arc<RunProducts>> {
         let key = simulation_key(sim);
-        {
-            let entries = self.lock();
-            if let Some((_, products)) = entries
-                .iter()
-                .find(|(k, p)| *k == key && subsumes(p.request(), request))
-            {
+        let fingerprint = request_fingerprint(key, request);
+        let mut waited = false;
+        loop {
+            if let Some(products) = self.lookup(key, request) {
                 // Re-validate so a hit cannot mask an invalid request.
                 sim.validate_request(request)?;
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(Arc::clone(products));
+                if waited {
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                }
+                return Ok(products);
             }
+            // Miss: join the in-flight simulation for this exact request
+            // if one exists, otherwise become its leader.
+            let mut lead = None;
+            let follow = {
+                let mut inflight = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+                match inflight.get(&fingerprint) {
+                    Some(flight) => Some(Arc::clone(flight)),
+                    None => {
+                        let flight = Arc::new(Flight::new());
+                        inflight.insert(fingerprint, Arc::clone(&flight));
+                        lead = Some(flight);
+                        None
+                    }
+                }
+            };
+            if let Some(flight) = follow {
+                flight.wait();
+                // The leader either cached the entry (next lookup hits and
+                // counts us as coalesced) or failed (we take over as
+                // leader on the next iteration).
+                waited = true;
+                continue;
+            }
+            let _guard = FlightGuard {
+                store: self,
+                fingerprint,
+                flight: lead.expect("leader holds its flight"),
+            };
+            return self.products_uncoalesced(sim, key, request);
         }
-        // No exact subsumption — but a cached full sweep (one that retained
-        // per-sample series for every node) can *derive* window averages
-        // for any window and traces for any sub-subset without
-        // re-simulating. Validate first so derivation cannot mask an
-        // invalid request either.
+    }
+
+    /// The pre-coalescing miss path: derive from a cached full sweep or
+    /// simulate, then cache the result.
+    fn products_uncoalesced(
+        &self,
+        sim: &Simulator<'_>,
+        key: u64,
+        request: &ProductRequest,
+    ) -> Result<Arc<RunProducts>> {
+        // A cached full sweep (one that retained per-sample series for
+        // every node) can *derive* window averages for any window and
+        // traces for any sub-subset without re-simulating. Validate first
+        // so derivation cannot mask an invalid request.
         sim.validate_request(request)?;
         let derived = {
             let entries = self.lock();
             entries
                 .iter()
-                .filter(|(k, _)| *k == key)
-                .find_map(|(_, p)| p.try_derive(request))
+                .filter(|e| e.key == key)
+                .find_map(|e| e.products.try_derive(request))
         };
         if let Some(products) = derived {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -229,21 +425,18 @@ impl TraceStore {
             let products = Arc::new(products);
             // Cache the derived entry so later identical requests hit the
             // exact-subsumption fast path.
-            self.lock().push((key, Arc::clone(&products)));
+            self.insert(key, Arc::clone(&products));
             return Ok(products);
         }
         let products = Arc::new(sim.run_products(request)?);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut entries = self.lock();
-        // A concurrent miss may have inserted an equivalent entry; prefer
-        // the existing one so repeated lookups share a single allocation.
-        if let Some((_, existing)) = entries
-            .iter()
-            .find(|(k, p)| *k == key && subsumes(p.request(), request))
-        {
-            return Ok(Arc::clone(existing));
+        // A concurrent non-identical miss may have inserted a subsuming
+        // entry meanwhile; prefer the existing one so repeated lookups
+        // share a single allocation.
+        if let Some(existing) = self.lookup(key, request) {
+            return Ok(existing);
         }
-        entries.push((key, Arc::clone(&products)));
+        self.insert(key, Arc::clone(&products));
         Ok(products)
     }
 
@@ -277,12 +470,24 @@ impl TraceStore {
         self.derived.load(Ordering::Relaxed)
     }
 
+    /// Requests that waited on an identical in-flight simulation.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted by the LRU capacity bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
     /// A consistent snapshot of the cache-effectiveness counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits(),
             derived: self.derived(),
             misses: self.misses(),
+            coalesced: self.coalesced(),
+            evictions: self.evictions(),
             entries: self.len(),
         }
     }
@@ -546,6 +751,132 @@ mod tests {
         assert!(store
             .products(&sim, &ProductRequest::with_averages(5000.0, 6000.0))
             .is_err());
+    }
+
+    #[test]
+    fn concurrent_identical_requests_coalesce_to_one_simulation() {
+        // Satellite: 16 threads request the same uncached sweep; exactly
+        // one simulation runs, the other 15 wait on the flight and are
+        // served from cache.
+        let (cluster, wl, cfg) = fixture();
+        let sim = Simulator::new(&cluster, &wl, LoadBalance::Balanced, cfg).unwrap();
+        let store = TraceStore::new();
+        let request = ProductRequest::with_averages(20.0, 200.0);
+        let barrier = std::sync::Barrier::new(16);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..16)
+                .map(|_| {
+                    s.spawn(|| {
+                        barrier.wait();
+                        store.products(&sim, &request).unwrap()
+                    })
+                })
+                .collect();
+            let products: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            // Everyone got the same allocation.
+            for p in &products[1..] {
+                assert!(Arc::ptr_eq(&products[0], p));
+            }
+        });
+        let stats = store.stats();
+        assert_eq!(stats.misses, 1, "exactly one simulation ran");
+        assert_eq!(stats.hits, 15);
+        assert!(
+            stats.coalesced <= 15,
+            "coalesced counts a subset of the hits: {stats}"
+        );
+        assert_eq!(stats.entries, 1);
+        // A sequential rerun is a plain (non-coalesced) hit.
+        let before = store.coalesced();
+        store.products(&sim, &request).unwrap();
+        assert_eq!(store.coalesced(), before);
+        assert_eq!(store.hits(), 16);
+    }
+
+    #[test]
+    fn coalesced_followers_of_a_failed_leader_recover() {
+        // An invalid request never caches anything; concurrent identical
+        // invalid requests must all error out rather than deadlock on a
+        // flight whose leader failed.
+        let (cluster, wl, cfg) = fixture();
+        let sim = Simulator::new(&cluster, &wl, LoadBalance::Balanced, cfg).unwrap();
+        let store = TraceStore::new();
+        let bad = ProductRequest::with_averages(5000.0, 6000.0);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| s.spawn(|| store.products(&sim, &bad)))
+                .collect();
+            for h in handles {
+                assert!(h.join().unwrap().is_err());
+            }
+        });
+        assert_eq!(store.misses(), 0);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn lru_bound_evicts_and_never_breaks_correctness() {
+        // Satellite: a capacity-2 store cycling through three distinct
+        // window requests must evict (counted), yet every answer must
+        // stay identical to an unbounded store's.
+        let (cluster, wl, cfg) = fixture();
+        let sim = Simulator::new(&cluster, &wl, LoadBalance::Balanced, cfg).unwrap();
+        let bounded = TraceStore::bounded(2);
+        assert_eq!(bounded.capacity(), Some(2));
+        let reference = TraceStore::new();
+        let windows = [(0.0, 100.0), (50.0, 150.0), (100.0, 200.0)];
+        for round in 0..3 {
+            for &(from, to) in &windows {
+                let req = ProductRequest::with_averages(from, to);
+                let b = bounded.products(&sim, &req).unwrap();
+                let r = reference.products(&sim, &req).unwrap();
+                for scope in MeterScope::ALL {
+                    assert_eq!(
+                        b.node_averages(scope).unwrap(),
+                        r.node_averages(scope).unwrap(),
+                        "round {round} window {from}..{to}"
+                    );
+                    assert_eq!(
+                        b.system_trace(scope).unwrap().watts,
+                        r.system_trace(scope).unwrap().watts
+                    );
+                }
+                assert!(bounded.len() <= 2, "cap respected");
+            }
+        }
+        let stats = bounded.stats();
+        assert!(
+            stats.evictions > 0,
+            "cycling 3 windows through cap 2 evicts"
+        );
+        assert_eq!(stats.hits + stats.misses, 9);
+        // The unbounded reference simulated each window exactly once; the
+        // bounded store re-simulated evicted windows but never returned a
+        // wrong answer.
+        assert_eq!(reference.stats().evictions, 0);
+        assert_eq!(reference.misses(), 3);
+        assert!(bounded.misses() >= 3);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_entry() {
+        let (cluster, wl, cfg) = fixture();
+        let sim = Simulator::new(&cluster, &wl, LoadBalance::Balanced, cfg).unwrap();
+        let store = TraceStore::bounded(2);
+        let a = ProductRequest::with_averages(0.0, 100.0);
+        let b = ProductRequest::with_averages(50.0, 150.0);
+        let c = ProductRequest::with_averages(100.0, 200.0);
+        store.products(&sim, &a).unwrap();
+        store.products(&sim, &b).unwrap();
+        // Touch `a` so `b` is now least recently used.
+        store.products(&sim, &a).unwrap();
+        store.products(&sim, &c).unwrap();
+        assert_eq!(store.evictions(), 1);
+        let misses = store.misses();
+        store.products(&sim, &a).unwrap();
+        assert_eq!(store.misses(), misses, "a stayed resident");
+        store.products(&sim, &b).unwrap();
+        assert_eq!(store.misses(), misses + 1, "b was the LRU victim");
     }
 
     #[test]

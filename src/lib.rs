@@ -19,7 +19,11 @@
 //!   ring buffers, watermarked out-of-order ingestion, sequential
 //!   stopping (the online Table 5), streaming anomaly detectors, and the
 //!   live-campaign driver;
-//! * [`green500`] — ranked-list simulation and rank-stability analysis.
+//! * [`green500`] — ranked-list simulation and rank-stability analysis;
+//! * [`serve`] — the measurement query service: an std-only HTTP server
+//!   exposing measurement, sample-size planning, and trace-window queries
+//!   over the shared simulation cache, with backpressure, request
+//!   coalescing, and Prometheus-style metrics.
 //!
 //! # Example: measure a simulated machine under the revised rules
 //!
@@ -56,6 +60,7 @@
 pub use power_green500 as green500;
 pub use power_meter as meter;
 pub use power_method as method;
+pub use power_serve as serve;
 pub use power_sim as sim;
 pub use power_stats as stats;
 pub use power_telemetry as telemetry;
