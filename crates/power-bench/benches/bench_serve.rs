@@ -1,11 +1,18 @@
 //! Serving-layer benchmarks: in-process routing cost per endpoint and
 //! loopback end-to-end throughput on cached queries.
 //!
-//! The throughput group enforces the serving layer's hard budget: with
-//! the sweep already cached, the server must sustain at least 10 000
-//! requests per second over loopback TCP on `/v1/trace/window` — the
-//! prefix-sum window query is O(1), so the wire, parser, and router are
-//! the whole cost.
+//! The throughput group enforces the serving layer's hard budgets, with
+//! the sweep already cached and `/v1/trace/window` (an O(1) prefix-sum
+//! query) as the target, so the wire, parser, and router are the whole
+//! cost:
+//!
+//! * **cold** (one fresh TCP connection per request, `Connection:
+//!   close`): at least 10 000 req/s — this path pays connect/close per
+//!   request, so it is really a TCP-setup benchmark;
+//! * **keep-alive** (one persistent connection per client thread): at
+//!   least 20 000 req/s and 2x whatever cold measured — connection
+//!   reuse must buy a real multiple, or the per-connection loop has
+//!   regressed into per-request work.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use power_serve::http::{read_request, HttpLimits};
@@ -55,8 +62,8 @@ fn bench_route(c: &mut Criterion) {
     group.finish();
 }
 
-/// End-to-end loopback throughput on cached queries, with the >= 10k
-/// req/s budget asserted.
+/// End-to-end loopback throughput on cached queries, cold vs
+/// keep-alive, with both budgets asserted.
 fn bench_cached_throughput(c: &mut Criterion) {
     let server = Server::start(
         ServerConfig {
@@ -71,38 +78,85 @@ fn bench_cached_throughput(c: &mut Criterion) {
     )
     .expect("bind loopback");
     let addr = server.local_addr();
-    let window =
-        loadgen::get_request("/v1/trace/window?system=L-CSC&nodes=16&dt=120&from=600&to=3000");
+    let path = "/v1/trace/window?system=L-CSC&nodes=16&dt=120&from=600&to=3000";
+    let cold_target = loadgen::get_request(path);
+    let keep_alive_target = loadgen::get_request_keep_alive(path);
     let (status, _) =
-        loadgen::http_request(addr, &window, Duration::from_secs(10)).expect("warm-up query");
+        loadgen::http_request(addr, &cold_target, Duration::from_secs(10)).expect("warm-up query");
     assert_eq!(status, 200, "warm-up query");
 
-    let mut best_rps = 0.0f64;
+    let mut best_cold_rps = 0.0f64;
+    let mut best_keep_alive_rps = 0.0f64;
     let mut group = c.benchmark_group("serve_throughput");
     group.sample_size(3);
-    group.bench_function(BenchmarkId::new("cached", "trace_window"), |b| {
+    group.bench_function(BenchmarkId::new("cold", "trace_window"), |b| {
         b.iter(|| {
             let report = loadgen::run(
                 addr,
                 &LoadPlan {
                     threads: 8,
                     requests_per_thread: 128,
-                    targets: vec![window.clone()],
+                    targets: vec![cold_target.clone()],
                     timeout: Duration::from_secs(10),
+                    ..LoadPlan::default()
                 },
             );
             assert!(report.conserved(), "{report}");
             assert_eq!(report.failed, 0, "{report}");
-            best_rps = best_rps.max(report.throughput_rps());
+            best_cold_rps = best_cold_rps.max(report.throughput_rps());
+            black_box(report.succeeded)
+        })
+    });
+    // Keep-alive runs at its own best shape: a couple of persistent
+    // sessions per worker pool, not a thundering herd — the mode's
+    // whole point is that a session amortizes connection setup, so the
+    // measurement should not drown it in scheduler churn.
+    group.bench_function(BenchmarkId::new("keep_alive", "trace_window"), |b| {
+        b.iter(|| {
+            let report = loadgen::run(
+                addr,
+                &LoadPlan {
+                    threads: 2,
+                    requests_per_thread: 2048,
+                    targets: vec![keep_alive_target.clone()],
+                    timeout: Duration::from_secs(10),
+                    keep_alive: true,
+                    retry_rejected: 0,
+                },
+            );
+            assert!(report.conserved(), "{report}");
+            assert_eq!(report.failed, 0, "{report}");
+            assert!(
+                report.connections <= 4,
+                "2 persistent clients should not need {} connections",
+                report.connections
+            );
+            best_keep_alive_rps = best_keep_alive_rps.max(report.throughput_rps());
             black_box(report.succeeded)
         })
     });
     group.finish();
 
-    println!("serve_throughput: best cached trace_window rate {best_rps:.0} req/s");
+    // Both ledgers, after all load: client conservation was checked per
+    // run; the server's connection ledger must balance too.
+    let admission = server.state().metrics.admission();
+    assert!(admission.conserved(), "{admission:?}");
+
+    println!(
+        "serve_throughput: best cached trace_window rate {best_cold_rps:.0} req/s cold, {best_keep_alive_rps:.0} req/s keep-alive ({:.1}x)",
+        best_keep_alive_rps / best_cold_rps.max(1.0)
+    );
     assert!(
-        best_rps >= 10_000.0,
-        "cached queries must sustain >= 10k req/s, measured {best_rps:.0}"
+        best_cold_rps >= 10_000.0,
+        "cold cached queries must sustain >= 10k req/s, measured {best_cold_rps:.0}"
+    );
+    assert!(
+        best_keep_alive_rps >= 20_000.0,
+        "keep-alive cached queries must sustain >= 20k req/s, measured {best_keep_alive_rps:.0}"
+    );
+    assert!(
+        best_keep_alive_rps >= 2.0 * best_cold_rps,
+        "keep-alive must be >= 2x cold: {best_keep_alive_rps:.0} vs {best_cold_rps:.0}"
     );
     server.shutdown();
 }

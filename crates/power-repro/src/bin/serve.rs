@@ -8,11 +8,13 @@
 //! ```
 //!
 //! `--smoke` runs the CI exercise instead: bind an ephemeral loopback
-//! port, hit every endpoint once, force a saturation `503`, check both
-//! sides of the admission ledger, and shut down cleanly. Exit status is
-//! nonzero on any failure.
+//! port, hit every endpoint once, serve a multi-request keep-alive
+//! session on a single connection (at least 8 sequential requests),
+//! force a saturation `503`, check both sides of the admission ledger
+//! under cold and keep-alive load, and shut down cleanly. Exit status
+//! is nonzero on any failure.
 
-use power_serve::loadgen::{self, LoadPlan};
+use power_serve::loadgen::{self, LoadPlan, PooledClient};
 use power_serve::server::{Server, ServerConfig};
 use power_serve::state::{ServeConfig, ServeState};
 use std::io::{Read, Write};
@@ -26,6 +28,8 @@ struct Args {
     workers: usize,
     queue_depth: usize,
     store_capacity: usize,
+    idle_timeout_ms: u64,
+    max_per_conn: u64,
     smoke: bool,
 }
 
@@ -35,6 +39,8 @@ fn parse_args() -> Result<Args, String> {
         workers: 4,
         queue_depth: 16,
         store_capacity: 256,
+        idle_timeout_ms: 2000,
+        max_per_conn: 1024,
         smoke: false,
     };
     let mut it = std::env::args().skip(1);
@@ -57,6 +63,16 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--capacity must be an integer".to_string())?
             }
+            "--idle-ms" => {
+                args.idle_timeout_ms = value("--idle-ms")?
+                    .parse()
+                    .map_err(|_| "--idle-ms must be an integer".to_string())?
+            }
+            "--max-per-conn" => {
+                args.max_per_conn = value("--max-per-conn")?
+                    .parse()
+                    .map_err(|_| "--max-per-conn must be an integer".to_string())?
+            }
             "--smoke" => args.smoke = true,
             other => return Err(format!("unknown flag {other}")),
         }
@@ -70,7 +86,7 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("serve: {msg}");
             eprintln!(
-                "usage: serve [--addr HOST:PORT] [--workers N] [--queue N] [--capacity N] [--smoke]"
+                "usage: serve [--addr HOST:PORT] [--workers N] [--queue N] [--capacity N] [--idle-ms N] [--max-per-conn N] [--smoke]"
             );
             return ExitCode::FAILURE;
         }
@@ -88,6 +104,8 @@ fn main() -> ExitCode {
             addr: args.addr.clone(),
             workers: args.workers,
             queue_depth: args.queue_depth,
+            idle_timeout: Duration::from_millis(args.idle_timeout_ms.max(1)),
+            max_requests_per_connection: args.max_per_conn,
             ..ServerConfig::default()
         },
         state,
@@ -177,6 +195,42 @@ fn smoke() -> ExitCode {
         }
     }
 
+    // Keep-alive: a single connection must serve at least 8 sequential
+    // requests, with each response advertising `connection: keep-alive`.
+    let keep_alive_requests = 10u64;
+    let mut session = PooledClient::new(addr, timeout);
+    for i in 0..keep_alive_requests {
+        let raw = loadgen::get_request_keep_alive("/healthz");
+        match session.request(&raw) {
+            Ok(response) if response.status == 200 => {
+                if !response.kept_alive {
+                    eprintln!("smoke: server closed the keep-alive session at request {i}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            Ok(response) => {
+                eprintln!(
+                    "smoke: keep-alive request {i} -> {}: {}",
+                    response.status, response.body
+                );
+                return ExitCode::FAILURE;
+            }
+            Err(err) => {
+                eprintln!("smoke: keep-alive request {i} failed: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if session.connections() != 1 || keep_alive_requests < 8 {
+        eprintln!(
+            "smoke: {keep_alive_requests} requests used {} connections, want 1",
+            session.connections()
+        );
+        return ExitCode::FAILURE;
+    }
+    session.disconnect();
+    println!("smoke: one connection served {keep_alive_requests} sequential requests (>= 8)");
+
     // Saturate: pin the only worker and fill the one queue slot with
     // idle connections, then demand service.
     let pin_worker = TcpStream::connect(addr).expect("pin connection");
@@ -200,7 +254,9 @@ fn smoke() -> ExitCode {
     drop(fill_queue);
     std::thread::sleep(Duration::from_millis(300));
 
-    // A small load burst, then reconcile the two ledgers.
+    // A cold load burst, then a keep-alive one; reconcile the two
+    // ledgers after each. The server counts connections, so the client's
+    // `connections` (not its request count) is what must line up.
     let report = loadgen::run(
         addr,
         &LoadPlan {
@@ -208,11 +264,28 @@ fn smoke() -> ExitCode {
             requests_per_thread: 16,
             targets: vec![loadgen::get_request("/healthz")],
             timeout,
+            ..LoadPlan::default()
         },
     );
-    println!("smoke: loadgen {report}");
+    println!("smoke: cold loadgen {report}");
     if !report.conserved() || report.failed != 0 {
-        eprintln!("smoke: load report does not balance");
+        eprintln!("smoke: cold load report does not balance");
+        return ExitCode::FAILURE;
+    }
+    let keep_alive_report = loadgen::run(
+        addr,
+        &LoadPlan {
+            threads: 2,
+            requests_per_thread: 16,
+            targets: vec![loadgen::get_request_keep_alive("/healthz")],
+            timeout,
+            keep_alive: true,
+            retry_rejected: 4,
+        },
+    );
+    println!("smoke: keep-alive loadgen {keep_alive_report}");
+    if !keep_alive_report.conserved() || keep_alive_report.failed != 0 {
+        eprintln!("smoke: keep-alive load report does not balance");
         return ExitCode::FAILURE;
     }
     let admission = server.state().metrics.admission();
@@ -220,8 +293,10 @@ fn smoke() -> ExitCode {
         eprintln!("smoke: server admission ledger does not balance: {admission:?}");
         return ExitCode::FAILURE;
     }
-    // 6 endpoint checks + 3 saturation connections + the load burst.
-    let expected_offered = checks.len() as u64 + 3 + report.offered;
+    // 6 endpoint checks + 1 keep-alive session + 3 saturation
+    // connections + both load bursts' connections.
+    let expected_offered =
+        checks.len() as u64 + 1 + 3 + report.connections + keep_alive_report.connections;
     if admission.offered != expected_offered {
         eprintln!(
             "smoke: offered {} != expected {expected_offered}",
@@ -233,6 +308,9 @@ fn smoke() -> ExitCode {
         "smoke: admission offered {} = accepted {} + rejected {}",
         admission.offered, admission.accepted, admission.rejected
     );
+    let served = server.state().metrics.connection_requests_sum();
+    let closed = server.state().metrics.connections_closed();
+    println!("smoke: {served} requests served over {closed} closed connections");
 
     server.shutdown();
     if loadgen::http_request(

@@ -1,13 +1,20 @@
 //! HTTP/1.1 subset: request parsing with hard limits, response writing.
 //!
-//! The server speaks exactly the protocol slice its clients need — one
-//! request per connection, `Connection: close` on every response — and is
-//! paranoid about the rest: the head and body are read under byte caps,
-//! malformed requests map to `400`, oversized bodies to `413`, and a
-//! socket read timeout (set by the caller) bounds how long a truncated
-//! request can occupy a worker. The parser never panics on arbitrary
-//! bytes; every failure is a typed [`HttpError`] the worker turns into a
-//! status line.
+//! The server speaks exactly the protocol slice its clients need —
+//! persistent connections with HTTP/1.1 default keep-alive, explicit
+//! `Connection: close` honored — and is paranoid about the rest: the
+//! head and body are read under byte caps, malformed requests map to
+//! `400`, oversized bodies to `413`, and a socket read timeout (set by
+//! the caller) bounds how long a truncated request can occupy a worker.
+//! The parser never panics on arbitrary bytes; every failure is a typed
+//! [`HttpError`] the worker turns into a status line.
+//!
+//! Sequential requests on one connection go through a [`RequestBuffer`],
+//! which owns the bytes over-read past each request's body so a
+//! pipelined next request head is never lost. Ambiguous framing —
+//! duplicate `Content-Length` headers — is rejected with `400`; under
+//! keep-alive that ambiguity is a request-desync (smuggling) hazard, not
+//! just a parsing nit.
 
 use std::io::{Read, Write};
 
@@ -86,6 +93,8 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// Request body (empty unless `Content-Length` said otherwise).
     pub body: Vec<u8>,
+    /// `true` for `HTTP/1.1`, `false` for `HTTP/1.0`.
+    pub http11: bool,
 }
 
 impl Request {
@@ -109,131 +118,229 @@ impl Request {
     pub fn body_utf8(&self) -> Result<&str, HttpError> {
         std::str::from_utf8(&self.body).map_err(|_| HttpError::BadRequest("body is not UTF-8"))
     }
+
+    /// Whether the client wants the connection kept open after this
+    /// request: HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close, and
+    /// an explicit `Connection: close` / `keep-alive` token overrides
+    /// the default either way.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(value) => {
+                let has = |token: &str| {
+                    value
+                        .split(',')
+                        .any(|t| t.trim().eq_ignore_ascii_case(token))
+                };
+                if has("close") {
+                    false
+                } else if has("keep-alive") {
+                    true
+                } else {
+                    self.http11
+                }
+            }
+            None => self.http11,
+        }
+    }
 }
 
-/// Reads one request from `stream` under `limits`.
+/// Reads one request from `stream` under `limits`, with no carry-over.
 ///
-/// `Ok(None)` means the peer closed cleanly before sending anything (the
-/// idle-connection case); any bytes followed by EOF/timeout is
-/// [`HttpError::Incomplete`].
+/// Single-shot convenience for tests and one-request flows; persistent
+/// connections must hold one [`RequestBuffer`] per connection instead so
+/// bytes over-read past a body (a pipelined next request) survive.
 pub fn read_request<R: Read>(
     stream: &mut R,
     limits: &HttpLimits,
 ) -> Result<Option<Request>, HttpError> {
-    // Read the head in chunks up to the cap, scanning for `\r\n\r\n`.
-    // The one-request-per-connection protocol means any body bytes
-    // over-read with the head stay ours to consume, so buffering is safe
-    // and keeps syscalls per request to a handful.
-    let mut buf = Vec::with_capacity(512);
-    let head_end = loop {
-        let old = buf.len();
-        let chunk = 512.min(limits.max_head_bytes - old);
-        buf.resize(old + chunk, 0);
-        match stream.read(&mut buf[old..]) {
-            Ok(0) => {
-                buf.truncate(old);
-                if buf.is_empty() {
-                    return Ok(None);
+    RequestBuffer::new().next_request(stream, limits)
+}
+
+/// Per-connection read state: the bytes received but not yet consumed by
+/// a parsed request.
+///
+/// A connection serving sequential requests reads in chunks, so the tail
+/// of one read may hold the head of the next request. The buffer keeps
+/// that tail between [`RequestBuffer::next_request`] calls; dropping it
+/// (the pre-keep-alive behavior) silently discards pipelined requests.
+#[derive(Debug, Default)]
+pub struct RequestBuffer {
+    carry: Vec<u8>,
+}
+
+impl RequestBuffer {
+    /// An empty buffer for a fresh connection.
+    pub fn new() -> Self {
+        RequestBuffer::default()
+    }
+
+    /// Bytes received but not yet consumed by a parsed request.
+    pub fn buffered(&self) -> usize {
+        self.carry.len()
+    }
+
+    /// Reads the next request from `stream` under `limits`.
+    ///
+    /// `Ok(None)` means the connection is cleanly done: the peer closed
+    /// (or the socket timed out) between requests, with no partial
+    /// request buffered. Partial bytes followed by EOF/timeout are
+    /// [`HttpError::Incomplete`]. On any error the carry is dropped —
+    /// framing is no longer trustworthy and the connection must close.
+    pub fn next_request<R: Read>(
+        &mut self,
+        stream: &mut R,
+        limits: &HttpLimits,
+    ) -> Result<Option<Request>, HttpError> {
+        match self.next_request_inner(stream, limits) {
+            Ok(req) => Ok(req),
+            Err(e) => {
+                self.carry.clear();
+                Err(e)
+            }
+        }
+    }
+
+    fn next_request_inner<R: Read>(
+        &mut self,
+        stream: &mut R,
+        limits: &HttpLimits,
+    ) -> Result<Option<Request>, HttpError> {
+        // Start from the carry (it may already hold a whole pipelined
+        // request), then read in chunks up to the cap, scanning for
+        // `\r\n\r\n`. The terminator scan resumes 3 bytes before the
+        // previously scanned end so a straddling terminator is found.
+        let mut buf = std::mem::take(&mut self.carry);
+        let mut scanned = 0usize;
+        let head_end = loop {
+            let scan_from = scanned.saturating_sub(3);
+            if let Some(pos) = buf[scan_from..].windows(4).position(|w| w == b"\r\n\r\n") {
+                break scan_from + pos + 4;
+            }
+            scanned = buf.len();
+            if buf.len() >= limits.max_head_bytes {
+                return Err(HttpError::HeadTooLarge);
+            }
+            let old = buf.len();
+            let chunk = 512.min(limits.max_head_bytes - old);
+            buf.resize(old + chunk, 0);
+            match stream.read(&mut buf[old..]) {
+                Ok(0) => {
+                    buf.truncate(old);
+                    if buf.is_empty() {
+                        return Ok(None);
+                    }
+                    return Err(HttpError::Incomplete);
                 }
-                return Err(HttpError::Incomplete);
+                Ok(n) => buf.truncate(old + n),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    buf.truncate(old);
+                    // A timeout with nothing buffered is an idle
+                    // connection expiring between requests — a clean
+                    // close, not a protocol error.
+                    if buf.is_empty() {
+                        return Ok(None);
+                    }
+                    return Err(HttpError::Incomplete);
+                }
+                Err(_) => {
+                    buf.truncate(old);
+                    if buf.is_empty() {
+                        return Ok(None);
+                    }
+                    return Err(HttpError::Incomplete);
+                }
             }
-            Ok(n) => buf.truncate(old + n),
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                return Err(HttpError::Incomplete)
+        };
+        let (head, leftover) = buf.split_at(head_end);
+
+        let head_str =
+            std::str::from_utf8(head).map_err(|_| HttpError::BadRequest("head is not UTF-8"))?;
+        let mut lines = head_str.trim_end_matches("\r\n").split("\r\n");
+        let request_line = lines.next().ok_or(HttpError::BadRequest("empty head"))?;
+        let mut parts = request_line.split(' ');
+        let method = parts
+            .next()
+            .filter(|m| !m.is_empty() && m.bytes().all(|b| b.is_ascii_uppercase()))
+            .ok_or(HttpError::BadRequest("malformed method"))?;
+        let target = parts
+            .next()
+            .filter(|t| t.starts_with('/'))
+            .ok_or(HttpError::BadRequest("malformed request target"))?;
+        let version = parts
+            .next()
+            .ok_or(HttpError::BadRequest("missing HTTP version"))?;
+        if !(version == "HTTP/1.1" || version == "HTTP/1.0") || parts.next().is_some() {
+            return Err(HttpError::BadRequest("malformed HTTP version"));
+        }
+        let http11 = version == "HTTP/1.1";
+
+        let mut headers = Vec::new();
+        for line in lines {
+            let (name, value) = line
+                .split_once(':')
+                .ok_or(HttpError::BadRequest("malformed header line"))?;
+            if name.is_empty() || name.contains(' ') {
+                return Err(HttpError::BadRequest("malformed header name"));
             }
-            Err(_) => return Err(HttpError::Incomplete),
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
         }
-        // The terminator may straddle the previous chunk boundary.
-        let scan_from = old.saturating_sub(3);
-        if let Some(pos) = buf[scan_from..].windows(4).position(|w| w == b"\r\n\r\n") {
-            break scan_from + pos + 4;
-        }
-        if buf.len() >= limits.max_head_bytes {
-            return Err(HttpError::HeadTooLarge);
-        }
-    };
-    let (head, leftover) = buf.split_at(head_end);
 
-    let head_str =
-        std::str::from_utf8(head).map_err(|_| HttpError::BadRequest("head is not UTF-8"))?;
-    let mut lines = head_str.trim_end_matches("\r\n").split("\r\n");
-    let request_line = lines.next().ok_or(HttpError::BadRequest("empty head"))?;
-    let mut parts = request_line.split(' ');
-    let method = parts
-        .next()
-        .filter(|m| !m.is_empty() && m.bytes().all(|b| b.is_ascii_uppercase()))
-        .ok_or(HttpError::BadRequest("malformed method"))?;
-    let target = parts
-        .next()
-        .filter(|t| t.starts_with('/'))
-        .ok_or(HttpError::BadRequest("malformed request target"))?;
-    let version = parts
-        .next()
-        .ok_or(HttpError::BadRequest("missing HTTP version"))?;
-    if !(version == "HTTP/1.1" || version == "HTTP/1.0") || parts.next().is_some() {
-        return Err(HttpError::BadRequest("malformed HTTP version"));
-    }
-
-    let mut headers = Vec::new();
-    for line in lines {
-        let (name, value) = line
-            .split_once(':')
-            .ok_or(HttpError::BadRequest("malformed header line"))?;
-        if name.is_empty() || name.contains(' ') {
-            return Err(HttpError::BadRequest("malformed header name"));
-        }
-        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
-    }
-
-    let content_length = match headers
-        .iter()
-        .find(|(k, _)| k == "content-length")
-        .map(|(_, v)| v.as_str())
-    {
-        Some(v) => v
-            .parse::<usize>()
-            .map_err(|_| HttpError::BadRequest("unparseable Content-Length"))?,
-        None if method == "POST" || method == "PUT" => {
-            return Err(HttpError::BadRequest(
-                "POST requires a Content-Length header",
-            ))
-        }
-        None => 0,
-    };
-    if content_length > limits.max_body_bytes {
-        return Err(HttpError::PayloadTooLarge);
-    }
-
-    // Body bytes over-read with the head come first; read the rest.
-    let mut body = vec![0u8; content_length];
-    let prefix = leftover.len().min(content_length);
-    body[..prefix].copy_from_slice(&leftover[..prefix]);
-    let mut read = prefix;
-    while read < content_length {
-        match stream.read(&mut body[read..]) {
-            Ok(0) => return Err(HttpError::Incomplete),
-            Ok(n) => read += n,
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                return Err(HttpError::Incomplete)
+        // Framing must be unambiguous: with persistent connections a
+        // second Content-Length silently ignored would desynchronize
+        // every request after this one (request smuggling).
+        let mut lengths = headers.iter().filter(|(k, _)| k == "content-length");
+        let content_length = match lengths.next().map(|(_, v)| v.as_str()) {
+            Some(_) if lengths.next().is_some() => {
+                return Err(HttpError::BadRequest("duplicate Content-Length header"))
             }
-            Err(_) => return Err(HttpError::Incomplete),
+            Some(v) => v
+                .parse::<usize>()
+                .map_err(|_| HttpError::BadRequest("unparseable Content-Length"))?,
+            None if method == "POST" || method == "PUT" => {
+                return Err(HttpError::BadRequest(
+                    "POST requires a Content-Length header",
+                ))
+            }
+            None => 0,
+        };
+        if content_length > limits.max_body_bytes {
+            return Err(HttpError::PayloadTooLarge);
         }
-    }
 
-    let (path, query) = split_target(target)?;
-    Ok(Some(Request {
-        method: method.to_string(),
-        path,
-        query,
-        headers,
-        body,
-    }))
+        // Body bytes over-read with the head come first; read the rest.
+        let mut body = vec![0u8; content_length];
+        let prefix = leftover.len().min(content_length);
+        body[..prefix].copy_from_slice(&leftover[..prefix]);
+        // Whatever follows the body is the next request's head: keep it.
+        self.carry = leftover[prefix..].to_vec();
+        let mut read = prefix;
+        while read < content_length {
+            match stream.read(&mut body[read..]) {
+                Ok(0) => return Err(HttpError::Incomplete),
+                Ok(n) => read += n,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Err(HttpError::Incomplete)
+                }
+                Err(_) => return Err(HttpError::Incomplete),
+            }
+        }
+
+        let (path, query) = split_target(target)?;
+        Ok(Some(Request {
+            method: method.to_string(),
+            path,
+            query,
+            headers,
+            body,
+            http11,
+        }))
+    }
 }
 
 /// Splits a request target into a decoded path and query pairs.
@@ -349,24 +456,37 @@ impl Response {
         self
     }
 
-    /// Serializes status line, headers and body to `stream`.
+    /// Serializes with `connection: close` — the one-shot convenience.
     pub fn write_to<W: Write>(&self, stream: &mut W) -> std::io::Result<()> {
+        self.write_to_conn(stream, false)
+    }
+
+    /// Serializes status line, headers and body to `stream`, advertising
+    /// whether the server will keep the connection open afterwards.
+    ///
+    /// Head and body go out in a single `write_all`: on a persistent
+    /// connection, a split write leaves the body as a second small
+    /// segment that Nagle holds until the head is ACKed — and a
+    /// delayed-ACK peer turns that into ~40 ms per response.
+    pub fn write_to_conn<W: Write>(&self, stream: &mut W, keep_alive: bool) -> std::io::Result<()> {
+        let connection = if keep_alive { "keep-alive" } else { "close" };
         let mut out = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {connection}\r\n",
             self.status,
             reason_phrase(self.status),
             self.content_type,
             self.body.len()
-        );
+        )
+        .into_bytes();
         for (name, value) in &self.headers {
-            out.push_str(name);
-            out.push_str(": ");
-            out.push_str(value);
-            out.push_str("\r\n");
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(value.as_bytes());
+            out.extend_from_slice(b"\r\n");
         }
-        out.push_str("\r\n");
-        stream.write_all(out.as_bytes())?;
-        stream.write_all(&self.body)?;
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        stream.write_all(&out)?;
         stream.flush()
     }
 }
@@ -452,6 +572,75 @@ mod tests {
             read_request(&mut Cursor::new(big_body), &limits).unwrap_err(),
             HttpError::PayloadTooLarge
         );
+    }
+
+    #[test]
+    fn duplicate_content_length_is_400() {
+        // Identical duplicates, conflicting duplicates, and duplicates
+        // split around other headers are all ambiguous framing: with
+        // keep-alive, guessing wrong desyncs every later request.
+        for raw in [
+            b"POST /x HTTP/1.1\r\nContent-Length: 7\r\nContent-Length: 7\r\n\r\n{\"a\":1}".to_vec(),
+            b"POST /x HTTP/1.1\r\nContent-Length: 7\r\nContent-Length: 9\r\n\r\n{\"a\":1}".to_vec(),
+            b"POST /x HTTP/1.1\r\nContent-Length: 7\r\nHost: a\r\ncontent-length: 2\r\n\r\n{\"a\":1}"
+                .to_vec(),
+        ] {
+            assert_eq!(
+                parse(&raw).unwrap_err(),
+                HttpError::BadRequest("duplicate Content-Length header"),
+                "{}",
+                String::from_utf8_lossy(&raw)
+            );
+        }
+    }
+
+    #[test]
+    fn whitespace_padded_content_length_parses() {
+        let req = parse(b"POST /x HTTP/1.1\r\nContent-Length:   7  \r\n\r\n{\"a\":1}")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.body_utf8().unwrap(), "{\"a\":1}");
+    }
+
+    #[test]
+    fn keep_alive_follows_version_and_connection_header() {
+        let ka = |raw: &[u8]| parse(raw).unwrap().unwrap().keep_alive();
+        assert!(ka(b"GET / HTTP/1.1\r\n\r\n"), "1.1 defaults to keep-alive");
+        assert!(!ka(b"GET / HTTP/1.0\r\n\r\n"), "1.0 defaults to close");
+        assert!(!ka(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n"));
+        assert!(!ka(b"GET / HTTP/1.1\r\nConnection: Close\r\n\r\n"));
+        assert!(ka(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"));
+        assert!(!ka(
+            b"GET / HTTP/1.1\r\nConnection: keep-alive, close\r\n\r\n"
+        ));
+        assert!(ka(b"GET / HTTP/1.1\r\nConnection: upgrade\r\n\r\n"));
+    }
+
+    #[test]
+    fn pipelined_requests_survive_in_the_carry() {
+        let raw = b"POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\nxyzGET /b HTTP/1.1\r\n\r\nGET /c HTTP/1.1\r\n\r\n";
+        let mut cursor = Cursor::new(raw.to_vec());
+        let mut buf = RequestBuffer::new();
+        let limits = HttpLimits::default();
+        let first = buf.next_request(&mut cursor, &limits).unwrap().unwrap();
+        assert_eq!(first.path, "/a");
+        assert_eq!(first.body, b"xyz");
+        assert!(buf.buffered() > 0, "the next request head is carried");
+        let second = buf.next_request(&mut cursor, &limits).unwrap().unwrap();
+        assert_eq!(second.path, "/b");
+        let third = buf.next_request(&mut cursor, &limits).unwrap().unwrap();
+        assert_eq!(third.path, "/c");
+        assert_eq!(buf.next_request(&mut cursor, &limits).unwrap(), None);
+    }
+
+    #[test]
+    fn response_serializes_keep_alive_header() {
+        let mut out = Vec::new();
+        Response::text(200, "ok")
+            .write_to_conn(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("connection: keep-alive\r\n"));
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //!   vendored `serde` is a marker-trait shim, so the wire format lives
 //!   here);
 //! * [`http`] — the request parser and response writer, with hard byte
-//!   caps and total error enumeration (`400`/`408`/`413`/`431`);
+//!   caps, total error enumeration (`400`/`408`/`413`/`431`), and a
+//!   per-connection [`http::RequestBuffer`] that preserves pipelined
+//!   bytes so one connection can serve sequential requests;
 //! * [`router`] — pure request → response dispatch over the six
 //!   endpoints (`/v1/measure`, `/v1/sample-size`, `/v1/trace/window`,
 //!   `/v1/systems`, `/healthz`, `/metrics`);
@@ -19,10 +21,13 @@
 //! * [`metrics`] — per-endpoint counters and latency histograms with a
 //!   Prometheus text rendering, plus the admission conservation law
 //!   `offered == accepted + rejected`;
-//! * [`server`] — the accept thread, worker pool, saturation `503`s and
-//!   graceful drain;
-//! * [`loadgen`] — a loopback load generator whose per-connection
-//!   accounting lines up with the server's admission counters.
+//! * [`server`] — the accept thread, worker pool, keep-alive connection
+//!   lifecycle (idle timeout, per-connection request cap), saturation
+//!   `503`s and graceful drain;
+//! * [`loadgen`] — a loopback load generator with cold and pooled
+//!   keep-alive connection disciplines whose connection accounting
+//!   lines up with the server's admission counters, plus optional
+//!   `Retry-After`-honoring retry on `503`.
 
 pub mod http;
 pub mod json;
@@ -32,9 +37,9 @@ pub mod router;
 pub mod server;
 pub mod state;
 
-pub use http::{HttpError, HttpLimits, Request, Response};
+pub use http::{HttpError, HttpLimits, Request, RequestBuffer, Response};
 pub use json::Json;
-pub use loadgen::{LoadPlan, LoadReport};
+pub use loadgen::{LoadPlan, LoadReport, PooledClient, PooledResponse};
 pub use metrics::{AdmissionStats, Endpoint, Metrics};
 pub use router::route;
 pub use server::{Server, ServerConfig};

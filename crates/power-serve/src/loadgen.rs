@@ -1,11 +1,22 @@
 //! A small loopback load generator for smoke tests and benchmarks.
 //!
-//! The client speaks the same one-request-per-connection protocol the
-//! server enforces (`Connection: close`), so its accounting lines up
-//! with the server's admission counters connection-for-connection: every
-//! request here is exactly one `offered` on the server side, and the
-//! report's `offered == succeeded + rejected + failed` mirrors the
-//! server's `offered == accepted + rejected`.
+//! Two connection disciplines:
+//!
+//! * **cold** (`keep_alive: false`) — one fresh TCP connection per
+//!   request, `Connection: close` on the wire; measures connection
+//!   setup as much as the query path;
+//! * **keep-alive** (`keep_alive: true`) — each thread drives one
+//!   persistent connection through a [`PooledClient`], reading framed
+//!   responses by `content-length` and reconnecting only when the
+//!   server closes (idle timeout, per-connection cap, or drain).
+//!
+//! The client-side ledger counts **logical requests** (`offered ==
+//! succeeded + rejected + error_status + failed`) and, separately, the
+//! TCP `connections` it opened — the number the server's admission
+//! ledger counts. A `503` can optionally be retried (`retry_rejected`)
+//! honoring the advertised `Retry-After` plus jitter; a retried request
+//! is still one `offered`, with extra attempts counted in `retries`, so
+//! the conservation law stays exact.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -13,12 +24,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Builds a raw `GET` request for `path`.
+/// Builds a raw `GET` request for `path` (`Connection: close`).
 pub fn get_request(path: &str) -> Vec<u8> {
     format!("GET {path} HTTP/1.1\r\nhost: loadgen\r\nconnection: close\r\n\r\n").into_bytes()
 }
 
-/// Builds a raw `POST` request for `path` carrying a JSON `body`.
+/// Builds a raw `POST` request for `path` carrying a JSON `body`
+/// (`Connection: close`).
 pub fn post_request(path: &str, body: &str) -> Vec<u8> {
     format!(
         "POST {path} HTTP/1.1\r\nhost: loadgen\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
@@ -27,8 +39,24 @@ pub fn post_request(path: &str, body: &str) -> Vec<u8> {
     .into_bytes()
 }
 
+/// Builds a raw `GET` request for `path` that keeps the connection open
+/// (HTTP/1.1 default keep-alive — no `Connection` header).
+pub fn get_request_keep_alive(path: &str) -> Vec<u8> {
+    format!("GET {path} HTTP/1.1\r\nhost: loadgen\r\n\r\n").into_bytes()
+}
+
+/// Builds a keep-alive `POST` request for `path` carrying a JSON `body`.
+pub fn post_request_keep_alive(path: &str, body: &str) -> Vec<u8> {
+    format!(
+        "POST {path} HTTP/1.1\r\nhost: loadgen\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
 /// Sends one raw request on a fresh connection and returns
-/// `(status, body)`. Reads to EOF — the server closes after one response.
+/// `(status, body)`. Reads to EOF — suitable only for `Connection:
+/// close` requests, where the server closes after one response.
 pub fn http_request(
     addr: SocketAddr,
     raw: &[u8],
@@ -40,23 +68,201 @@ pub fn http_request(
     stream.write_all(raw)?;
     let mut raw_response = Vec::new();
     stream.read_to_end(&mut raw_response)?;
-    parse_response(&raw_response)
+    let parsed = parse_response_head(&raw_response)?;
+    let body = String::from_utf8_lossy(&raw_response[parsed.body_start..]).into_owned();
+    Ok((parsed.status, body))
 }
 
-fn parse_response(raw: &[u8]) -> std::io::Result<(u16, String)> {
-    let text = String::from_utf8_lossy(raw);
-    let status = text
-        .strip_prefix("HTTP/1.1 ")
+/// Cold-mode request returning the status and any `Retry-After` hint.
+fn http_request_classified(
+    addr: SocketAddr,
+    raw: &[u8],
+    timeout: Duration,
+) -> std::io::Result<(u16, Option<u64>)> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.write_all(raw)?;
+    let mut raw_response = Vec::new();
+    stream.read_to_end(&mut raw_response)?;
+    let parsed = parse_response_head(&raw_response)?;
+    Ok((parsed.status, parsed.retry_after_s))
+}
+
+/// One parsed response from a persistent connection.
+#[derive(Debug, Clone)]
+pub struct PooledResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body.
+    pub body: String,
+    /// Advertised `Retry-After` seconds, when present (503s carry it).
+    pub retry_after_s: Option<u64>,
+    /// Whether the server kept the connection open after this response.
+    pub kept_alive: bool,
+}
+
+/// The response head, parsed enough to frame and classify it.
+struct ResponseHead {
+    status: u16,
+    content_length: usize,
+    keep_alive: bool,
+    retry_after_s: Option<u64>,
+    body_start: usize,
+}
+
+fn invalid(msg: &'static str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+/// Parses a response head out of `raw` (which must contain the full
+/// `\r\n\r\n`-terminated head).
+fn parse_response_head(raw: &[u8]) -> std::io::Result<ResponseHead> {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| invalid("response head is not terminated"))?;
+    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| invalid("head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let status = lines
+        .next()
+        .and_then(|l| l.strip_prefix("HTTP/1.1 "))
         .and_then(|rest| rest.get(..3))
         .and_then(|code| code.parse::<u16>().ok())
-        .ok_or_else(|| {
-            std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed status line")
-        })?;
-    let body = text
-        .split_once("\r\n\r\n")
-        .map(|(_, body)| body.to_string())
-        .unwrap_or_default();
-    Ok((status, body))
+        .ok_or_else(|| invalid("malformed status line"))?;
+    let mut content_length = 0usize;
+    let mut keep_alive = false;
+    let mut retry_after_s = None;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value.parse().map_err(|_| invalid("bad content-length"))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = value.eq_ignore_ascii_case("keep-alive");
+        } else if name.eq_ignore_ascii_case("retry-after") {
+            retry_after_s = value.parse().ok();
+        }
+    }
+    Ok(ResponseHead {
+        status,
+        content_length,
+        keep_alive,
+        retry_after_s,
+        body_start: head_end + 4,
+    })
+}
+
+/// A client-side persistent connection: framed reads by
+/// `content-length`, transparent reconnect when the server closes.
+pub struct PooledClient {
+    addr: SocketAddr,
+    timeout: Duration,
+    stream: Option<TcpStream>,
+    carry: Vec<u8>,
+    connections: u64,
+}
+
+impl PooledClient {
+    /// A client for `addr` with `timeout` applied to connect/read/write.
+    pub fn new(addr: SocketAddr, timeout: Duration) -> Self {
+        PooledClient {
+            addr,
+            timeout,
+            stream: None,
+            carry: Vec::new(),
+            connections: 0,
+        }
+    }
+
+    /// TCP connections this client has opened so far — the number the
+    /// server's admission ledger sees from this client.
+    pub fn connections(&self) -> u64 {
+        self.connections
+    }
+
+    /// Drops the current connection (the next request reconnects).
+    pub fn disconnect(&mut self) {
+        self.stream = None;
+        self.carry.clear();
+    }
+
+    /// Sends `raw` and reads one framed response. If a **reused**
+    /// connection turns out to be dead (the server closed it between
+    /// requests), retries exactly once on a fresh connection; the
+    /// request still counts once for the caller's ledger.
+    pub fn request(&mut self, raw: &[u8]) -> std::io::Result<PooledResponse> {
+        let reused = self.stream.is_some();
+        match self.try_request(raw) {
+            Ok(response) => Ok(response),
+            Err(_) if reused => {
+                self.disconnect();
+                self.try_request(raw)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn try_request(&mut self, raw: &[u8]) -> std::io::Result<PooledResponse> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+            stream.set_read_timeout(Some(self.timeout))?;
+            stream.set_write_timeout(Some(self.timeout))?;
+            // Requests are small; waiting for ACKs between them wastes
+            // a delayed-ACK round trip per exchange.
+            stream.set_nodelay(true)?;
+            self.stream = Some(stream);
+            self.carry.clear();
+            self.connections += 1;
+        }
+        let result = self.exchange(raw);
+        match &result {
+            Ok(response) if response.kept_alive => {}
+            // Server closed (connection: close) or the exchange failed:
+            // either way this stream is done.
+            _ => self.disconnect(),
+        }
+        result
+    }
+
+    fn exchange(&mut self, raw: &[u8]) -> std::io::Result<PooledResponse> {
+        let stream = self.stream.as_mut().expect("connected");
+        stream.write_all(raw)?;
+        // Read until the head is complete.
+        let head = loop {
+            if let Ok(head) = parse_response_head(&self.carry) {
+                break head;
+            }
+            let mut chunk = [0u8; 4096];
+            match stream.read(&mut chunk) {
+                Ok(0) => return Err(invalid("connection closed before a full response head")),
+                Ok(n) => self.carry.extend_from_slice(&chunk[..n]),
+                Err(e) => return Err(e),
+            }
+        };
+        // Read until the declared body is complete.
+        let total = head.body_start + head.content_length;
+        while self.carry.len() < total {
+            let mut chunk = [0u8; 4096];
+            match stream.read(&mut chunk) {
+                Ok(0) => return Err(invalid("connection closed mid-body")),
+                Ok(n) => self.carry.extend_from_slice(&chunk[..n]),
+                Err(e) => return Err(e),
+            }
+        }
+        let body = String::from_utf8_lossy(&self.carry[head.body_start..total]).into_owned();
+        // Anything past the body would be the next response; the server
+        // never sends unsolicited bytes, but keeping them is harmless.
+        self.carry.drain(..total);
+        Ok(PooledResponse {
+            status: head.status,
+            body,
+            retry_after_s: head.retry_after_s,
+            kept_alive: head.keep_alive,
+        })
+    }
 }
 
 /// What to offer: raw requests issued round-robin by every thread.
@@ -64,12 +270,20 @@ fn parse_response(raw: &[u8]) -> std::io::Result<(u16, String)> {
 pub struct LoadPlan {
     /// Concurrent client threads.
     pub threads: usize,
-    /// Requests each thread sends (one connection per request).
+    /// Requests each thread sends.
     pub requests_per_thread: usize,
-    /// Raw request bytes, cycled per thread in round-robin order.
+    /// Raw request bytes, cycled per thread in round-robin order. With
+    /// `keep_alive: true` the targets should be keep-alive requests
+    /// (no `Connection: close`), or every response closes the pool.
     pub targets: Vec<Vec<u8>>,
     /// Per-connection timeout.
     pub timeout: Duration,
+    /// Reuse one persistent connection per thread instead of a fresh
+    /// connection per request.
+    pub keep_alive: bool,
+    /// Extra attempts allowed per request after a `503`, each waiting
+    /// the advertised `Retry-After` plus jitter. `0` disables retries.
+    pub retry_rejected: u32,
 }
 
 impl Default for LoadPlan {
@@ -79,6 +293,8 @@ impl Default for LoadPlan {
             requests_per_thread: 64,
             targets: vec![get_request("/healthz")],
             timeout: Duration::from_secs(5),
+            keep_alive: false,
+            retry_rejected: 0,
         }
     }
 }
@@ -86,28 +302,35 @@ impl Default for LoadPlan {
 /// Aggregate outcome of a load run.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LoadReport {
-    /// Connections attempted (one per request).
+    /// Logical requests offered. Retries of a rejected request do NOT
+    /// increment this — each request is offered (and classified) once.
     pub offered: u64,
     /// `2xx` responses.
     pub succeeded: u64,
-    /// `503` backpressure rejections.
+    /// Requests whose final outcome was a `503` (retries exhausted).
     pub rejected: u64,
     /// Non-503 error statuses (`4xx`/`5xx`).
     pub error_status: u64,
     /// Transport-level failures (connect, read, or write errors).
     pub failed: u64,
+    /// TCP connections opened client-side — the count the server's
+    /// admission ledger sees.
+    pub connections: u64,
+    /// Extra attempts sent after `503` responses.
+    pub retries: u64,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
 }
 
 impl LoadReport {
-    /// The client-side conservation law: every offered connection is
-    /// classified exactly once.
+    /// The client-side conservation law: every offered request is
+    /// classified exactly once, retried or not.
     pub fn conserved(&self) -> bool {
         self.offered == self.succeeded + self.rejected + self.error_status + self.failed
     }
 
-    /// Completed requests (any HTTP response) per second.
+    /// Completed requests (any HTTP response, counting a retried
+    /// request once) per second.
     pub fn throughput_rps(&self) -> f64 {
         let answered = (self.succeeded + self.rejected + self.error_status) as f64;
         let secs = self.elapsed.as_secs_f64();
@@ -123,15 +346,37 @@ impl std::fmt::Display for LoadReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "offered {} = ok {} + 503 {} + err {} + failed {} in {:.2}s ({:.0} req/s)",
+            "offered {} = ok {} + 503 {} + err {} + failed {} over {} conns (+{} retries) in {:.2}s ({:.0} req/s)",
             self.offered,
             self.succeeded,
             self.rejected,
             self.error_status,
             self.failed,
+            self.connections,
+            self.retries,
             self.elapsed.as_secs_f64(),
             self.throughput_rps()
         )
+    }
+}
+
+/// A tiny splitmix-style generator for retry jitter — the workspace has
+/// no real `rand`, and loadgen only needs decorrelated backoff, not
+/// statistical quality.
+struct Jitter(u64);
+
+impl Jitter {
+    fn new(seed: u64) -> Self {
+        Jitter(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1))
+    }
+
+    /// Uniform-ish in `0..bound` milliseconds.
+    fn next_ms(&mut self, bound: u64) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.0 >> 33) % bound.max(1)
     }
 }
 
@@ -141,10 +386,14 @@ pub fn run(addr: SocketAddr, plan: &LoadPlan) -> LoadReport {
     let rejected = Arc::new(AtomicU64::new(0));
     let error_status = Arc::new(AtomicU64::new(0));
     let failed = Arc::new(AtomicU64::new(0));
+    let connections = Arc::new(AtomicU64::new(0));
+    let retries = Arc::new(AtomicU64::new(0));
     let threads = plan.threads.max(1);
     let per_thread = plan.requests_per_thread;
     let targets = Arc::new(plan.targets.clone());
     let timeout = plan.timeout;
+    let keep_alive = plan.keep_alive;
+    let retry_budget = plan.retry_rejected;
 
     let started = Instant::now();
     let handles: Vec<_> = (0..threads)
@@ -153,11 +402,42 @@ pub fn run(addr: SocketAddr, plan: &LoadPlan) -> LoadReport {
             let rejected = Arc::clone(&rejected);
             let error_status = Arc::clone(&error_status);
             let failed = Arc::clone(&failed);
+            let connections = Arc::clone(&connections);
+            let retries = Arc::clone(&retries);
             let targets = Arc::clone(&targets);
             std::thread::spawn(move || {
+                let mut client = keep_alive.then(|| PooledClient::new(addr, timeout));
+                let mut jitter = Jitter::new(t as u64 + 1);
                 for i in 0..per_thread {
                     let raw = &targets[(t + i) % targets.len()];
-                    match http_request(addr, raw, timeout) {
+                    // One logical request: the first attempt plus up to
+                    // `retry_budget` retries after 503s. Exactly one
+                    // final outcome is recorded.
+                    let mut attempt = 0u32;
+                    let outcome = loop {
+                        let response = match client.as_mut() {
+                            Some(client) => client
+                                .request(raw)
+                                .map(|r| (r.status, r.retry_after_s))
+                                .map_err(|_| ()),
+                            None => {
+                                connections.fetch_add(1, Ordering::Relaxed);
+                                http_request_classified(addr, raw, timeout).map_err(|_| ())
+                            }
+                        };
+                        match response {
+                            Ok((503, retry_after)) if attempt < retry_budget => {
+                                attempt += 1;
+                                retries.fetch_add(1, Ordering::Relaxed);
+                                let base_ms = retry_after.unwrap_or(1).saturating_mul(1000);
+                                std::thread::sleep(Duration::from_millis(
+                                    base_ms + jitter.next_ms(50),
+                                ));
+                            }
+                            other => break other,
+                        }
+                    };
+                    match outcome {
                         Ok((status, _)) if (200..300).contains(&status) => {
                             succeeded.fetch_add(1, Ordering::Relaxed);
                         }
@@ -167,10 +447,13 @@ pub fn run(addr: SocketAddr, plan: &LoadPlan) -> LoadReport {
                         Ok(_) => {
                             error_status.fetch_add(1, Ordering::Relaxed);
                         }
-                        Err(_) => {
+                        Err(()) => {
                             failed.fetch_add(1, Ordering::Relaxed);
                         }
                     }
+                }
+                if let Some(client) = client {
+                    connections.fetch_add(client.connections(), Ordering::Relaxed);
                 }
             })
         })
@@ -185,6 +468,8 @@ pub fn run(addr: SocketAddr, plan: &LoadPlan) -> LoadReport {
         rejected: rejected.load(Ordering::Relaxed),
         error_status: error_status.load(Ordering::Relaxed),
         failed: failed.load(Ordering::Relaxed),
+        connections: connections.load(Ordering::Relaxed),
+        retries: retries.load(Ordering::Relaxed),
         elapsed: started.elapsed(),
     }
 }
@@ -201,6 +486,8 @@ mod tests {
             rejected: 2,
             error_status: 1,
             failed: 0,
+            connections: 10,
+            retries: 3,
             elapsed: Duration::from_secs(2),
         };
         assert!(report.conserved());
@@ -214,11 +501,43 @@ mod tests {
     }
 
     #[test]
-    fn parses_a_response() {
-        let (status, body) =
-            parse_response(b"HTTP/1.1 200 OK\r\ncontent-length: 2\r\n\r\nhi").unwrap();
-        assert_eq!(status, 200);
-        assert_eq!(body, "hi");
-        assert!(parse_response(b"garbage").is_err());
+    fn parses_a_framed_response_head() {
+        let head = parse_response_head(
+            b"HTTP/1.1 200 OK\r\ncontent-length: 2\r\nconnection: keep-alive\r\n\r\nhi",
+        )
+        .unwrap();
+        assert_eq!(head.status, 200);
+        assert_eq!(head.content_length, 2);
+        assert!(head.keep_alive);
+        assert_eq!(head.retry_after_s, None);
+
+        let rejected = parse_response_head(
+            b"HTTP/1.1 503 Service Unavailable\r\ncontent-length: 0\r\nconnection: close\r\nretry-after: 2\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(rejected.status, 503);
+        assert!(!rejected.keep_alive);
+        assert_eq!(rejected.retry_after_s, Some(2));
+
+        assert!(parse_response_head(b"garbage").is_err());
+    }
+
+    #[test]
+    fn keep_alive_builders_omit_the_close_header() {
+        let ka = String::from_utf8(get_request_keep_alive("/healthz")).unwrap();
+        assert!(!ka.contains("connection:"));
+        let cold = String::from_utf8(get_request("/healthz")).unwrap();
+        assert!(cold.contains("connection: close"));
+        let post = String::from_utf8(post_request_keep_alive("/x", "{}")).unwrap();
+        assert!(!post.contains("connection:"));
+        assert!(post.contains("content-length: 2"));
+    }
+
+    #[test]
+    fn jitter_is_bounded() {
+        let mut j = Jitter::new(7);
+        for _ in 0..1000 {
+            assert!(j.next_ms(50) < 50);
+        }
     }
 }

@@ -9,8 +9,11 @@
 //!
 //! Two counter families carry the service's conservation laws:
 //!
-//! * admission: `offered == accepted + rejected` — every connection the
-//!   listener sees is either handed to a worker or turned away with 503;
+//! * admission: `offered == accepted + rejected` — every **connection**
+//!   the listener sees is either handed to a worker or turned away with
+//!   503 (with keep-alive, one accepted connection serves many
+//!   requests; the `power_serve_connection_requests` histogram records
+//!   how many);
 //! * per endpoint: `requests == errors + successes` is implied by
 //!   labelling errors separately.
 
@@ -84,6 +87,11 @@ impl Endpoint {
 const LATENCY_BINS: usize = 40;
 const LATENCY_MAX_US: f64 = 100_000.0;
 
+/// Requests-served-per-connection histogram: 32 linear bins over
+/// [0, 128] requests; longer-lived connections clamp into the top bin.
+const CONN_REQUESTS_BINS: usize = 32;
+const CONN_REQUESTS_MAX: f64 = 128.0;
+
 struct EndpointSlot {
     requests: AtomicU64,
     errors: AtomicU64,
@@ -129,6 +137,9 @@ pub struct Metrics {
     offered: AtomicU64,
     accepted: AtomicU64,
     rejected: AtomicU64,
+    connections_closed: AtomicU64,
+    connection_requests_sum: AtomicU64,
+    connection_requests: Mutex<Histogram>,
 }
 
 impl Default for Metrics {
@@ -138,6 +149,12 @@ impl Default for Metrics {
             offered: AtomicU64::new(0),
             accepted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            connections_closed: AtomicU64::new(0),
+            connection_requests_sum: AtomicU64::new(0),
+            connection_requests: Mutex::new(
+                Histogram::with_range(0.0, CONN_REQUESTS_MAX, CONN_REQUESTS_BINS)
+                    .expect("static connection-requests range is valid"),
+            ),
         }
     }
 }
@@ -176,6 +193,31 @@ impl Metrics {
     /// Counts a connection rejected with `503`.
     pub fn connection_rejected(&self) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a worker-handled connection closing after serving
+    /// `requests` sequential requests (0 for an idle connection that
+    /// never sent one).
+    pub fn connection_closed(&self, requests: u64) {
+        self.connections_closed.fetch_add(1, Ordering::Relaxed);
+        self.connection_requests_sum
+            .fetch_add(requests, Ordering::Relaxed);
+        self.connection_requests
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(requests as f64);
+    }
+
+    /// Worker-handled connections that have closed.
+    pub fn connections_closed(&self) -> u64 {
+        self.connections_closed.load(Ordering::Relaxed)
+    }
+
+    /// Total requests served across closed connections; together with
+    /// [`Metrics::connections_closed`] this gives the mean keep-alive
+    /// reuse.
+    pub fn connection_requests_sum(&self) -> u64 {
+        self.connection_requests_sum.load(Ordering::Relaxed)
     }
 
     /// A snapshot of the admission counters. Reading `offered` last keeps
@@ -263,36 +305,64 @@ impl Metrics {
         for ep in Endpoint::ALL {
             let slot = &self.endpoints[ep.index()];
             let hist = slot.latency.lock().unwrap_or_else(|e| e.into_inner());
-            let mut cumulative = 0u64;
-            for (i, count) in hist.counts().iter().enumerate() {
-                cumulative += count;
-                let (_, hi) = hist.bin_edges(i);
-                let le = if i + 1 == hist.bins() {
-                    "+Inf".to_string()
-                } else {
-                    format!("{hi:.0}")
-                };
-                // Skip empty interior buckets to keep the page small, but
-                // always emit the +Inf terminator.
-                if *count > 0 || i + 1 == hist.bins() {
-                    out.push_str(&format!(
-                        "power_serve_latency_us_bucket{{endpoint=\"{}\",le=\"{le}\"}} {cumulative}\n",
-                        ep.label()
-                    ));
-                }
-            }
-            out.push_str(&format!(
-                "power_serve_latency_us_sum{{endpoint=\"{}\"}} {}\n",
-                ep.label(),
-                slot.latency_sum_us.load(Ordering::Relaxed)
-            ));
-            out.push_str(&format!(
-                "power_serve_latency_us_count{{endpoint=\"{}\"}} {}\n",
-                ep.label(),
-                hist.total()
-            ));
+            let labels = format!("endpoint=\"{}\"", ep.label());
+            render_histogram(
+                &mut out,
+                "power_serve_latency_us",
+                &labels,
+                &hist,
+                slot.latency_sum_us.load(Ordering::Relaxed),
+            );
+        }
+
+        out.push_str("# TYPE power_serve_connections_closed_total counter\n");
+        out.push_str(&format!(
+            "power_serve_connections_closed_total {}\n",
+            self.connections_closed()
+        ));
+        out.push_str("# TYPE power_serve_connection_requests histogram\n");
+        {
+            let hist = self
+                .connection_requests
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            render_histogram(
+                &mut out,
+                "power_serve_connection_requests",
+                "",
+                &hist,
+                self.connection_requests_sum(),
+            );
         }
         out
+    }
+}
+
+/// Renders one Prometheus histogram: the **full declared bucket
+/// ladder** (every `le`, including empty interior buckets — consumers
+/// interpolate quantiles from cumulative buckets, and a missing rung
+/// breaks the interpolation), then `_sum` and `_count`.
+fn render_histogram(out: &mut String, name: &str, labels: &str, hist: &Histogram, sum: u64) {
+    let mut cumulative = 0u64;
+    for (i, count) in hist.counts().iter().enumerate() {
+        cumulative += count;
+        let (_, hi) = hist.bin_edges(i);
+        let le = if i + 1 == hist.bins() {
+            "+Inf".to_string()
+        } else {
+            format!("{hi:.0}")
+        };
+        let sep = if labels.is_empty() { "" } else { "," };
+        out.push_str(&format!(
+            "{name}_bucket{{{labels}{sep}le=\"{le}\"}} {cumulative}\n"
+        ));
+    }
+    if labels.is_empty() {
+        out.push_str(&format!("{name}_sum {sum}\n"));
+        out.push_str(&format!("{name}_count {}\n", hist.total()));
+    } else {
+        out.push_str(&format!("{name}_sum{{{labels}}} {sum}\n"));
+        out.push_str(&format!("{name}_count{{{labels}}} {}\n", hist.total()));
     }
 }
 
@@ -330,6 +400,54 @@ mod tests {
         assert!(page.contains("power_serve_store_total{outcome=\"coalesced\"} 3"));
         assert!(page.contains("power_serve_latency_us_count{endpoint=\"measure\"} 2"));
         assert!(page.contains("le=\"+Inf\"} 2"));
+    }
+
+    /// Every declared `le` rung appears — including empty interior
+    /// buckets — and cumulative counts are monotone non-decreasing, so
+    /// Prometheus quantile interpolation has the full ladder to work on.
+    #[test]
+    fn histogram_emits_full_bucket_ladder_with_monotone_counts() {
+        let m = Metrics::new();
+        // One fast and one clamped-slow request leave many empty
+        // interior buckets between them.
+        m.record(Endpoint::Measure, 200, Duration::from_micros(10));
+        m.record(Endpoint::Measure, 200, Duration::from_secs(10));
+        let page = m.render_prometheus(CacheStats::default());
+
+        let prefix = "power_serve_latency_us_bucket{endpoint=\"measure\",le=\"";
+        let mut rungs = 0;
+        let mut previous = 0u64;
+        let mut saw_inf = false;
+        for line in page.lines().filter(|l| l.starts_with(prefix)) {
+            rungs += 1;
+            let rest = &line[prefix.len()..];
+            let (le, count) = rest.split_once("\"} ").expect("bucket line shape");
+            let count: u64 = count.trim().parse().expect("bucket count");
+            assert!(count >= previous, "cumulative counts must not decrease");
+            previous = count;
+            saw_inf |= le == "+Inf";
+        }
+        assert_eq!(rungs, LATENCY_BINS, "every declared le must appear");
+        assert!(saw_inf, "the +Inf terminator must appear");
+        assert_eq!(previous, 2, "the ladder tops out at the total");
+    }
+
+    #[test]
+    fn connection_counters_render() {
+        let m = Metrics::new();
+        m.connection_closed(9);
+        m.connection_closed(0);
+        assert_eq!(m.connections_closed(), 2);
+        assert_eq!(m.connection_requests_sum(), 9);
+        let page = m.render_prometheus(CacheStats::default());
+        assert!(page.contains("power_serve_connections_closed_total 2"));
+        assert!(page.contains("power_serve_connection_requests_count 2"));
+        assert!(page.contains("power_serve_connection_requests_sum 9"));
+        let rungs = page
+            .lines()
+            .filter(|l| l.starts_with("power_serve_connection_requests_bucket{le=\""))
+            .count();
+        assert_eq!(rungs, CONN_REQUESTS_BINS);
     }
 
     #[test]

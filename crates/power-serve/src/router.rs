@@ -17,6 +17,12 @@
 //! unsatisfiable request). Every simulation-backed endpoint goes through
 //! the state's shared [`TraceStore`], so repeated and concurrent queries
 //! coalesce into single sweeps.
+//!
+//! The router is connection-agnostic: it never reads or writes
+//! `connection:` headers. Keep-alive negotiation, the idle timeout, and
+//! the per-connection request cap live in the server's connection loop
+//! (`server::handle_connection`), which serializes each response with
+//! the connection verdict it has already decided.
 
 use crate::http::{Request, Response};
 use crate::json::Json;

@@ -9,19 +9,27 @@
 //!   directly with `503` + `Retry-After` and closed (`rejected`). The
 //!   accept thread never parses requests, so rejection stays cheap even
 //!   when every worker is busy.
-//! * A fixed pool of **worker threads** pops connections off the queue,
-//!   reads exactly one request per connection (the server always replies
-//!   `Connection: close`), routes it, and records per-endpoint metrics.
+//! * A fixed pool of **worker threads** pops connections off the queue
+//!   and serves sequential requests on each until the client asks for
+//!   `Connection: close`, the idle timeout expires between requests, the
+//!   per-connection request cap is reached, or a drain begins — then the
+//!   response carries `connection: close` and the socket is closed. A
+//!   [`crate::http::RequestBuffer`] per connection preserves pipelined
+//!   bytes over-read past each body.
 //! * **Graceful shutdown** flips a flag, wakes the accept thread with a
 //!   loopback connection, joins it, then lets the workers drain the
 //!   queue and every in-flight request before joining them. No accepted
-//!   connection is abandoned.
+//!   connection is abandoned; a keep-alive connection finishes the
+//!   request it is serving and is closed after it.
 //!
-//! The conservation law `offered == accepted + rejected` is the
-//! server-side half of the accounting the load generator checks from the
-//! outside (see [`crate::loadgen`]).
+//! The conservation law `offered == accepted + rejected` counts
+//! **connections**, not requests — one admitted keep-alive connection
+//! may serve many requests, which is exactly the point. The load
+//! generator checks the same connection-level law from the outside (see
+//! [`crate::loadgen`]); requests-per-connection is observable via the
+//! `power_serve_connection_requests` histogram on `/metrics`.
 
-use crate::http::{read_request, HttpError, HttpLimits, Request, Response};
+use crate::http::{HttpError, HttpLimits, Request, RequestBuffer, Response};
 use crate::metrics::Endpoint;
 use crate::router::route;
 use crate::state::ServeState;
@@ -45,9 +53,18 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// Parser limits (head and body byte caps).
     pub limits: HttpLimits,
-    /// Socket read timeout; a connection idle longer than this is
-    /// answered `408` and closed, so a silent client cannot pin a worker.
+    /// Socket read timeout while a request is arriving; a connection
+    /// that stalls mid-request longer than this is answered `408` and
+    /// closed, so a silent client cannot pin a worker.
     pub read_timeout: Duration,
+    /// How long a keep-alive connection may sit idle **between**
+    /// requests before the server closes it (silently — an expired idle
+    /// connection is a clean close, not a protocol error).
+    pub idle_timeout: Duration,
+    /// Maximum sequential requests served on one connection before the
+    /// server closes it (`connection: close` on the last response), so
+    /// drain and rebalancing always terminate. Clamped to at least 1.
+    pub max_requests_per_connection: u64,
     /// `Retry-After` seconds advertised on `503` rejections.
     pub retry_after_s: u32,
 }
@@ -60,6 +77,8 @@ impl Default for ServerConfig {
             queue_depth: 16,
             limits: HttpLimits::default(),
             read_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(2),
+            max_requests_per_connection: 1024,
             retry_after_s: 1,
         }
     }
@@ -72,6 +91,8 @@ struct Shared {
     shutdown: AtomicBool,
     limits: HttpLimits,
     read_timeout: Duration,
+    idle_timeout: Duration,
+    max_requests_per_connection: u64,
 }
 
 /// A running server. Dropping it without calling [`Server::shutdown`]
@@ -95,6 +116,8 @@ impl Server {
             shutdown: AtomicBool::new(false),
             limits: config.limits,
             read_timeout: config.read_timeout,
+            idle_timeout: config.idle_timeout,
+            max_requests_per_connection: config.max_requests_per_connection.max(1),
         });
 
         let workers = config.workers.max(1);
@@ -238,32 +261,60 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// Serves sequential requests on one connection until it is done:
+/// client-requested close, idle expiry, the per-connection cap, a
+/// protocol error, or a drain. Exactly one [`RequestBuffer`] lives for
+/// the whole connection so pipelined bytes are never lost.
 fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(shared.read_timeout));
     let _ = stream.set_write_timeout(Some(shared.read_timeout));
-    let started = Instant::now();
-    match read_request(&mut stream, &shared.limits) {
-        Ok(Some(request)) => {
-            let (endpoint, response) = dispatch(&shared.state, &request);
-            shared
-                .state
-                .metrics
-                .record(endpoint, response.status, started.elapsed());
-            let _ = response.write_to(&mut stream);
-        }
-        Ok(None) => {
-            // Clean close before any bytes: not a request, nothing to
-            // count beyond the admission it already consumed.
-        }
-        Err(err) => {
-            let response = error_response(&err);
-            shared
-                .state
-                .metrics
-                .record(Endpoint::Other, response.status, started.elapsed());
-            let _ = response.write_to(&mut stream);
+    // Persistent connections interleave small writes with reads; Nagle
+    // plus the peer's delayed ACK would serialize that at ~40 ms/turn.
+    let _ = stream.set_nodelay(true);
+    let mut buffer = RequestBuffer::new();
+    let mut served: u64 = 0;
+    loop {
+        let started = Instant::now();
+        match buffer.next_request(&mut stream, &shared.limits) {
+            Ok(Some(request)) => {
+                let (endpoint, response) = dispatch(&shared.state, &request);
+                served += 1;
+                // Decide the connection's fate before writing so the
+                // response can advertise it. A drain that begins during
+                // this request still gets its answer — with `close`.
+                let keep_alive = request.keep_alive()
+                    && served < shared.max_requests_per_connection
+                    && !shared.shutdown.load(Ordering::SeqCst);
+                shared
+                    .state
+                    .metrics
+                    .record(endpoint, response.status, started.elapsed());
+                if response.write_to_conn(&mut stream, keep_alive).is_err() || !keep_alive {
+                    break;
+                }
+                // Between requests the socket waits under the (usually
+                // shorter) idle budget; the next arriving byte is the
+                // start of a request read under the same budget.
+                let _ = stream.set_read_timeout(Some(shared.idle_timeout));
+            }
+            Ok(None) => {
+                // Clean close or idle expiry between requests: nothing
+                // to answer, nothing to count beyond the admission the
+                // connection already consumed.
+                break;
+            }
+            Err(err) => {
+                let response = error_response(&err);
+                shared
+                    .state
+                    .metrics
+                    .record(Endpoint::Other, response.status, started.elapsed());
+                let _ = response.write_to(&mut stream);
+                break;
+            }
         }
     }
+    shared.state.metrics.connection_closed(served);
 }
 
 /// Routes one request, converting a handler panic into a `500` instead of

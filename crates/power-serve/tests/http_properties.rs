@@ -4,11 +4,52 @@
 //! 4xx-class error) and never panics. The router downstream is equally
 //! total over arbitrary paths and bodies.
 
-use power_serve::http::{read_request, HttpLimits};
+use power_serve::http::{read_request, HttpLimits, RequestBuffer};
 use power_serve::router::route;
 use power_serve::state::{ServeConfig, ServeState};
 use proptest::prelude::*;
-use std::io::Cursor;
+use std::io::{Cursor, Read};
+
+/// A `Read` that hands out the pipelined byte stream in arbitrary
+/// segment sizes — the adversarial version of TCP deciding where reads
+/// land. After the segment schedule is exhausted it yields the rest in
+/// one piece, then EOF.
+struct SegmentedReader {
+    data: Vec<u8>,
+    pos: usize,
+    segments: Vec<usize>,
+    next_segment: usize,
+}
+
+impl SegmentedReader {
+    fn new(data: Vec<u8>, segments: Vec<usize>) -> Self {
+        SegmentedReader {
+            data,
+            pos: 0,
+            segments,
+            next_segment: 0,
+        }
+    }
+}
+
+impl Read for SegmentedReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.data.len() || buf.is_empty() {
+            return Ok(0);
+        }
+        let segment = self
+            .segments
+            .get(self.next_segment)
+            .copied()
+            .unwrap_or(usize::MAX)
+            .max(1);
+        self.next_segment += 1;
+        let n = segment.min(buf.len()).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
 
 fn parse(bytes: &[u8]) -> Result<Option<power_serve::http::Request>, power_serve::http::HttpError> {
     read_request(&mut Cursor::new(bytes.to_vec()), &HttpLimits::default())
@@ -93,6 +134,54 @@ proptest! {
         );
         let err = parse(raw.as_bytes()).expect_err("missing content-length must be refused");
         prop_assert_eq!(err.status(), 400);
+    }
+
+    /// Connection lifecycle: any split of N pipelined requests across
+    /// arbitrary TCP segment boundaries yields exactly N parsed
+    /// requests, in order, with bodies intact — the carry buffer never
+    /// loses or reorders over-read bytes.
+    #[test]
+    fn pipelined_segmentation_yields_all_requests_in_order(
+        posts in prop::collection::vec(prop::bool::ANY, 1..8),
+        segments in prop::collection::vec(1usize..64, 0..64),
+    ) {
+        let mut raw = Vec::new();
+        for (i, post) in posts.iter().enumerate() {
+            if *post {
+                let body = format!("{{\"i\":{i}}}");
+                raw.extend_from_slice(
+                    format!(
+                        "POST /r/{i} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+                        body.len()
+                    )
+                    .as_bytes(),
+                );
+            } else {
+                raw.extend_from_slice(
+                    format!("GET /r/{i}?q={i} HTTP/1.1\r\nhost: x\r\n\r\n").as_bytes(),
+                );
+            }
+        }
+        let mut reader = SegmentedReader::new(raw, segments);
+        let mut buffer = RequestBuffer::new();
+        let limits = HttpLimits::default();
+        for (i, post) in posts.iter().enumerate() {
+            let request = buffer
+                .next_request(&mut reader, &limits)
+                .expect("pipelined request parses")
+                .expect("pipelined request present");
+            prop_assert_eq!(request.path, format!("/r/{i}"));
+            if *post {
+                prop_assert_eq!(
+                    request.body_utf8().unwrap(),
+                    format!("{{\"i\":{i}}}")
+                );
+            } else {
+                let want = format!("{i}");
+                prop_assert_eq!(request.query_param("q"), Some(want.as_str()));
+            }
+        }
+        prop_assert_eq!(buffer.next_request(&mut reader, &limits).unwrap(), None);
     }
 
     /// The router is total too: arbitrary paths, queries, and JSON-ish

@@ -1,9 +1,11 @@
 //! Loopback integration tests for the serving layer: concurrent clients
 //! over every endpoint, request coalescing through the shared trace
-//! store, saturation backpressure with conserved accounting, and
-//! graceful shutdown draining in-flight work.
+//! store, saturation backpressure with conserved accounting, the
+//! keep-alive connection lifecycle (pipelining, idle expiry,
+//! drain-during-keep-alive, per-connection caps), and graceful shutdown
+//! draining in-flight work.
 
-use power_serve::loadgen::{self, LoadPlan};
+use power_serve::loadgen::{self, LoadPlan, PooledClient};
 use power_serve::server::{Server, ServerConfig};
 use power_serve::state::{ServeConfig, ServeState};
 use std::io::{Read, Write};
@@ -226,6 +228,311 @@ fn graceful_shutdown_drains_in_flight_requests() {
     }
 }
 
+/// Keep-alive: one connection serves many sequential requests; the
+/// admission ledger counts 1 connection while the endpoint counters see
+/// them all, and the per-connection cap closes the connection with
+/// `connection: close` exactly at the limit.
+#[test]
+fn one_connection_serves_sequential_requests_until_the_cap() {
+    let server = start(ServerConfig {
+        workers: 2,
+        queue_depth: 8,
+        max_requests_per_connection: 5,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    let mut client = PooledClient::new(addr, TIMEOUT);
+    for i in 0..5 {
+        let response = client
+            .request(&loadgen::get_request_keep_alive("/healthz"))
+            .expect("keep-alive request");
+        assert_eq!(response.status, 200);
+        let expect_kept = i < 4;
+        assert_eq!(
+            response.kept_alive, expect_kept,
+            "request {i}: the 5th response must advertise close"
+        );
+    }
+    assert_eq!(client.connections(), 1, "five requests, one connection");
+
+    // The 6th request transparently reconnects.
+    let response = client
+        .request(&loadgen::get_request_keep_alive("/healthz"))
+        .expect("post-cap request");
+    assert_eq!(response.status, 200);
+    assert_eq!(client.connections(), 2);
+
+    let admission = server.state().metrics.admission();
+    assert!(admission.conserved(), "{admission:?}");
+    assert_eq!(admission.offered, 2, "admission counts connections");
+    assert_eq!(
+        server
+            .state()
+            .metrics
+            .requests(power_serve::Endpoint::Healthz),
+        6,
+        "endpoint counters count requests"
+    );
+    server.shutdown();
+}
+
+/// Pipelining over real TCP: requests written back-to-back (and split at
+/// odd byte boundaries) on one connection all get answered, in order.
+#[test]
+fn pipelined_requests_over_one_tcp_connection_answer_in_order() {
+    let server = start(ServerConfig {
+        workers: 1,
+        queue_depth: 8,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    // Five keep-alive sample-size POSTs with distinct populations, then
+    // a closing healthz so read_to_end terminates.
+    let populations = [1000u64, 2000, 3000, 4000, 5000];
+    let mut raw = Vec::new();
+    for population in populations {
+        raw.extend_from_slice(&loadgen::post_request_keep_alive(
+            "/v1/sample-size",
+            &format!(r#"{{"lambda": 0.01, "cv": 0.05, "population": {population}}}"#),
+        ));
+    }
+    raw.extend_from_slice(&loadgen::get_request("/healthz"));
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(TIMEOUT)).unwrap();
+    // Write in deliberately awkward segments so request heads and bodies
+    // straddle read boundaries server-side.
+    for chunk in raw.chunks(97) {
+        stream.write_all(chunk).expect("write segment");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read responses");
+    let text = String::from_utf8_lossy(&response);
+
+    let answers = text.matches("HTTP/1.1 200 OK").count();
+    assert_eq!(answers, 6, "every pipelined request is answered:\n{text}");
+    // Responses come back in request order.
+    let mut last = 0;
+    for population in populations {
+        let needle = format!("\"population\":{population}");
+        let at = text[last..]
+            .find(&needle)
+            .unwrap_or_else(|| panic!("{needle} missing or out of order:\n{text}"));
+        last += at;
+    }
+
+    let admission = server.state().metrics.admission();
+    assert!(admission.conserved(), "{admission:?}");
+    assert_eq!(admission.offered, 1, "six requests, one connection");
+    server.shutdown();
+}
+
+/// An idle keep-alive connection is silently closed once the idle
+/// timeout expires; the pooled client notices and reconnects.
+#[test]
+fn idle_keep_alive_connection_expires_and_client_reconnects() {
+    let server = start(ServerConfig {
+        workers: 2,
+        queue_depth: 8,
+        idle_timeout: Duration::from_millis(150),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    let mut client = PooledClient::new(addr, TIMEOUT);
+    let first = client
+        .request(&loadgen::get_request_keep_alive("/healthz"))
+        .expect("first request");
+    assert_eq!(first.status, 200);
+    assert!(first.kept_alive);
+    assert_eq!(client.connections(), 1);
+
+    std::thread::sleep(Duration::from_millis(600));
+
+    let second = client
+        .request(&loadgen::get_request_keep_alive("/healthz"))
+        .expect("request after idle expiry");
+    assert_eq!(second.status, 200);
+    assert_eq!(
+        client.connections(),
+        2,
+        "the expired connection was replaced"
+    );
+    server.shutdown();
+}
+
+/// Drain during keep-alive: a connection mid-session when shutdown
+/// begins gets its in-flight request answered — with
+/// `connection: close` — and the connection then closes.
+#[test]
+fn drain_during_keep_alive_finishes_the_request_then_closes() {
+    let server = start(ServerConfig {
+        workers: 1,
+        queue_depth: 4,
+        idle_timeout: Duration::from_secs(10),
+        read_timeout: Duration::from_secs(10),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    let mut client = PooledClient::new(addr, TIMEOUT);
+    let first = client
+        .request(&loadgen::get_request_keep_alive("/healthz"))
+        .expect("pre-drain request");
+    assert_eq!(first.status, 200);
+    assert!(first.kept_alive, "session is alive before the drain");
+
+    let state = Arc::clone(server.state());
+    let shutdown = std::thread::spawn(move || server.shutdown());
+    std::thread::sleep(Duration::from_millis(300));
+
+    // The worker is parked waiting for this connection's next request;
+    // the drain must let it finish and must mark the response `close`.
+    let second = client
+        .request(&loadgen::get_request_keep_alive("/healthz"))
+        .expect("in-flight request during drain");
+    assert_eq!(second.status, 200);
+    assert!(
+        !second.kept_alive,
+        "a response written during drain advertises close"
+    );
+    shutdown.join().expect("shutdown completes");
+
+    let admission = state.metrics.admission();
+    assert!(admission.conserved(), "{admission:?}");
+    assert_eq!(admission.offered, 1);
+    assert_eq!(
+        state.metrics.connection_requests_sum(),
+        2,
+        "both requests served on the drained connection"
+    );
+
+    match loadgen::http_request(
+        addr,
+        &loadgen::get_request("/healthz"),
+        Duration::from_secs(2),
+    ) {
+        Err(_) => {}
+        Ok((status, _)) => panic!("server answered after drain with {status}"),
+    }
+}
+
+/// The keep-alive loadgen against a healthy server: the request ledger
+/// balances, the connection ledger matches the server's admission
+/// counters, and every request is served exactly once.
+#[test]
+fn keep_alive_loadgen_conserves_both_ledgers() {
+    let server = start(ServerConfig {
+        workers: 4,
+        queue_depth: 64,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    let threads = 8u64;
+    let per_thread = 64u64;
+    let report = loadgen::run(
+        addr,
+        &LoadPlan {
+            threads: threads as usize,
+            requests_per_thread: per_thread as usize,
+            targets: vec![
+                loadgen::get_request_keep_alive("/healthz"),
+                loadgen::get_request_keep_alive("/v1/systems"),
+            ],
+            timeout: TIMEOUT,
+            keep_alive: true,
+            retry_rejected: 0,
+        },
+    );
+    assert!(report.conserved(), "{report}");
+    assert_eq!(report.offered, threads * per_thread);
+    assert_eq!(report.succeeded, threads * per_thread, "{report}");
+    assert_eq!(report.failed, 0, "{report}");
+    assert!(
+        report.connections >= threads && report.connections <= 2 * threads,
+        "8 persistent clients should use ~8 connections: {report}"
+    );
+
+    let state = Arc::clone(server.state());
+    let admission = state.metrics.admission();
+    assert!(admission.conserved(), "{admission:?}");
+    assert_eq!(
+        admission.offered, report.connections,
+        "server connections == client connections"
+    );
+    assert_eq!(admission.rejected, 0);
+
+    // After shutdown every connection has closed and been recorded:
+    // the per-connection request counters account for every request.
+    server.shutdown();
+    assert_eq!(state.metrics.connections_closed(), report.connections);
+    assert_eq!(state.metrics.connection_requests_sum(), report.offered);
+}
+
+/// Saturation with retry: rejected requests back off per `Retry-After`
+/// and try again; a retried request is still classified exactly once,
+/// and every retry attempt shows up as a fresh connection on both
+/// ledgers.
+#[test]
+fn rejected_requests_retry_and_the_ledger_stays_exact() {
+    let server = Server::start(
+        ServerConfig {
+            workers: 1,
+            queue_depth: 1,
+            read_timeout: Duration::from_secs(1),
+            retry_after_s: 0,
+            ..ServerConfig::default()
+        },
+        small_state(),
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    // Pin the only worker so early arrivals overflow the 1-slot queue
+    // and get 503s; the pin releases when its read times out (1s).
+    let pin_worker = TcpStream::connect(addr).expect("pin connection");
+    std::thread::sleep(Duration::from_millis(200));
+
+    let threads = 4u64;
+    let per_thread = 8u64;
+    let report = loadgen::run(
+        addr,
+        &LoadPlan {
+            threads: threads as usize,
+            requests_per_thread: per_thread as usize,
+            targets: vec![loadgen::get_request("/healthz")],
+            timeout: TIMEOUT,
+            keep_alive: false,
+            retry_rejected: 100,
+        },
+    );
+    drop(pin_worker);
+
+    assert!(report.conserved(), "{report}");
+    assert_eq!(
+        report.offered,
+        threads * per_thread,
+        "retries must not inflate offered: {report}"
+    );
+    assert!(report.retries > 0, "saturation must have forced retries");
+    assert_eq!(
+        report.connections,
+        report.offered + report.retries,
+        "cold mode: one connection per attempt: {report}"
+    );
+    assert_eq!(report.failed, 0, "{report}");
+
+    let admission = server.state().metrics.admission();
+    assert!(admission.conserved(), "{admission:?}");
+    // The pin connection plus every client attempt.
+    assert_eq!(admission.offered, 1 + report.connections);
+    server.shutdown();
+}
+
 /// Satellite 6: the load generator's client-side ledger and the server's
 /// `/metrics` admission counters describe the same world.
 #[test]
@@ -249,6 +556,7 @@ fn loadgen_and_metrics_agree_on_totals() {
             ),
         ],
         timeout: TIMEOUT,
+        ..LoadPlan::default()
     };
     let report = loadgen::run(addr, &plan);
     assert!(report.conserved(), "{report}");
