@@ -1,0 +1,574 @@
+//! Compressed trace-block codec.
+//!
+//! A *block* holds one run of `(timestamp, watts)` samples from a single
+//! series, encoded as:
+//!
+//! * timestamps: first value raw, then delta-of-delta zigzag varints —
+//!   a regular sampling grid costs one byte per sample after the first
+//!   two;
+//! * power: fixed-point quantization against a caller-chosen quantum
+//!   (default ~1 mW), then first-order deltas as zigzag varints — noise
+//!   around an operating point costs two to three bytes per sample;
+//! * a fixed 60-byte header carrying the sample count, quantum, time
+//!   bounds, and min/max/sum summaries so window scans can skip whole
+//!   blocks without decoding the body;
+//! * a trailing CRC32 (IEEE) over everything before it.
+//!
+//! # Quantization contract
+//!
+//! Encoding is lossy exactly once: every input watt value `w` is mapped
+//! to `quantize(w, quantum)` and that value round-trips **bit-exactly**
+//! through encode→decode, provided `w` is finite and `|w / quantum|`
+//! rounds to at most 2^62. `quantize` is idempotent, so re-archiving a
+//! decoded block is lossless. Block summaries are computed over the
+//! *quantized* values with a plain sequential loop, so a reader can
+//! recompute them bit-for-bit.
+
+use std::fmt;
+
+/// Default power quantum: 2^-10 W (~1 mW). A power of two, so scaling
+/// by it is exact in binary floating point.
+pub const DEFAULT_QUANTUM: f64 = 1.0 / 1024.0;
+
+/// Largest quantized magnitude the codec accepts (inclusive): 2^62.
+pub const MAX_QUANTA: i128 = 1 << 62;
+
+const MAGIC: [u8; 4] = *b"PABK";
+const VERSION: u8 = 1;
+/// Fixed header length in bytes (magic through summaries).
+pub const HEADER_LEN: usize = 60;
+/// Trailing checksum length in bytes.
+pub const TRAILER_LEN: usize = 4;
+
+/// Errors from encoding or decoding a trace block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CodecError {
+    /// The block does not start with the block magic.
+    BadMagic,
+    /// The block version is newer than this codec understands.
+    BadVersion(u8),
+    /// The byte slice ended before the declared content did.
+    Truncated,
+    /// The trailing CRC32 does not match the content.
+    ChecksumMismatch,
+    /// An input watt value was NaN or infinite.
+    NonFinite(f64),
+    /// An input watt value quantizes outside `±MAX_QUANTA`.
+    OutOfRange(f64),
+    /// The quantum is not a finite positive number.
+    BadQuantum(f64),
+    /// A varint ran past 19 bytes or past the buffer.
+    BadVarint,
+    /// A decoded timestamp does not fit in `i64`.
+    BadTimestamp,
+    /// Encode was called with no samples or mismatched slice lengths.
+    BadShape,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "not a trace block (bad magic)"),
+            CodecError::BadVersion(v) => write!(f, "unsupported block version {v}"),
+            CodecError::Truncated => write!(f, "block truncated"),
+            CodecError::ChecksumMismatch => write!(f, "block checksum mismatch"),
+            CodecError::NonFinite(w) => write!(f, "non-finite watt value {w}"),
+            CodecError::OutOfRange(w) => write!(f, "watt value {w} outside quantizable range"),
+            CodecError::BadQuantum(q) => write!(f, "quantum {q} is not finite and positive"),
+            CodecError::BadVarint => write!(f, "malformed varint"),
+            CodecError::BadTimestamp => write!(f, "decoded timestamp overflows i64"),
+            CodecError::BadShape => write!(f, "empty or mismatched sample slices"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Per-block summary, readable from the fixed header without decoding
+/// the body. `min/max/sum` are over the quantized watt values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockSummary {
+    /// Number of samples in the block.
+    pub count: u32,
+    /// Quantum the watt values were quantized against.
+    pub quantum: f64,
+    /// First timestamp in the block, microseconds.
+    pub t_first_us: i64,
+    /// Last timestamp in the block, microseconds.
+    pub t_last_us: i64,
+    /// Minimum quantized watt value.
+    pub min_watts: f64,
+    /// Maximum quantized watt value.
+    pub max_watts: f64,
+    /// Sequential sum of the quantized watt values.
+    pub sum_watts: f64,
+}
+
+impl BlockSummary {
+    /// True when the block's time span intersects `[from_us, to_us]`.
+    pub fn overlaps(&self, from_us: i64, to_us: i64) -> bool {
+        self.t_first_us <= to_us && self.t_last_us >= from_us
+    }
+}
+
+/// A fully decoded block: timestamps, quantized watt values, and the
+/// summary as stored on disk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedBlock {
+    /// Sample timestamps, microseconds.
+    pub timestamps_us: Vec<i64>,
+    /// Quantized watt values (`quantize(input, quantum)` of each input).
+    pub watts: Vec<f64>,
+    /// The summary stored in the block header.
+    pub summary: BlockSummary,
+}
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3), table-driven, std-only.
+// ---------------------------------------------------------------------------
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = u32::MAX;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ u32::MAX
+}
+
+// ---------------------------------------------------------------------------
+// Varints and zigzag.
+// ---------------------------------------------------------------------------
+
+pub(crate) fn put_uvarint(buf: &mut Vec<u8>, mut v: u128) {
+    while v >= 0x80 {
+        buf.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    buf.push(v as u8);
+}
+
+pub(crate) fn get_uvarint(buf: &[u8], pos: &mut usize) -> Result<u128, CodecError> {
+    let mut v: u128 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos).ok_or(CodecError::BadVarint)?;
+        *pos += 1;
+        if shift >= 128 || (shift == 126 && byte > 0x03) {
+            return Err(CodecError::BadVarint);
+        }
+        v |= u128::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+pub(crate) fn zigzag(v: i128) -> u128 {
+    ((v << 1) ^ (v >> 127)) as u128
+}
+
+pub(crate) fn unzigzag(v: u128) -> i128 {
+    ((v >> 1) as i128) ^ -((v & 1) as i128)
+}
+
+pub(crate) fn put_ivarint(buf: &mut Vec<u8>, v: i128) {
+    put_uvarint(buf, zigzag(v));
+}
+
+pub(crate) fn get_ivarint(buf: &[u8], pos: &mut usize) -> Result<i128, CodecError> {
+    Ok(unzigzag(get_uvarint(buf, pos)?))
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-width little-endian helpers.
+// ---------------------------------------------------------------------------
+
+pub(crate) fn get_u32(buf: &[u8], pos: &mut usize) -> Result<u32, CodecError> {
+    let b: [u8; 4] = buf
+        .get(*pos..*pos + 4)
+        .ok_or(CodecError::Truncated)?
+        .try_into()
+        .expect("4-byte slice");
+    *pos += 4;
+    Ok(u32::from_le_bytes(b))
+}
+
+pub(crate) fn get_u64(buf: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+    let b: [u8; 8] = buf
+        .get(*pos..*pos + 8)
+        .ok_or(CodecError::Truncated)?
+        .try_into()
+        .expect("8-byte slice");
+    *pos += 8;
+    Ok(u64::from_le_bytes(b))
+}
+
+pub(crate) fn get_f64(buf: &[u8], pos: &mut usize) -> Result<f64, CodecError> {
+    Ok(f64::from_bits(get_u64(buf, pos)?))
+}
+
+pub(crate) fn get_i64(buf: &[u8], pos: &mut usize) -> Result<i64, CodecError> {
+    Ok(get_u64(buf, pos)? as i64)
+}
+
+// ---------------------------------------------------------------------------
+// Quantization.
+// ---------------------------------------------------------------------------
+
+fn quantize_to_int(w: f64, quantum: f64) -> Result<i128, CodecError> {
+    if !w.is_finite() {
+        return Err(CodecError::NonFinite(w));
+    }
+    let scaled = w / quantum;
+    if !scaled.is_finite() {
+        return Err(CodecError::OutOfRange(w));
+    }
+    let rounded = scaled.round();
+    if rounded.abs() > MAX_QUANTA as f64 {
+        return Err(CodecError::OutOfRange(w));
+    }
+    Ok(rounded as i128)
+}
+
+fn dequantize(q: i128, quantum: f64) -> f64 {
+    (q as f64) * quantum
+}
+
+/// Map `w` onto the fixed-point grid defined by `quantum`.
+///
+/// This is exactly the value a decoded block returns for input `w`:
+/// `decode(encode([w])) == [quantize(w, quantum)]` bit-for-bit.
+/// Idempotent for any encodable input. Callers must pass a finite `w`
+/// within the encodable range and a finite positive `quantum`;
+/// out-of-domain inputs return an unspecified (but non-UB) value.
+pub fn quantize(w: f64, quantum: f64) -> f64 {
+    match quantize_to_int(w, quantum) {
+        Ok(q) => dequantize(q, quantum),
+        Err(_) => f64::NAN,
+    }
+}
+
+fn check_quantum(quantum: f64) -> Result<(), CodecError> {
+    if !quantum.is_finite() || quantum <= 0.0 {
+        return Err(CodecError::BadQuantum(quantum));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Block encode / decode.
+// ---------------------------------------------------------------------------
+
+/// Encode one block of samples. `timestamps_us` and `watts` must have
+/// equal, non-zero length (at most `u32::MAX` samples).
+pub fn encode_block(
+    timestamps_us: &[i64],
+    watts: &[f64],
+    quantum: f64,
+) -> Result<Vec<u8>, CodecError> {
+    check_quantum(quantum)?;
+    if timestamps_us.is_empty()
+        || timestamps_us.len() != watts.len()
+        || timestamps_us.len() > u32::MAX as usize
+    {
+        return Err(CodecError::BadShape);
+    }
+
+    let mut quanta = Vec::with_capacity(watts.len());
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut sum = 0.0f64;
+    for &w in watts {
+        let q = quantize_to_int(w, quantum)?;
+        let v = dequantize(q, quantum);
+        min = min.min(v);
+        max = max.max(v);
+        sum += v;
+        quanta.push(q);
+    }
+
+    let mut buf = Vec::with_capacity(HEADER_LEN + watts.len() * 3 + TRAILER_LEN);
+    buf.extend_from_slice(&MAGIC);
+    buf.push(VERSION);
+    buf.extend_from_slice(&[0u8; 3]); // reserved
+    buf.extend_from_slice(&(timestamps_us.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&quantum.to_bits().to_le_bytes());
+    buf.extend_from_slice(&timestamps_us[0].to_le_bytes());
+    buf.extend_from_slice(&timestamps_us[timestamps_us.len() - 1].to_le_bytes());
+    buf.extend_from_slice(&min.to_bits().to_le_bytes());
+    buf.extend_from_slice(&max.to_bits().to_le_bytes());
+    buf.extend_from_slice(&sum.to_bits().to_le_bytes());
+    debug_assert_eq!(buf.len(), HEADER_LEN);
+
+    // Timestamps: delta, then delta-of-delta.
+    let mut prev_delta: i128 = 0;
+    for i in 1..timestamps_us.len() {
+        let delta = i128::from(timestamps_us[i]) - i128::from(timestamps_us[i - 1]);
+        put_ivarint(&mut buf, delta - prev_delta);
+        prev_delta = delta;
+    }
+    // Power: first quantized value, then first-order deltas.
+    put_ivarint(&mut buf, quanta[0]);
+    for i in 1..quanta.len() {
+        put_ivarint(&mut buf, quanta[i] - quanta[i - 1]);
+    }
+
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    Ok(buf)
+}
+
+fn parse_header(bytes: &[u8]) -> Result<BlockSummary, CodecError> {
+    if bytes.len() < HEADER_LEN + TRAILER_LEN {
+        return Err(CodecError::Truncated);
+    }
+    if bytes[0..4] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    if bytes[4] != VERSION {
+        return Err(CodecError::BadVersion(bytes[4]));
+    }
+    let mut pos = 8usize;
+    let count = get_u32(bytes, &mut pos)?;
+    let quantum = get_f64(bytes, &mut pos)?;
+    let t_first_us = get_i64(bytes, &mut pos)?;
+    let t_last_us = get_i64(bytes, &mut pos)?;
+    let min_watts = get_f64(bytes, &mut pos)?;
+    let max_watts = get_f64(bytes, &mut pos)?;
+    let sum_watts = get_f64(bytes, &mut pos)?;
+    if count == 0 {
+        return Err(CodecError::BadShape);
+    }
+    Ok(BlockSummary {
+        count,
+        quantum,
+        t_first_us,
+        t_last_us,
+        min_watts,
+        max_watts,
+        sum_watts,
+    })
+}
+
+/// Read a block's summary from its fixed header without decoding the
+/// body. Validates magic, version, and length, but not the checksum —
+/// use [`decode_block`] (or the archive's open-time verify) for that.
+pub fn peek_summary(bytes: &[u8]) -> Result<BlockSummary, CodecError> {
+    parse_header(bytes)
+}
+
+/// Decode a block, verifying its CRC32 first.
+pub fn decode_block(bytes: &[u8]) -> Result<DecodedBlock, CodecError> {
+    let summary = parse_header(bytes)?;
+    let body = &bytes[..bytes.len() - TRAILER_LEN];
+    let mut pos = bytes.len() - TRAILER_LEN;
+    let stored_crc = get_u32(bytes, &mut pos)?;
+    if crc32(body) != stored_crc {
+        return Err(CodecError::ChecksumMismatch);
+    }
+    check_quantum(summary.quantum)?;
+
+    let count = summary.count as usize;
+    let mut pos = HEADER_LEN;
+
+    let mut timestamps_us = Vec::with_capacity(count);
+    timestamps_us.push(summary.t_first_us);
+    let mut prev_t = i128::from(summary.t_first_us);
+    let mut prev_delta: i128 = 0;
+    for _ in 1..count {
+        let dod = get_ivarint(body, &mut pos)?;
+        prev_delta += dod;
+        prev_t += prev_delta;
+        let t = i64::try_from(prev_t).map_err(|_| CodecError::BadTimestamp)?;
+        timestamps_us.push(t);
+    }
+
+    let mut watts = Vec::with_capacity(count);
+    let mut q = get_ivarint(body, &mut pos)?;
+    watts.push(dequantize(q, summary.quantum));
+    for _ in 1..count {
+        q += get_ivarint(body, &mut pos)?;
+        watts.push(dequantize(q, summary.quantum));
+    }
+    if pos != body.len() {
+        return Err(CodecError::Truncated);
+    }
+    Ok(DecodedBlock {
+        timestamps_us,
+        watts,
+        summary,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(ts: &[i64], watts: &[f64], quantum: f64) -> DecodedBlock {
+        let bytes = encode_block(ts, watts, quantum).expect("encode");
+        decode_block(&bytes).expect("decode")
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn varint_roundtrip_extremes() {
+        let mut buf = Vec::new();
+        let values = [
+            0i128,
+            1,
+            -1,
+            i128::from(i64::MAX),
+            i128::from(i64::MIN),
+            MAX_QUANTA,
+            -MAX_QUANTA,
+        ];
+        for &v in &values {
+            buf.clear();
+            put_ivarint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_ivarint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn regular_grid_roundtrips_bit_exactly() {
+        let ts: Vec<i64> = (0..1000).map(|i| i * 1_000_000).collect();
+        let watts: Vec<f64> = (0..1000).map(|i| 350.0 + (i as f64 * 0.37).sin()).collect();
+        let out = roundtrip(&ts, &watts, DEFAULT_QUANTUM);
+        assert_eq!(out.timestamps_us, ts);
+        for (w, d) in watts.iter().zip(&out.watts) {
+            assert_eq!(d.to_bits(), quantize(*w, DEFAULT_QUANTUM).to_bits());
+        }
+    }
+
+    #[test]
+    fn quantize_is_idempotent_and_kills_negative_zero() {
+        let q = DEFAULT_QUANTUM;
+        for w in [0.0, -0.0, 1.0, -353.125, 1e12, -1e12, 3.000_48] {
+            let once = quantize(w, q);
+            assert_eq!(once.to_bits(), quantize(once, q).to_bits());
+        }
+        assert_eq!(quantize(-0.0, q).to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn summary_matches_recomputation() {
+        let ts: Vec<i64> = (0..257).map(|i| 7 + i * 250_000).collect();
+        let watts: Vec<f64> = (0..257).map(|i| 100.0 + ((i * 31) % 17) as f64).collect();
+        let bytes = encode_block(&ts, &watts, DEFAULT_QUANTUM).unwrap();
+        let peek = peek_summary(&bytes).unwrap();
+        let out = decode_block(&bytes).unwrap();
+        assert_eq!(peek, out.summary);
+        let (mut min, mut max, mut sum) = (f64::INFINITY, f64::NEG_INFINITY, 0.0);
+        for &v in &out.watts {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        assert_eq!(peek.min_watts.to_bits(), min.to_bits());
+        assert_eq!(peek.max_watts.to_bits(), max.to_bits());
+        assert_eq!(peek.sum_watts.to_bits(), sum.to_bits());
+        assert_eq!(peek.t_first_us, ts[0]);
+        assert_eq!(peek.t_last_us, *ts.last().unwrap());
+        assert!(peek.overlaps(1_000_000, 2_000_000));
+        assert!(!peek.overlaps(i64::MIN, 0));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let ts: Vec<i64> = (0..64).map(|i| i * 1_000_000).collect();
+        let watts = vec![250.0; 64];
+        let good = encode_block(&ts, &watts, DEFAULT_QUANTUM).unwrap();
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x40;
+            // Any single-bit-pair flip must be rejected, never panic.
+            assert!(decode_block(&bad).is_err(), "flip at byte {i} accepted");
+        }
+        assert!(decode_block(&good[..good.len() - 1]).is_err());
+        assert!(decode_block(&[]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(matches!(
+            encode_block(&[0], &[f64::NAN], DEFAULT_QUANTUM),
+            Err(CodecError::NonFinite(w)) if w.is_nan()
+        ));
+        assert!(matches!(
+            encode_block(&[0], &[1e300], DEFAULT_QUANTUM),
+            Err(CodecError::OutOfRange(_))
+        ));
+        assert_eq!(
+            encode_block(&[0], &[1.0], 0.0),
+            Err(CodecError::BadQuantum(0.0))
+        );
+        assert_eq!(
+            encode_block(&[], &[], DEFAULT_QUANTUM),
+            Err(CodecError::BadShape)
+        );
+        assert_eq!(
+            encode_block(&[0, 1], &[1.0], DEFAULT_QUANTUM),
+            Err(CodecError::BadShape)
+        );
+    }
+
+    #[test]
+    fn compression_on_noisy_plateau_beats_4x() {
+        // A synthetic HPL-like plateau: ~350 W with ~1% Gaussian-ish
+        // noise (deterministic LCG here), regular 1 s grid.
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let n = 100_000usize;
+        let ts: Vec<i64> = (0..n as i64).map(|i| i * 1_000_000).collect();
+        let watts: Vec<f64> = (0..n)
+            .map(|_| {
+                let u: f64 = next();
+                let v: f64 = next();
+                // Box-Muller for a normal-ish sample.
+                let z = (-2.0 * u.max(1e-12).ln()).sqrt() * (2.0 * std::f64::consts::PI * v).cos();
+                350.0 + 3.5 * z
+            })
+            .collect();
+        let bytes = encode_block(&ts, &watts, DEFAULT_QUANTUM).unwrap();
+        let raw = n * 16;
+        let ratio = raw as f64 / bytes.len() as f64;
+        assert!(ratio >= 4.0, "compression ratio {ratio:.2} < 4x");
+    }
+}

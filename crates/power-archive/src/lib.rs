@@ -1,0 +1,42 @@
+//! # power-archive — crash-safe on-disk trace & campaign store
+//!
+//! A std-only embedded storage engine for the expensive artifacts of the
+//! reproduction pipeline: full-sweep [`power_sim::RunProducts`], per-node
+//! power traces, and live-campaign progress. Everything in-process memory
+//! holds (the `TraceStore` LRU, a campaign's ingested samples) is lost on
+//! restart; this crate makes those artifacts durable.
+//!
+//! Three layers, bottom to top:
+//!
+//! * [`codec`] — compressed trace blocks: timestamp delta-of-delta +
+//!   zigzag/varint power deltas against a fixed-point quantization, with
+//!   per-block CRC32 and min/max/sum summaries so window scans can skip
+//!   blocks without decoding them.
+//! * [`archive`] — append-only segment files under a manifest with a
+//!   write-ahead commit protocol (segment append → fsync → manifest
+//!   record → fsync), recovery that truncates torn tails and verifies
+//!   every committed checksum on open, and size-triggered compaction
+//!   that rewrites live blocks and drops superseded sweeps.
+//! * [`products`] / [`wal`] — the integration layer: a
+//!   [`power_sim::store::ArchiveTier`] implementation making the archive
+//!   a second tier beneath the in-memory `TraceStore` (memory LRU → disk
+//!   archive → recompute), and a campaign write-ahead log implementing
+//!   `power_telemetry`'s `CampaignJournal` so an interrupted live
+//!   campaign resumes at its watermark.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod archive;
+pub mod codec;
+pub mod products;
+mod record;
+pub mod wal;
+
+pub use archive::{Archive, ArchiveConfig, ArchiveStats, EntryInfo, FLAG_FULL_SWEEP};
+pub use codec::{
+    crc32, decode_block, encode_block, peek_summary, quantize, BlockSummary, CodecError,
+    DecodedBlock, DEFAULT_QUANTUM,
+};
+pub use products::ProductsArchive;
+pub use wal::CampaignWal;

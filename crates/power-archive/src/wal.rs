@@ -1,0 +1,358 @@
+//! Campaign write-ahead log: durable live-campaign progress.
+//!
+//! A live campaign's resumable state is tiny — the ordered sequence of
+//! finalized `(node, window average)` pairs fed to the sequential
+//! estimator (see `power_telemetry::live`). [`CampaignWal`] appends one
+//! framed record per pair to a single log file, fsyncing each append,
+//! so a `kill -9` mid-campaign loses at most the node that was being
+//! metered when the process died. On reopen the log's torn tail (if
+//! any) is truncated and the durable prefix is replayed into the new
+//! campaign, which continues metering at its watermark.
+//!
+//! Record payloads (all little-endian, framed by [`crate::record`]):
+//!
+//! ```text
+//! Start    op=1 | fingerprint u64 | population u64     (first record)
+//! NodeDone op=2 | node u64        | average f64 bits
+//! Stopped  op=3                                        (rule fired)
+//! ```
+//!
+//! The `Start` record binds the log to one campaign identity
+//! ([`power_telemetry::campaign_fingerprint`]); replaying into a
+//! campaign with a different identity is refused rather than allowed to
+//! poison the estimator. Re-metering a node that was finalized but not
+//! yet durable is always safe: the campaign driver is deterministic, so
+//! the re-metered average equals the lost one.
+
+use crate::record::{append_record, scan_records, sync_dir, truncate_to};
+use power_telemetry::{CampaignJournal, JournalReplay, TelemetryError};
+use std::fs::File;
+use std::io;
+use std::path::{Path, PathBuf};
+
+const OP_START: u8 = 1;
+const OP_NODE: u8 = 2;
+const OP_STOP: u8 = 3;
+
+/// A file-backed [`CampaignJournal`] with torn-tail recovery.
+#[derive(Debug)]
+pub struct CampaignWal {
+    path: PathBuf,
+    file: File,
+    offset: u64,
+    fsync: bool,
+    identity: Option<(u64, u64)>,
+    nodes: Vec<(usize, f64)>,
+    stopped: bool,
+    recovered_truncation: bool,
+}
+
+fn corrupt(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what.to_string())
+}
+
+fn journal_err(e: io::Error) -> TelemetryError {
+    TelemetryError::Journal(format!("campaign wal: {e}"))
+}
+
+impl CampaignWal {
+    /// Opens (or creates) the log at `path`, truncating any torn tail
+    /// left by an interrupted append and replaying the durable prefix
+    /// into memory. Fails with `InvalidData` if the durable prefix is
+    /// not a well-formed campaign log (wrong op sequence — CRC-valid
+    /// garbage is someone else's file, not a torn write).
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<Self> {
+        Self::open_with_fsync(path, true)
+    }
+
+    /// [`CampaignWal::open`] with explicit fsync policy. `fsync: false`
+    /// trades the durability of the last few records for speed; the
+    /// resume contract stays correct because re-metering is safe.
+    pub fn open_with_fsync(path: impl Into<PathBuf>, fsync: bool) -> io::Result<Self> {
+        let path = path.into();
+        let scan = scan_records(&path)?;
+        if scan.torn {
+            truncate_to(&path, scan.valid_len)?;
+        }
+        let mut identity = None;
+        let mut nodes = Vec::new();
+        let mut stopped = false;
+        for (i, (_, payload)) in scan.records.iter().enumerate() {
+            let op = *payload.first().ok_or_else(|| corrupt("empty wal record"))?;
+            match op {
+                OP_START => {
+                    if i != 0 {
+                        return Err(corrupt("wal Start record not first"));
+                    }
+                    if payload.len() != 17 {
+                        return Err(corrupt("wal Start record wrong length"));
+                    }
+                    let fingerprint = u64::from_le_bytes(payload[1..9].try_into().expect("8"));
+                    let population = u64::from_le_bytes(payload[9..17].try_into().expect("8"));
+                    identity = Some((fingerprint, population));
+                }
+                OP_NODE => {
+                    if identity.is_none() {
+                        return Err(corrupt("wal NodeDone before Start"));
+                    }
+                    if payload.len() != 17 {
+                        return Err(corrupt("wal NodeDone record wrong length"));
+                    }
+                    let node = u64::from_le_bytes(payload[1..9].try_into().expect("8"));
+                    let avg =
+                        f64::from_bits(u64::from_le_bytes(payload[9..17].try_into().expect("8")));
+                    if !avg.is_finite() {
+                        return Err(corrupt("wal NodeDone average not finite"));
+                    }
+                    nodes.push((node as usize, avg));
+                }
+                OP_STOP => {
+                    if identity.is_none() || payload.len() != 1 {
+                        return Err(corrupt("malformed wal Stopped record"));
+                    }
+                    stopped = true;
+                }
+                _ => return Err(corrupt("unknown wal record op")),
+            }
+        }
+        let file = File::options()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(&path)?;
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            sync_dir(parent)?;
+        }
+        Ok(CampaignWal {
+            path,
+            file,
+            offset: scan.valid_len,
+            fsync,
+            identity,
+            nodes,
+            stopped,
+            recovered_truncation: scan.torn,
+        })
+    }
+
+    /// Path of the underlying log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// `(node, average)` pairs durably recorded so far, in order.
+    pub fn recorded(&self) -> &[(usize, f64)] {
+        &self.nodes
+    }
+
+    /// Whether the last open truncated a torn tail.
+    pub fn recovered_truncation(&self) -> bool {
+        self.recovered_truncation
+    }
+
+    fn append(&mut self, payload: &[u8]) -> Result<(), TelemetryError> {
+        let len =
+            append_record(&mut self.file, self.offset, payload, self.fsync).map_err(journal_err)?;
+        self.offset += len;
+        Ok(())
+    }
+}
+
+impl CampaignJournal for CampaignWal {
+    fn resume(
+        &mut self,
+        fingerprint: u64,
+        population: u64,
+    ) -> power_telemetry::Result<JournalReplay> {
+        match self.identity {
+            None => {
+                let mut payload = Vec::with_capacity(17);
+                payload.push(OP_START);
+                payload.extend_from_slice(&fingerprint.to_le_bytes());
+                payload.extend_from_slice(&population.to_le_bytes());
+                self.append(&payload)?;
+                self.identity = Some((fingerprint, population));
+                Ok(JournalReplay::default())
+            }
+            Some((f, p)) if f == fingerprint && p == population => Ok(JournalReplay {
+                nodes: self.nodes.clone(),
+                stopped: self.stopped,
+            }),
+            Some((f, p)) => Err(TelemetryError::Journal(format!(
+                "wal at {} belongs to campaign {f:#018x}/{p} nodes, \
+                 not {fingerprint:#018x}/{population} nodes",
+                self.path.display()
+            ))),
+        }
+    }
+
+    fn record_node(&mut self, node: usize, average: f64) -> power_telemetry::Result<()> {
+        let mut payload = Vec::with_capacity(17);
+        payload.push(OP_NODE);
+        payload.extend_from_slice(&(node as u64).to_le_bytes());
+        payload.extend_from_slice(&average.to_bits().to_le_bytes());
+        self.append(&payload)?;
+        self.nodes.push((node, average));
+        Ok(())
+    }
+
+    fn record_stop(&mut self) -> power_telemetry::Result<()> {
+        self.append(&[OP_STOP])?;
+        self.stopped = true;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use power_sim::{Cluster, SimulationConfig, Simulator, SystemPreset};
+    use power_telemetry::{run_live_campaign_journaled, LiveCampaignConfig};
+    use power_workload::{Firestarter, LoadBalance, RunPhases};
+    use std::io::{Seek, SeekFrom, Write};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("power-archive-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn wal_records_survive_reopen() {
+        let dir = tmpdir("reopen");
+        let path = dir.join("campaign.wal");
+        {
+            let mut wal = CampaignWal::open(&path).unwrap();
+            let replay = wal.resume(42, 16).unwrap();
+            assert_eq!(replay, JournalReplay::default());
+            wal.record_node(5, 351.25).unwrap();
+            wal.record_node(11, 349.0625).unwrap();
+            wal.record_stop().unwrap();
+        }
+        let mut wal = CampaignWal::open(&path).unwrap();
+        assert!(!wal.recovered_truncation());
+        let replay = wal.resume(42, 16).unwrap();
+        assert_eq!(replay.nodes, vec![(5, 351.25), (11, 349.0625)]);
+        assert!(replay.stopped);
+        // A different campaign identity is refused.
+        let err = wal.resume(43, 16).unwrap_err();
+        assert!(matches!(err, TelemetryError::Journal(_)), "{err}");
+        let err = wal.resume(42, 17).unwrap_err();
+        assert!(matches!(err, TelemetryError::Journal(_)), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let dir = tmpdir("torn");
+        let path = dir.join("campaign.wal");
+        {
+            let mut wal = CampaignWal::open(&path).unwrap();
+            wal.resume(7, 8).unwrap();
+            wal.record_node(3, 310.5).unwrap();
+        }
+        // Simulate a torn append: the first half of a NodeDone frame.
+        let mut file = File::options().write(true).open(&path).unwrap();
+        file.seek(SeekFrom::End(0)).unwrap();
+        file.write_all(b"PAR1\x11\x00\x00").unwrap();
+        file.sync_data().unwrap();
+        drop(file);
+
+        let mut wal = CampaignWal::open(&path).unwrap();
+        assert!(wal.recovered_truncation());
+        let replay = wal.resume(7, 8).unwrap();
+        assert_eq!(replay.nodes, vec![(3, 310.5)]);
+        assert!(!replay.stopped);
+        // The truncated log accepts new appends and reopens clean.
+        wal.record_node(6, 299.75).unwrap();
+        drop(wal);
+        let wal = CampaignWal::open(&path).unwrap();
+        assert!(!wal.recovered_truncation());
+        assert_eq!(wal.recorded(), &[(3, 310.5), (6, 299.75)]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn foreign_file_is_rejected_not_truncated() {
+        let dir = tmpdir("foreign");
+        let path = dir.join("campaign.wal");
+        // CRC-valid records with a bogus op: someone else's log, not a
+        // torn write — refuse to open rather than destroy it.
+        let mut file = File::options()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(&path)
+            .unwrap();
+        append_record(&mut file, 0, &[0xEE, 1, 2, 3], true).unwrap();
+        drop(file);
+        let err = CampaignWal::open(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The acceptance property: a campaign interrupted after `k` nodes
+    /// and resumed from its WAL reports exactly what an uninterrupted
+    /// run reports.
+    #[test]
+    fn resumed_campaign_matches_uninterrupted() {
+        let preset = SystemPreset::trace_presets()
+            .into_iter()
+            .find(|p| p.name == "L-CSC")
+            .expect("L-CSC trace preset exists")
+            .with_total_nodes(24);
+        let cluster = Cluster::build(preset.cluster_spec).unwrap();
+        let phases = RunPhases::new(30.0, 300.0, 30.0).unwrap();
+        let wl = Firestarter::new(phases);
+        let mut sim_cfg = SimulationConfig::one_hertz(17);
+        sim_cfg.dt = 5.0;
+        let sim = Simulator::new(&cluster, &wl, LoadBalance::Balanced, sim_cfg).unwrap();
+        let cfg = LiveCampaignConfig {
+            lambda: 1e-6, // unreachable: meter the whole 12-node budget
+            max_nodes: 12,
+            ..LiveCampaignConfig::table5(0.02, 0.03, power_meter::MeterModel::ideal())
+        };
+
+        let dir = tmpdir("resume");
+        let full_path = dir.join("full.wal");
+        let mut full_wal = CampaignWal::open(&full_path).unwrap();
+        let baseline = run_live_campaign_journaled(&sim, &cfg, &mut full_wal).unwrap();
+        assert_eq!(baseline.resumed_nodes, 0);
+        assert_eq!(baseline.metered_nodes, 12);
+
+        // Rebuild a WAL holding only the first k NodeDone records — the
+        // on-disk state after a crash k nodes in.
+        let k = 5;
+        let scan = scan_records(&full_path).unwrap();
+        let cut_path = dir.join("cut.wal");
+        let mut cut = File::options()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(&cut_path)
+            .unwrap();
+        let mut offset = 0u64;
+        for (_, payload) in scan.records.iter().take(1 + k) {
+            offset += append_record(&mut cut, offset, payload, false).unwrap();
+        }
+        cut.sync_data().unwrap();
+        drop(cut);
+
+        let mut cut_wal = CampaignWal::open(&cut_path).unwrap();
+        assert_eq!(cut_wal.recorded().len(), k);
+        let resumed = run_live_campaign_journaled(&sim, &cfg, &mut cut_wal).unwrap();
+        assert_eq!(resumed.resumed_nodes, k as u64);
+        assert_eq!(resumed.metered_nodes, baseline.metered_nodes);
+        assert_eq!(resumed.stopped_at, baseline.stopped_at);
+        assert_eq!(resumed.mean_node_w, baseline.mean_node_w);
+        assert_eq!(resumed.relative_accuracy, baseline.relative_accuracy);
+        // Both WALs now hold identical (node, average) sequences.
+        assert_eq!(cut_wal.recorded(), full_wal.recorded());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,103 @@
+//! Codec properties: any finite series — constant, monotone,
+//! adversarial alternating-sign deltas, or noisy — encodes and decodes
+//! bit-exactly under the quantization contract, the stored summary is
+//! bitwise identical to one recomputed from the quantized values, and
+//! any single corrupted byte is detected rather than decoded.
+
+use power_archive::{decode_block, encode_block, peek_summary, quantize, DEFAULT_QUANTUM};
+use proptest::prelude::*;
+
+/// Build one of the four series shapes from generated parameters.
+fn series(mode: u8, len: usize, base: f64, step: f64, noise: &[f64]) -> Vec<f64> {
+    (0..len)
+        .map(|i| match mode {
+            0 => base,
+            1 => base + step * i as f64,
+            // Worst case for delta coding: the sign of every power
+            // delta flips, so zigzag sees a large value each sample.
+            2 => {
+                base + if i % 2 == 0 {
+                    step * 997.0
+                } else {
+                    -step * 997.0
+                }
+            }
+            _ => base + noise[i % noise.len()],
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn any_finite_series_round_trips_bit_exactly(
+        mode in 0u8..4,
+        len in 1usize..400,
+        base in -400_000.0..400_000.0f64,
+        step in -250.0..250.0f64,
+        noise in prop::collection::vec(-50_000.0..50_000.0f64, 1..64),
+        t0 in -1_000_000_000i64..1_000_000_000i64,
+        dt in -5_000_000i64..5_000_000i64,
+        jitter in prop::collection::vec(-1_000i64..1_000i64, 1..64),
+    ) {
+        let watts = series(mode, len, base, step, &noise);
+        let timestamps: Vec<i64> = (0..len)
+            .map(|i| t0 + dt * i as i64 + jitter[i % jitter.len()])
+            .collect();
+        let blob = encode_block(&timestamps, &watts, DEFAULT_QUANTUM).expect("finite series encodes");
+        let decoded = decode_block(&blob).expect("own output decodes");
+
+        // Timestamps are lossless; watts land exactly on the
+        // quantization image, which is itself a fixed point.
+        prop_assert_eq!(&decoded.timestamps_us, &timestamps);
+        prop_assert_eq!(decoded.watts.len(), watts.len());
+        for (&got, &w) in decoded.watts.iter().zip(&watts) {
+            let q = quantize(w, DEFAULT_QUANTUM);
+            prop_assert_eq!(got.to_bits(), q.to_bits());
+            prop_assert_eq!(quantize(q, DEFAULT_QUANTUM).to_bits(), q.to_bits());
+            prop_assert!((q - w).abs() <= DEFAULT_QUANTUM);
+        }
+
+        // The stored summary matches a recomputation from the
+        // quantized values, bit for bit (sum in sequential order).
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0f64;
+        for &q in &decoded.watts {
+            min = min.min(q);
+            max = max.max(q);
+            sum += q;
+        }
+        let s = decoded.summary;
+        prop_assert_eq!(s.count as usize, len);
+        prop_assert_eq!(s.quantum.to_bits(), DEFAULT_QUANTUM.to_bits());
+        prop_assert_eq!(s.t_first_us, timestamps[0]);
+        prop_assert_eq!(s.t_last_us, timestamps[len - 1]);
+        prop_assert_eq!(s.min_watts.to_bits(), min.to_bits());
+        prop_assert_eq!(s.max_watts.to_bits(), max.to_bits());
+        prop_assert_eq!(s.sum_watts.to_bits(), sum.to_bits());
+
+        // The header-only fast path agrees with the full decode.
+        prop_assert_eq!(peek_summary(&blob).expect("peek"), s);
+    }
+
+    #[test]
+    fn any_single_corrupted_byte_is_detected(
+        len in 1usize..128,
+        base in 0.0..10_000.0f64,
+        step in -10.0..10.0f64,
+        at_fraction in 0.0..1.0f64,
+        mask in 1u8..=255,
+    ) {
+        let watts: Vec<f64> = (0..len).map(|i| base + step * i as f64).collect();
+        let timestamps: Vec<i64> = (0..len as i64).map(|i| i * 1_000_000).collect();
+        let mut blob = encode_block(&timestamps, &watts, DEFAULT_QUANTUM).expect("encodes");
+        let at = ((at_fraction * blob.len() as f64) as usize).min(blob.len() - 1);
+        blob[at] ^= mask;
+        prop_assert!(
+            decode_block(&blob).is_err(),
+            "flipping byte {} with mask {:#x} went undetected", at, mask
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Storage-layer benchmarks with enforced budgets, on a ~1M-sample
+//! archive of simulated HPL node traces (16 nodes x 65536 one-second
+//! samples):
+//!
+//! * **compression**: the encoded archive must be at least 4x smaller
+//!   than raw `(timestamp, watts)` f64 pairs;
+//! * **scan**: sequentially reading and decoding every block (checksum
+//!   verification included) must sustain at least 100 MB/s of decoded
+//!   logical data;
+//! * **recovery**: a cold `Archive::open` of the full archive — which
+//!   replays the manifest and verifies every committed record's CRC —
+//!   must finish in under one second.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use power_archive::{decode_block, encode_block, Archive, ArchiveConfig, DEFAULT_QUANTUM};
+use power_sim::{Cluster, ProductRequest, SimulationConfig, Simulator, SystemPreset};
+use power_workload::{Firestarter, LoadBalance, RunPhases};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const NODES: usize = 16;
+const BLOCK_SAMPLES: usize = 8192;
+/// Raw cost of one sample: an f64 timestamp and an f64 power reading.
+const RAW_BYTES_PER_SAMPLE: usize = 16;
+
+/// Simulated HPL traces: ramp up, long core plateau, ramp down, with
+/// the engine's per-node and machine-wide noise — 65536 one-second
+/// samples per node so 16 nodes give a ~1M-sample archive.
+fn hpl_traces() -> Vec<Vec<f64>> {
+    let preset = SystemPreset::trace_presets()
+        .into_iter()
+        .find(|p| p.name == "L-CSC")
+        .expect("L-CSC trace preset exists")
+        .with_total_nodes(NODES);
+    let cluster = Cluster::build(preset.cluster_spec).expect("cluster");
+    let phases = RunPhases::new(600.0, 64_336.0, 600.0).expect("phases");
+    let wl = Firestarter::new(phases);
+    let cfg = SimulationConfig::one_hertz(2015);
+    let sim = Simulator::new(&cluster, &wl, LoadBalance::Balanced, cfg).expect("simulator");
+    let all: Vec<usize> = (0..NODES).collect();
+    let products = sim
+        .run_products(&ProductRequest::subset_only(&all))
+        .expect("subset sweep");
+    let trace = products
+        .subset_trace(power_sim::engine::MeterScope::Wall)
+        .expect("wall subset trace");
+    trace.samples.clone()
+}
+
+/// Chunk one node's series into encoded blocks on the 1 Hz grid.
+fn encode_node(node: usize, watts: &[f64]) -> Vec<Vec<u8>> {
+    let mut blobs = Vec::new();
+    for (chunk_idx, chunk) in watts.chunks(BLOCK_SAMPLES).enumerate() {
+        let t0 = (node * watts.len() + chunk_idx * BLOCK_SAMPLES) as i64;
+        let timestamps: Vec<i64> = (0..chunk.len())
+            .map(|i| (t0 + i as i64) * 1_000_000)
+            .collect();
+        blobs.push(encode_block(&timestamps, chunk, DEFAULT_QUANTUM).expect("encode"));
+    }
+    blobs
+}
+
+fn bench_archive(c: &mut Criterion) {
+    let traces = hpl_traces();
+    let total_samples: usize = traces.iter().map(Vec::len).sum();
+    assert!(
+        total_samples >= 1_000_000,
+        "the workload must produce a ~1M-sample archive, got {total_samples}"
+    );
+    let raw_bytes = total_samples * RAW_BYTES_PER_SAMPLE;
+
+    // Build the on-disk archive once: one entry per (node, block).
+    let dir = std::env::temp_dir().join(format!("power-bench-archive-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ArchiveConfig {
+        fsync: false, // measured budgets are read-side; see scan/open
+        ..ArchiveConfig::default()
+    };
+    let archive = Archive::open_with(&dir, config).expect("open archive");
+    let mut encoded_bytes = 0usize;
+    for (node, watts) in traces.iter().enumerate() {
+        for (chunk_idx, blob) in encode_node(node, watts).into_iter().enumerate() {
+            encoded_bytes += blob.len();
+            archive
+                .put(node as u64, chunk_idx as u64, 0, &blob)
+                .expect("put block");
+        }
+    }
+    let entries = archive.entries();
+    drop(archive);
+    let ratio = raw_bytes as f64 / encoded_bytes as f64;
+
+    let mut best_scan_mbps = 0.0f64;
+    let mut best_open = Duration::MAX;
+    let mut group = c.benchmark_group("archive");
+    group.sample_size(3);
+
+    group.bench_function(BenchmarkId::new("encode", "hpl_node"), |b| {
+        b.iter(|| black_box(encode_node(0, &traces[0]).len()))
+    });
+
+    // Sequential scan: read + checksum-verify + decode every block.
+    let scan_archive = Archive::open_with(&dir, config).expect("reopen for scan");
+    group.bench_function(BenchmarkId::new("scan", "1M_samples"), |b| {
+        b.iter(|| {
+            let started = Instant::now();
+            let mut samples = 0usize;
+            for entry in &entries {
+                let blob = scan_archive
+                    .get(entry.key, entry.fingerprint)
+                    .expect("read block")
+                    .expect("block exists");
+                let decoded = decode_block(&blob).expect("decode block");
+                samples += decoded.watts.len();
+            }
+            assert_eq!(samples, total_samples, "scan covered every sample");
+            let logical_mb = (samples * RAW_BYTES_PER_SAMPLE) as f64 / 1e6;
+            best_scan_mbps = best_scan_mbps.max(logical_mb / started.elapsed().as_secs_f64());
+            black_box(samples)
+        })
+    });
+    drop(scan_archive);
+
+    // Cold-start recovery: manifest replay + CRC verification of every
+    // committed record.
+    group.bench_function(BenchmarkId::new("open", "1M_samples"), |b| {
+        b.iter(|| {
+            let started = Instant::now();
+            let reopened = Archive::open_with(&dir, config).expect("cold open");
+            best_open = best_open.min(started.elapsed());
+            black_box(reopened.len())
+        })
+    });
+    group.finish();
+
+    println!(
+        "archive: {total_samples} samples, {encoded_bytes} bytes encoded ({ratio:.2}x vs raw), \
+         scan {best_scan_mbps:.0} MB/s, cold open {:.1} ms",
+        best_open.as_secs_f64() * 1e3
+    );
+    assert!(
+        ratio >= 4.0,
+        "HPL trace compression must be >= 4x vs raw f64 pairs, measured {ratio:.2}x"
+    );
+    assert!(
+        best_scan_mbps >= 100.0,
+        "sequential scan must sustain >= 100 MB/s decoded, measured {best_scan_mbps:.0} MB/s"
+    );
+    assert!(
+        best_open < Duration::from_secs(1),
+        "cold-start recovery of a 1M-sample archive must finish under 1 s, took {best_open:?}"
+    );
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+criterion_group!(benches, bench_archive);
+criterion_main!(benches);

@@ -6,7 +6,13 @@
 //! node count. Part 2 runs an empirical-CV campaign with PDU-grade
 //! meters, bounded arrival jitter, and two injected meter faults, and
 //! prints the full live report the operator would act on.
+//!
+//! `--store-dir DIR` makes Part 2 durable: every finalized per-node
+//! average is appended to a write-ahead log under `DIR` before the
+//! campaign moves on, and a rerun over the same directory resumes at
+//! the watermark instead of re-metering recorded nodes.
 
+use power_archive::CampaignWal;
 use power_meter::{MeterFault, MeterModel};
 use power_repro::RunScale;
 use power_sim::cluster::Cluster;
@@ -14,11 +20,31 @@ use power_sim::engine::{SimulationConfig, Simulator};
 use power_sim::systems;
 use power_stats::SampleSizePlan;
 use power_telemetry::{
-    run_live_campaign, AnomalyKind, CvAssumption, DetectorConfig, LiveCampaignConfig,
+    run_live_campaign, run_live_campaign_journaled, AnomalyKind, CvAssumption, DetectorConfig,
+    LiveCampaignConfig,
 };
+use std::path::PathBuf;
 
 fn main() {
-    let scale = RunScale::from_args(std::env::args().skip(1));
+    // Split our own `--store-dir DIR` off before handing the rest to
+    // the shared scale parser.
+    let mut store_dir: Option<PathBuf> = None;
+    let mut rest = Vec::new();
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        if arg == "--store-dir" {
+            match argv.next() {
+                Some(dir) => store_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("live_campaign: --store-dir needs a value");
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            rest.push(arg);
+        }
+    }
+    let scale = RunScale::from_args(rest);
     let preset = systems::calcul_quebec();
     let nodes = scale.clamp_nodes(preset.cluster_spec.total_nodes);
     let preset = preset.with_total_nodes(nodes);
@@ -87,7 +113,21 @@ fn main() {
         (order[2], MeterFault::Drift { rate_per_hour: 0.2 }),
         (order[4], MeterFault::StuckAfter { after_s: 600.0 }),
     ];
-    let report = run_live_campaign(&sim, &cfg).expect("campaign");
+    let report = match &store_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir).expect("create store dir");
+            let mut wal = CampaignWal::open(dir.join("live_campaign.wal")).expect("campaign wal");
+            let report = run_live_campaign_journaled(&sim, &cfg, &mut wal).expect("campaign");
+            println!(
+                "  durable: {} of {} nodes resumed from {}",
+                report.resumed_nodes,
+                report.metered_nodes,
+                wal.path().display(),
+            );
+            report
+        }
+        None => run_live_campaign(&sim, &cfg).expect("campaign"),
+    };
     println!(
         "  metered {} of {} nodes (stopping rule fired at {})",
         report.metered_nodes,

@@ -7,18 +7,26 @@
 //! cargo run --release --bin serve -- --addr 127.0.0.1:8980
 //! ```
 //!
+//! `--store-dir DIR` attaches the crash-safe on-disk sweep archive: the
+//! trace store gains a disk tier under `DIR`, sweeps survive restarts,
+//! and startup warms the memory tier from whatever the archive holds.
+//!
 //! `--smoke` runs the CI exercise instead: bind an ephemeral loopback
 //! port, hit every endpoint once, serve a multi-request keep-alive
 //! session on a single connection (at least 8 sequential requests),
 //! force a saturation `503`, check both sides of the admission ledger
 //! under cold and keep-alive load, and shut down cleanly. Exit status
-//! is nonzero on any failure.
+//! is nonzero on any failure. With `--store-dir`, the smoke also checks
+//! the persistence tier: a cold directory must absorb archive writes,
+//! and a second smoke over the same directory must start warm and serve
+//! every sweep without recomputing.
 
 use power_serve::loadgen::{self, LoadPlan, PooledClient};
 use power_serve::server::{Server, ServerConfig};
 use power_serve::state::{ServeConfig, ServeState};
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -30,6 +38,7 @@ struct Args {
     store_capacity: usize,
     idle_timeout_ms: u64,
     max_per_conn: u64,
+    store_dir: Option<PathBuf>,
     smoke: bool,
 }
 
@@ -41,6 +50,7 @@ fn parse_args() -> Result<Args, String> {
         store_capacity: 256,
         idle_timeout_ms: 2000,
         max_per_conn: 1024,
+        store_dir: None,
         smoke: false,
     };
     let mut it = std::env::args().skip(1);
@@ -73,6 +83,7 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--max-per-conn must be an integer".to_string())?
             }
+            "--store-dir" => args.store_dir = Some(PathBuf::from(value("--store-dir")?)),
             "--smoke" => args.smoke = true,
             other => return Err(format!("unknown flag {other}")),
         }
@@ -86,19 +97,33 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("serve: {msg}");
             eprintln!(
-                "usage: serve [--addr HOST:PORT] [--workers N] [--queue N] [--capacity N] [--idle-ms N] [--max-per-conn N] [--smoke]"
+                "usage: serve [--addr HOST:PORT] [--workers N] [--queue N] [--capacity N] [--idle-ms N] [--max-per-conn N] [--store-dir DIR] [--smoke]"
             );
             return ExitCode::FAILURE;
         }
     };
     if args.smoke {
-        return smoke();
+        return smoke(args.store_dir);
     }
 
-    let state = Arc::new(ServeState::new(ServeConfig {
+    let state = match ServeState::try_new(ServeConfig {
         store_capacity: Some(args.store_capacity),
+        store_dir: args.store_dir.clone(),
         ..ServeConfig::default()
-    }));
+    }) {
+        Ok(state) => Arc::new(state),
+        Err(err) => {
+            eprintln!("serve: cannot open sweep archive: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(dir) = &args.store_dir {
+        println!(
+            "sweep archive at {} ({} sweeps warmed into memory)",
+            dir.display(),
+            state.warmed
+        );
+    }
     let server = match Server::start(
         ServerConfig {
             addr: args.addr.clone(),
@@ -130,8 +155,28 @@ fn main() -> ExitCode {
 
 /// The CI smoke: every endpoint answers, saturation rejects with `503`
 /// and `Retry-After`, both admission ledgers agree, shutdown drains.
-fn smoke() -> ExitCode {
+/// With a store directory, also asserts the persistence tier: cold
+/// directories absorb archive writes; pre-populated ones start warm and
+/// serve without recomputing.
+fn smoke(store_dir: Option<PathBuf>) -> ExitCode {
     let timeout = Duration::from_secs(10);
+    // A directory that already holds a manifest was written by a
+    // previous smoke: this run must start warm.
+    let expect_warm = store_dir
+        .as_ref()
+        .is_some_and(|d| d.join("MANIFEST.log").exists());
+    let state = match ServeState::try_new(ServeConfig {
+        max_nodes: 64,
+        store_dir: store_dir.clone(),
+        warm_on_start: true,
+        ..ServeConfig::default()
+    }) {
+        Ok(state) => Arc::new(state),
+        Err(err) => {
+            eprintln!("smoke: cannot open sweep archive: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
     // One worker and a one-slot queue make saturation deterministic.
     let server = match Server::start(
         ServerConfig {
@@ -141,10 +186,7 @@ fn smoke() -> ExitCode {
             read_timeout: Duration::from_secs(20),
             ..ServerConfig::default()
         },
-        Arc::new(ServeState::new(ServeConfig {
-            max_nodes: 64,
-            ..ServeConfig::default()
-        })),
+        Arc::clone(&state),
     ) {
         Ok(server) => server,
         Err(err) => {
@@ -311,6 +353,39 @@ fn smoke() -> ExitCode {
     let served = server.state().metrics.connection_requests_sum();
     let closed = server.state().metrics.connections_closed();
     println!("smoke: {served} requests served over {closed} closed connections");
+
+    if let Some(dir) = &store_dir {
+        let stats = state.store.stats();
+        if expect_warm {
+            if state.warmed == 0 || stats.misses != 0 {
+                eprintln!(
+                    "smoke: expected a warm start from {} (warmed {}, misses {})",
+                    dir.display(),
+                    state.warmed,
+                    stats.misses
+                );
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "smoke: warm cache — {} sweeps preloaded from {}, 0 recomputes",
+                state.warmed,
+                dir.display()
+            );
+        } else {
+            if stats.archive_writes == 0 || stats.misses == 0 {
+                eprintln!(
+                    "smoke: cold archive at {} absorbed no writes ({stats})",
+                    dir.display()
+                );
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "smoke: cold store — {} sweeps archived to {}",
+                stats.archive_writes,
+                dir.display()
+            );
+        }
+    }
 
     server.shutdown();
     if loadgen::http_request(

@@ -40,7 +40,7 @@ pub mod state;
 pub use http::{HttpError, HttpLimits, Request, RequestBuffer, Response};
 pub use json::Json;
 pub use loadgen::{LoadPlan, LoadReport, PooledClient, PooledResponse};
-pub use metrics::{AdmissionStats, Endpoint, Metrics};
+pub use metrics::{AdmissionStats, ArchiveGauges, Endpoint, Metrics};
 pub use router::route;
 pub use server::{Server, ServerConfig};
 pub use state::{ServeConfig, ServeState};

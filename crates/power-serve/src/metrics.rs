@@ -131,6 +131,21 @@ impl AdmissionStats {
     }
 }
 
+/// Gauges describing the on-disk archive tier, when one is attached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ArchiveGauges {
+    /// Live sweeps in the archive.
+    pub entries: u64,
+    /// Segment files on disk.
+    pub segments: u64,
+    /// Bytes of live (referenced) records.
+    pub live_bytes: u64,
+    /// Bytes of superseded records awaiting compaction.
+    pub dead_bytes: u64,
+    /// Sweeps loaded into the memory tier at startup.
+    pub warmed: u64,
+}
+
 /// The server's metrics registry.
 pub struct Metrics {
     endpoints: [EndpointSlot; 7],
@@ -250,8 +265,9 @@ impl Metrics {
     }
 
     /// Renders the Prometheus text exposition, folding in the trace
-    /// store's cache counters.
-    pub fn render_prometheus(&self, stats: CacheStats) -> String {
+    /// store's cache counters and, when a disk tier is attached, the
+    /// archive gauges.
+    pub fn render_prometheus(&self, stats: CacheStats, archive: Option<ArchiveGauges>) -> String {
         let mut out = String::with_capacity(4096);
 
         out.push_str("# TYPE power_serve_requests_total counter\n");
@@ -293,6 +309,8 @@ impl Metrics {
             ("misses", stats.misses),
             ("coalesced", stats.coalesced),
             ("evictions", stats.evictions),
+            ("archive_hits", stats.archive_hits),
+            ("archive_writes", stats.archive_writes),
         ] {
             out.push_str(&format!(
                 "power_serve_store_total{{outcome=\"{outcome}\"}} {value}\n"
@@ -300,6 +318,27 @@ impl Metrics {
         }
         out.push_str("# TYPE power_serve_store_entries gauge\n");
         out.push_str(&format!("power_serve_store_entries {}\n", stats.entries));
+
+        if let Some(gauges) = archive {
+            out.push_str("# TYPE power_serve_archive_entries gauge\n");
+            out.push_str(&format!("power_serve_archive_entries {}\n", gauges.entries));
+            out.push_str("# TYPE power_serve_archive_segments gauge\n");
+            out.push_str(&format!(
+                "power_serve_archive_segments {}\n",
+                gauges.segments
+            ));
+            out.push_str("# TYPE power_serve_archive_bytes gauge\n");
+            out.push_str(&format!(
+                "power_serve_archive_bytes{{kind=\"live\"}} {}\n",
+                gauges.live_bytes
+            ));
+            out.push_str(&format!(
+                "power_serve_archive_bytes{{kind=\"dead\"}} {}\n",
+                gauges.dead_bytes
+            ));
+            out.push_str("# TYPE power_serve_archive_warmed gauge\n");
+            out.push_str(&format!("power_serve_archive_warmed {}\n", gauges.warmed));
+        }
 
         out.push_str("# TYPE power_serve_latency_us histogram\n");
         for ep in Endpoint::ALL {
@@ -386,18 +425,36 @@ mod tests {
         assert!(admission.conserved());
         assert_eq!(admission.offered, 2);
 
-        let page = m.render_prometheus(CacheStats {
-            hits: 5,
-            derived: 1,
-            misses: 2,
-            coalesced: 3,
-            evictions: 0,
-            entries: 2,
-        });
+        let page = m.render_prometheus(
+            CacheStats {
+                hits: 5,
+                derived: 1,
+                misses: 2,
+                coalesced: 3,
+                evictions: 0,
+                archive_hits: 4,
+                archive_writes: 2,
+                entries: 2,
+            },
+            Some(ArchiveGauges {
+                entries: 2,
+                segments: 1,
+                live_bytes: 4096,
+                dead_bytes: 512,
+                warmed: 2,
+            }),
+        );
         assert!(page.contains("power_serve_requests_total{endpoint=\"measure\"} 2"));
         assert!(page.contains("power_serve_errors_total{endpoint=\"measure\"} 1"));
         assert!(page.contains("power_serve_admission_total{outcome=\"offered\"} 2"));
         assert!(page.contains("power_serve_store_total{outcome=\"coalesced\"} 3"));
+        assert!(page.contains("power_serve_store_total{outcome=\"archive_hits\"} 4"));
+        assert!(page.contains("power_serve_store_total{outcome=\"archive_writes\"} 2"));
+        assert!(page.contains("power_serve_archive_entries 2"));
+        assert!(page.contains("power_serve_archive_segments 1"));
+        assert!(page.contains("power_serve_archive_bytes{kind=\"live\"} 4096"));
+        assert!(page.contains("power_serve_archive_bytes{kind=\"dead\"} 512"));
+        assert!(page.contains("power_serve_archive_warmed 2"));
         assert!(page.contains("power_serve_latency_us_count{endpoint=\"measure\"} 2"));
         assert!(page.contains("le=\"+Inf\"} 2"));
     }
@@ -412,7 +469,7 @@ mod tests {
         // interior buckets between them.
         m.record(Endpoint::Measure, 200, Duration::from_micros(10));
         m.record(Endpoint::Measure, 200, Duration::from_secs(10));
-        let page = m.render_prometheus(CacheStats::default());
+        let page = m.render_prometheus(CacheStats::default(), None);
 
         let prefix = "power_serve_latency_us_bucket{endpoint=\"measure\",le=\"";
         let mut rungs = 0;
@@ -439,7 +496,7 @@ mod tests {
         m.connection_closed(0);
         assert_eq!(m.connections_closed(), 2);
         assert_eq!(m.connection_requests_sum(), 9);
-        let page = m.render_prometheus(CacheStats::default());
+        let page = m.render_prometheus(CacheStats::default(), None);
         assert!(page.contains("power_serve_connections_closed_total 2"));
         assert!(page.contains("power_serve_connection_requests_count 2"));
         assert!(page.contains("power_serve_connection_requests_sum 9"));
@@ -454,7 +511,7 @@ mod tests {
     fn latency_overflow_clamps_into_top_bucket() {
         let m = Metrics::new();
         m.record(Endpoint::Systems, 200, Duration::from_secs(10));
-        let page = m.render_prometheus(CacheStats::default());
+        let page = m.render_prometheus(CacheStats::default(), None);
         assert!(page.contains("power_serve_latency_us_count{endpoint=\"systems\"} 1"));
         assert!(page.contains("power_serve_latency_us_sum{endpoint=\"systems\"} 10000000"));
     }

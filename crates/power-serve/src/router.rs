@@ -74,7 +74,22 @@ fn healthz(state: &ServeState) -> Response {
 }
 
 fn metrics(state: &ServeState) -> Response {
-    Response::text(200, state.metrics.render_prometheus(state.store.stats()))
+    let archive = state.archive.as_ref().map(|products| {
+        let stats = products.stats();
+        crate::metrics::ArchiveGauges {
+            entries: stats.entries,
+            segments: stats.segments,
+            live_bytes: stats.live_bytes,
+            dead_bytes: stats.dead_bytes,
+            warmed: state.warmed as u64,
+        }
+    });
+    Response::text(
+        200,
+        state
+            .metrics
+            .render_prometheus(state.store.stats(), archive),
+    )
 }
 
 fn systems(state: &ServeState) -> Response {

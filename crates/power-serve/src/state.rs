@@ -6,14 +6,23 @@
 //! catalog and configuration are immutable after construction, so
 //! handlers never contend except on the caches they are supposed to
 //! share.
+//!
+//! With [`ServeConfig::store_dir`] set, the trace store gains a disk
+//! tier: a crash-safe `power-archive` store that survives restarts, so a
+//! sweep computed by one server process is served from disk — not
+//! recomputed — by the next.
 
 use crate::metrics::Metrics;
-use power_sim::store::TraceStore;
+use power_archive::{Archive, ProductsArchive};
+use power_sim::store::{ArchiveTier, TraceStore};
 use power_sim::systems::SystemPreset;
+use std::io;
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Resource and simulation-shape limits for the service.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// LRU cap on cached sweeps (entries). `None` disables the bound.
     pub store_capacity: Option<usize>,
@@ -31,6 +40,12 @@ pub struct ServeConfig {
     pub noise_sigma: f64,
     /// Machine-wide relative noise sigma for served simulations.
     pub common_noise_sigma: f64,
+    /// Directory for the on-disk sweep archive. `None` keeps the store
+    /// memory-only (sweeps die with the process).
+    pub store_dir: Option<PathBuf>,
+    /// Pre-populate the memory tier from the archive at startup instead
+    /// of faulting sweeps in lazily on first request.
+    pub warm_on_start: bool,
 }
 
 impl Default for ServeConfig {
@@ -42,6 +57,8 @@ impl Default for ServeConfig {
             sim_threads: 2,
             noise_sigma: 0.01,
             common_noise_sigma: 0.004,
+            store_dir: None,
+            warm_on_start: true,
         }
     }
 }
@@ -54,6 +71,10 @@ pub struct ServeState {
     pub catalog: Vec<SystemPreset>,
     /// The sweep cache all simulation-backed endpoints share.
     pub store: TraceStore,
+    /// The disk tier beneath [`ServeState::store`], when configured.
+    pub archive: Option<Arc<ProductsArchive>>,
+    /// Sweeps loaded from the archive into the memory tier at startup.
+    pub warmed: usize,
     /// Request metrics.
     pub metrics: Metrics,
     /// Server start time, for `/healthz` uptime.
@@ -63,21 +84,43 @@ pub struct ServeState {
 impl ServeState {
     /// Builds the state: the full preset catalog (the four Figure 1 /
     /// Table 2 trace systems plus the six Table 3/4 variability systems)
-    /// and a trace store bounded per `config`.
-    pub fn new(config: ServeConfig) -> Self {
+    /// and a trace store bounded per `config`. With
+    /// [`ServeConfig::store_dir`] set, opens (or creates) the on-disk
+    /// archive there — recovering from any interrupted writes — and
+    /// attaches it as the store's disk tier.
+    pub fn try_new(config: ServeConfig) -> io::Result<Self> {
         let mut catalog = SystemPreset::trace_presets();
         catalog.extend(SystemPreset::variability_presets());
-        let store = match config.store_capacity {
+        let mut store = match config.store_capacity {
             Some(cap) => TraceStore::bounded(cap),
             None => TraceStore::new(),
         };
-        ServeState {
+        let mut archive = None;
+        let mut warmed = 0;
+        if let Some(dir) = &config.store_dir {
+            let products = Arc::new(ProductsArchive::new(Archive::open(dir)?));
+            store = store.with_archive(Arc::clone(&products) as Arc<dyn ArchiveTier>);
+            if config.warm_on_start {
+                warmed = store.warm_from_archive();
+            }
+            archive = Some(products);
+        }
+        Ok(ServeState {
             config,
             catalog,
             store,
+            archive,
+            warmed,
             metrics: Metrics::new(),
             started: Instant::now(),
-        }
+        })
+    }
+
+    /// [`ServeState::try_new`] for configurations without a disk tier,
+    /// which cannot fail. Panics if `store_dir` is set and unopenable —
+    /// callers wiring an archive should use `try_new`.
+    pub fn new(config: ServeConfig) -> Self {
+        ServeState::try_new(config).expect("archive store failed to open")
     }
 
     /// Looks up a preset by name (ASCII case-insensitive).
@@ -117,5 +160,23 @@ mod tests {
             ..ServeConfig::default()
         });
         assert_eq!(unbounded.store.capacity(), None);
+    }
+
+    #[test]
+    fn store_dir_attaches_the_disk_tier() {
+        let dir = std::env::temp_dir().join(format!("power-serve-state-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let state = ServeState::try_new(ServeConfig {
+            store_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        assert!(state.store.has_archive());
+        assert_eq!(state.warmed, 0, "fresh archive has nothing to warm");
+        assert_eq!(state.archive.as_ref().unwrap().stats().entries, 0);
+        let plain = ServeState::default();
+        assert!(!plain.store.has_archive());
+        assert!(plain.archive.is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

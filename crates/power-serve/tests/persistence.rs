@@ -1,0 +1,156 @@
+//! Restart persistence: with `store_dir` configured, a sweep computed by
+//! one server process is served **from the on-disk archive** — not
+//! recomputed — by the next process, and a warm start pre-populates the
+//! memory tier so the first request is a pure memory hit.
+
+use power_serve::loadgen;
+use power_serve::server::{Server, ServerConfig};
+use power_serve::state::{ServeConfig, ServeState};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn state_with_store(dir: &Path, warm: bool) -> Arc<ServeState> {
+    Arc::new(
+        ServeState::try_new(ServeConfig {
+            max_nodes: 64,
+            store_dir: Some(dir.to_path_buf()),
+            warm_on_start: warm,
+            ..ServeConfig::default()
+        })
+        .expect("archive opens"),
+    )
+}
+
+fn start(state: Arc<ServeState>) -> Server {
+    Server::start(
+        ServerConfig {
+            workers: 2,
+            queue_depth: 16,
+            ..ServerConfig::default()
+        },
+        state,
+    )
+    .expect("bind loopback")
+}
+
+fn metric(page: &str, series: &str) -> u64 {
+    page.lines()
+        .find_map(|line| line.strip_prefix(series))
+        .and_then(|rest| rest.trim().parse().ok())
+        .unwrap_or_else(|| panic!("series {series} missing from:\n{page}"))
+}
+
+fn field(body: &str, name: &str) -> f64 {
+    let needle = format!("\"{name}\":");
+    let at = body
+        .find(&needle)
+        .unwrap_or_else(|| panic!("{name} missing from {body}"));
+    let rest = &body[at + needle.len()..];
+    let end = rest.find([',', '}']).expect("value terminator");
+    rest[..end].parse().expect("numeric field")
+}
+
+#[test]
+fn sweep_survives_restart_and_serves_from_archive() {
+    let dir = std::env::temp_dir().join(format!("power-serve-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let body =
+        r#"{"system": "L-CSC", "nodes": 16, "dt": 120, "seed": 3, "methodology": "revised"}"#;
+    let measure = loadgen::post_request("/v1/measure", body);
+
+    // Process 1: a cold store computes the sweep and writes it through
+    // to the archive.
+    let answer1;
+    {
+        let server = start(state_with_store(&dir, true));
+        let (status, text) =
+            loadgen::http_request(server.local_addr(), &measure, TIMEOUT).expect("measure");
+        assert_eq!(status, 200, "{text}");
+        answer1 = text;
+        let state = server.state();
+        assert_eq!(state.warmed, 0, "nothing to warm from a fresh archive");
+        assert_eq!(state.store.misses(), 1);
+        assert_eq!(state.store.archive_writes(), 1, "sweep written through");
+        let (status, page) = loadgen::http_request(
+            server.local_addr(),
+            &loadgen::get_request("/metrics"),
+            TIMEOUT,
+        )
+        .expect("metrics");
+        assert_eq!(status, 200);
+        assert_eq!(
+            metric(&page, "power_serve_store_total{outcome=\"archive_writes\"}"),
+            1
+        );
+        assert!(metric(&page, "power_serve_archive_entries") >= 1);
+        server.shutdown();
+    }
+
+    // Process 2: same directory, no warm-on-start — the identical
+    // request is served by the disk tier, with zero recomputation.
+    // Archived traces are quantized (~1 mW), so the answer agrees with
+    // the original to within quantization, not bitwise.
+    let answer2;
+    {
+        let server = start(state_with_store(&dir, false));
+        let (status, text) =
+            loadgen::http_request(server.local_addr(), &measure, TIMEOUT).expect("measure");
+        assert_eq!(status, 200, "{text}");
+        let live = field(&answer1, "reported_power_w");
+        let archived = field(&text, "reported_power_w");
+        assert!(
+            ((live - archived) / live).abs() < 1e-6,
+            "restart answer within quantization: {live} vs {archived}"
+        );
+        assert_eq!(field(&text, "metered_nodes"), 16.0, "{text}");
+        answer2 = text;
+        let state = server.state();
+        assert_eq!(state.store.misses(), 0, "no recompute after restart");
+        assert_eq!(state.store.archive_hits(), 1, "served from the archive");
+        let (status, page) = loadgen::http_request(
+            server.local_addr(),
+            &loadgen::get_request("/metrics"),
+            TIMEOUT,
+        )
+        .expect("metrics");
+        assert_eq!(status, 200);
+        assert_eq!(
+            metric(&page, "power_serve_store_total{outcome=\"archive_hits\"}"),
+            1
+        );
+        assert_eq!(metric(&page, "power_serve_archive_warmed"), 0);
+        server.shutdown();
+    }
+
+    // Process 3: warm start loads the sweep into the memory tier before
+    // the first request, which is then a pure memory hit.
+    {
+        let server = start(state_with_store(&dir, true));
+        let state = Arc::clone(server.state());
+        assert!(state.warmed >= 1, "archive warms the memory tier");
+        let (status, text) =
+            loadgen::http_request(server.local_addr(), &measure, TIMEOUT).expect("measure");
+        assert_eq!(status, 200, "{text}");
+        assert_eq!(
+            text, answer2,
+            "both archive-backed processes decode the same blob"
+        );
+        assert_eq!(state.store.misses(), 0);
+        assert_eq!(state.store.hits(), 1);
+        assert_eq!(state.store.archive_hits(), 0, "warmed, not faulted in");
+        let (status, page) = loadgen::http_request(
+            server.local_addr(),
+            &loadgen::get_request("/metrics"),
+            TIMEOUT,
+        )
+        .expect("metrics");
+        assert_eq!(status, 200);
+        assert!(metric(&page, "power_serve_archive_warmed") >= 1);
+        server.shutdown();
+    }
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

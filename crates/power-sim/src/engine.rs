@@ -322,6 +322,112 @@ impl RunProducts {
             subset,
         })
     }
+
+    /// Nodes in the swept machine — the population, not the subset size.
+    pub fn cluster_len(&self) -> usize {
+        self.cluster_len
+    }
+
+    /// True when the retained subset covers every node of the machine
+    /// (ids `0..cluster_len` in order) — the *full sweep* property that
+    /// lets [`RunProducts::try_derive`] answer arbitrary windows and
+    /// sub-subsets.
+    pub fn covers_machine(&self) -> bool {
+        self.full_retained_subset().is_some()
+    }
+
+    /// Deconstructs into raw [`ProductParts`], for external
+    /// serialization (e.g. the `power-archive` disk tier).
+    pub fn into_parts(self) -> ProductParts {
+        ProductParts {
+            request: self.request,
+            dt: self.dt,
+            steps: self.steps,
+            cluster_len: self.cluster_len,
+            system: self.system,
+            averages: self.averages,
+            subset: self.subset,
+        }
+    }
+
+    /// Rebuilds products from raw parts, validating the same shape
+    /// invariants a sweep guarantees: each requested product is present
+    /// (and unrequested ones absent), per-node averages cover the
+    /// machine, and a retained subset matches the requested node ids.
+    pub fn from_parts(parts: ProductParts) -> Result<RunProducts> {
+        let invalid = |reason: &'static str| SimError::InvalidConfig {
+            field: "ProductParts",
+            reason,
+        };
+        if parts.dt <= 0.0 || !parts.dt.is_finite() {
+            return Err(invalid("dt must be finite and positive"));
+        }
+        if parts.steps == 0 || parts.cluster_len == 0 {
+            return Err(invalid("steps and cluster_len must be non-zero"));
+        }
+        if parts.system.is_some() != parts.request.system {
+            return Err(invalid("system traces must match the request"));
+        }
+        if parts.averages.is_some() != parts.request.averages_window.is_some() {
+            return Err(invalid("averages must match the request"));
+        }
+        if parts.subset.is_some() != parts.request.subset.is_some() {
+            return Err(invalid("subset traces must match the request"));
+        }
+        if let Some(system) = &parts.system {
+            if system.iter().any(|t| t.watts.len() != parts.steps) {
+                return Err(invalid("system trace length must equal steps"));
+            }
+        }
+        if let Some(averages) = &parts.averages {
+            if averages.iter().any(|a| a.len() != parts.cluster_len) {
+                return Err(invalid("averages must cover every node"));
+            }
+        }
+        if let Some(subset) = &parts.subset {
+            let want_ids = parts.request.subset.as_ref().expect("checked above");
+            for trace in subset.iter() {
+                if &trace.node_ids != want_ids {
+                    return Err(invalid("subset node ids must match the request"));
+                }
+                if trace.samples.iter().any(|row| row.len() != parts.steps) {
+                    return Err(invalid("subset trace length must equal steps"));
+                }
+            }
+        }
+        Ok(RunProducts {
+            request: parts.request,
+            dt: parts.dt,
+            steps: parts.steps,
+            cluster_len: parts.cluster_len,
+            system: parts.system,
+            averages: parts.averages,
+            subset: parts.subset,
+        })
+    }
+}
+
+/// Raw constituents of a [`RunProducts`], produced by
+/// [`RunProducts::into_parts`] and consumed by
+/// [`RunProducts::from_parts`]. Exists so external crates can serialize
+/// products without this module giving up field privacy (and the
+/// invariants it protects).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProductParts {
+    /// The request the sweep answered.
+    pub request: ProductRequest,
+    /// Sample interval, seconds.
+    pub dt: f64,
+    /// Samples per trace.
+    pub steps: usize,
+    /// Nodes in the swept machine.
+    pub cluster_len: usize,
+    /// Whole-machine traces, `[Wall, Dc, ProcessorsOnly]`.
+    pub system: Option<[SystemTrace; 3]>,
+    /// Per-node window averages, `[Wall, Dc, ProcessorsOnly]`.
+    pub averages: Option<[Vec<f64>; 3]>,
+    /// Retained subset traces, `[Wall, Dc, ProcessorsOnly]`.
+    pub subset: Option<[NodeTrace; 3]>,
 }
 
 /// Per-worker accumulator for the sweep.

@@ -52,7 +52,7 @@ pub mod variability;
 pub mod vid;
 
 pub use cluster::{Cluster, ClusterSpec};
-pub use engine::{ProductRequest, RunProducts, SimulationConfig, Simulator};
+pub use engine::{ProductParts, ProductRequest, RunProducts, SimulationConfig, Simulator};
 pub use node::NodeSpec;
 pub use store::TraceStore;
 pub use systems::SystemPreset;

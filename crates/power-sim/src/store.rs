@@ -48,6 +48,17 @@
 //!   Eviction only ever forgets — a later request re-simulates and gets
 //!   identical results — so subsumption-derived correctness is unaffected.
 //!   The default remains unbounded, preserving batch behavior.
+//! * **An optional disk tier** — [`TraceStore::with_archive`] attaches an
+//!   [`ArchiveTier`] beneath the memory cache, making the lookup order
+//!   memory LRU → disk archive → recompute. Freshly simulated products
+//!   are written through to the archive ([`CacheStats::archive_writes`]);
+//!   requests the memory tier cannot answer are tried against the archive
+//!   before simulating ([`CacheStats::archive_hits`], a subset of `hits`),
+//!   and [`TraceStore::warm_from_archive`] pre-populates the memory tier
+//!   at startup. The tier is strictly opt-in: plain stores behave exactly
+//!   as before, and archived products round-trip through a fixed-point
+//!   quantization, so a tiered store may answer within one quantum
+//!   (~1 mW) of a fresh simulation rather than bit-identically.
 
 use crate::engine::{ProductRequest, RunProducts, Simulator};
 use crate::Result;
@@ -135,6 +146,28 @@ fn subsumes(have: &ProductRequest, want: &ProductRequest) -> bool {
     true
 }
 
+/// A second storage tier beneath the in-memory cache: typically an
+/// on-disk archive (see the `power-archive` crate), but any durable
+/// keyed store works.
+///
+/// Implementations are best-effort: `fetch` returns `None` (and `store`
+/// silently drops the write) on any internal failure, so a degraded
+/// archive degrades the store to recompute-on-miss, never to an error.
+/// Both methods are called outside the store's entry lock and must be
+/// safe to call concurrently.
+pub trait ArchiveTier: Send + Sync {
+    /// Return archived products answering `request` under `key`, if the
+    /// tier holds them (exactly or derivably).
+    fn fetch(&self, key: u64, request: &ProductRequest) -> Option<RunProducts>;
+
+    /// Persist freshly simulated products for `request` under `key`.
+    fn store(&self, key: u64, request: &ProductRequest, products: &RunProducts);
+
+    /// Decode every archived product for warm-on-startup, as `(key,
+    /// products)` pairs in unspecified order.
+    fn warm(&self) -> Vec<(u64, RunProducts)>;
+}
+
 /// Cache-effectiveness counters for a [`TraceStore`], as reported by
 /// [`TraceStore::stats`]. Live drivers and measurement campaigns surface
 /// these so "how much simulation did the cache save" is a first-class
@@ -153,6 +186,11 @@ pub struct CacheStats {
     pub coalesced: u64,
     /// Entries evicted by the LRU capacity bound.
     pub evictions: u64,
+    /// Requests served by decoding from the attached archive tier
+    /// instead of re-simulating (a subset of `hits`).
+    pub archive_hits: u64,
+    /// Freshly simulated products written through to the archive tier.
+    pub archive_writes: u64,
     /// Cached sweeps currently held.
     pub entries: usize,
 }
@@ -173,14 +211,16 @@ impl std::fmt::Display for CacheStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} hits ({} derived, {} coalesced) / {} misses ({:.0}% hit rate, {} entries, {} evicted)",
+            "{} hits ({} derived, {} coalesced, {} archive) / {} misses ({:.0}% hit rate, {} entries, {} evicted, {} archived)",
             self.hits,
             self.derived,
             self.coalesced,
+            self.archive_hits,
             self.misses,
             self.hit_rate() * 100.0,
             self.entries,
-            self.evictions
+            self.evictions,
+            self.archive_writes
         )
     }
 }
@@ -240,8 +280,9 @@ impl Drop for FlightGuard<'_> {
 }
 
 /// Fingerprints a `(simulation key, product request)` pair — the identity
-/// single-flight coalescing groups concurrent callers by.
-fn request_fingerprint(key: u64, request: &ProductRequest) -> u64 {
+/// single-flight coalescing groups concurrent callers by, and the stable
+/// per-blob identity an [`ArchiveTier`] stores entries under.
+pub fn request_fingerprint(key: u64, request: &ProductRequest) -> u64 {
     let mut h = Fnv::new();
     h.write_u64(key);
     h.write_bytes(format!("{request:?}").as_bytes());
@@ -257,11 +298,15 @@ pub struct TraceStore {
     /// Monotonic recency clock for LRU stamps.
     clock: AtomicU64,
     inflight: Mutex<HashMap<u64, Arc<Flight>>>,
+    /// Optional disk tier; see [`ArchiveTier`] and the module docs.
+    archive: Option<Arc<dyn ArchiveTier>>,
     hits: AtomicU64,
     derived: AtomicU64,
     misses: AtomicU64,
     coalesced: AtomicU64,
     evictions: AtomicU64,
+    archive_hits: AtomicU64,
+    archive_writes: AtomicU64,
 }
 
 impl TraceStore {
@@ -283,6 +328,34 @@ impl TraceStore {
     /// The configured entry cap, if any.
     pub fn capacity(&self) -> Option<usize> {
         self.capacity
+    }
+
+    /// Attaches a disk tier beneath the memory cache; see the module
+    /// docs for the resulting lookup order and counters.
+    pub fn with_archive(mut self, archive: Arc<dyn ArchiveTier>) -> Self {
+        self.archive = Some(archive);
+        self
+    }
+
+    /// Whether a disk tier is attached.
+    pub fn has_archive(&self) -> bool {
+        self.archive.is_some()
+    }
+
+    /// Pre-populates the memory tier with every product the attached
+    /// archive holds (respecting the LRU capacity bound) and returns how
+    /// many entries were loaded. A no-op without an archive. Warm loads
+    /// are not counted as hits — they happened before any request.
+    pub fn warm_from_archive(&self) -> usize {
+        let Some(archive) = &self.archive else {
+            return 0;
+        };
+        let warmed = archive.warm();
+        let count = warmed.len();
+        for (key, products) in warmed {
+            self.insert(key, Arc::new(products));
+        }
+        count
     }
 
     /// The process-wide shared store. Drivers and library call sites that
@@ -428,8 +501,25 @@ impl TraceStore {
             self.insert(key, Arc::clone(&products));
             return Ok(products);
         }
+        // Second tier: the disk archive, before paying for a simulation.
+        if let Some(archive) = &self.archive {
+            if let Some(products) = archive.fetch(key, request) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.archive_hits.fetch_add(1, Ordering::Relaxed);
+                let products = Arc::new(products);
+                self.insert(key, Arc::clone(&products));
+                return Ok(products);
+            }
+        }
         let products = Arc::new(sim.run_products(request)?);
         self.misses.fetch_add(1, Ordering::Relaxed);
+        // Write-through: only genuinely simulated products are archived
+        // (derived and decoded ones are already recoverable from the
+        // entries that produced them).
+        if let Some(archive) = &self.archive {
+            archive.store(key, request, &products);
+            self.archive_writes.fetch_add(1, Ordering::Relaxed);
+        }
         // A concurrent non-identical miss may have inserted a subsuming
         // entry meanwhile; prefer the existing one so repeated lookups
         // share a single allocation.
@@ -480,6 +570,16 @@ impl TraceStore {
         self.evictions.load(Ordering::Relaxed)
     }
 
+    /// Requests served by decoding from the attached archive tier.
+    pub fn archive_hits(&self) -> u64 {
+        self.archive_hits.load(Ordering::Relaxed)
+    }
+
+    /// Freshly simulated products written through to the archive tier.
+    pub fn archive_writes(&self) -> u64 {
+        self.archive_writes.load(Ordering::Relaxed)
+    }
+
     /// A consistent snapshot of the cache-effectiveness counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -488,6 +588,8 @@ impl TraceStore {
             misses: self.misses(),
             coalesced: self.coalesced(),
             evictions: self.evictions(),
+            archive_hits: self.archive_hits(),
+            archive_writes: self.archive_writes(),
             entries: self.len(),
         }
     }
@@ -877,6 +979,89 @@ mod tests {
         assert_eq!(store.misses(), misses, "a stayed resident");
         store.products(&sim, &b).unwrap();
         assert_eq!(store.misses(), misses + 1, "b was the LRU victim");
+    }
+
+    /// In-memory stand-in for the on-disk archive tier, exercising the
+    /// tiering contract without touching a filesystem.
+    #[derive(Default)]
+    struct MockArchive {
+        blobs: Mutex<HashMap<(u64, u64), RunProducts>>,
+    }
+
+    impl ArchiveTier for MockArchive {
+        fn fetch(&self, key: u64, request: &ProductRequest) -> Option<RunProducts> {
+            let fingerprint = request_fingerprint(key, request);
+            self.blobs.lock().unwrap().get(&(key, fingerprint)).cloned()
+        }
+
+        fn store(&self, key: u64, request: &ProductRequest, products: &RunProducts) {
+            let fingerprint = request_fingerprint(key, request);
+            self.blobs
+                .lock()
+                .unwrap()
+                .insert((key, fingerprint), products.clone());
+        }
+
+        fn warm(&self) -> Vec<(u64, RunProducts)> {
+            self.blobs
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(&(key, _), p)| (key, p.clone()))
+                .collect()
+        }
+    }
+
+    #[test]
+    fn archive_tier_serves_restarted_stores_and_warms() {
+        let (cluster, wl, cfg) = fixture();
+        let sim = Simulator::new(&cluster, &wl, LoadBalance::Balanced, cfg).unwrap();
+        let archive = Arc::new(MockArchive::default());
+        let request = ProductRequest::with_averages(20.0, 200.0);
+
+        // Cold store: simulates once, writes through to the archive.
+        let store1 = TraceStore::new().with_archive(Arc::clone(&archive) as _);
+        assert!(store1.has_archive());
+        let p1 = store1.products(&sim, &request).unwrap();
+        let s1 = store1.stats();
+        assert_eq!((s1.misses, s1.archive_writes, s1.archive_hits), (1, 1, 0));
+        // A repeat is a memory hit — no further archive traffic.
+        store1.products(&sim, &request).unwrap();
+        assert_eq!(store1.archive_hits(), 0);
+
+        // "Restarted" store sharing the archive: served from disk tier,
+        // no recompute, and the answer matches.
+        let store2 = TraceStore::new().with_archive(Arc::clone(&archive) as _);
+        let p2 = store2.products(&sim, &request).unwrap();
+        let s2 = store2.stats();
+        assert_eq!((s2.misses, s2.hits, s2.archive_hits), (0, 1, 1));
+        assert_eq!(
+            p1.node_averages(MeterScope::Wall).unwrap(),
+            p2.node_averages(MeterScope::Wall).unwrap()
+        );
+        // The fetched entry landed in memory: a repeat stays local.
+        store2.products(&sim, &request).unwrap();
+        assert_eq!(store2.archive_hits(), 1);
+        let shown = format!("{s2}");
+        assert!(shown.contains("archive"), "{shown}");
+
+        // Warm-on-startup pre-populates memory, so even the first
+        // request is a plain hit.
+        let store3 = TraceStore::new().with_archive(Arc::clone(&archive) as _);
+        assert_eq!(store3.warm_from_archive(), 1);
+        assert_eq!(store3.len(), 1);
+        let p3 = store3.products(&sim, &request).unwrap();
+        let s3 = store3.stats();
+        assert_eq!((s3.misses, s3.hits, s3.archive_hits), (0, 1, 0));
+        assert_eq!(
+            p1.node_averages(MeterScope::Dc).unwrap(),
+            p3.node_averages(MeterScope::Dc).unwrap()
+        );
+
+        // Plain stores are untouched by all of this.
+        let plain = TraceStore::new();
+        assert!(!plain.has_archive());
+        assert_eq!(plain.warm_from_archive(), 0);
     }
 
     #[test]

@@ -39,7 +39,10 @@ pub mod ring;
 
 pub use anomaly::{AnomalyEvent, AnomalyKind, AnomalyMonitor, DetectorConfig};
 pub use ingest::{BackpressurePolicy, Collector, IngestConfig, IngestStats, Sample};
-pub use live::{run_live_campaign, LiveCampaignConfig, LiveCampaignReport};
+pub use live::{
+    campaign_fingerprint, run_live_campaign, run_live_campaign_journaled, CampaignJournal,
+    JournalReplay, LiveCampaignConfig, LiveCampaignReport,
+};
 pub use online::{CiQuantile, CvAssumption, Decision, SequentialEstimator, StoppingRule};
 pub use ring::RingBuffer;
 
@@ -68,6 +71,9 @@ pub enum TelemetryError {
     Meter(power_meter::MeterError),
     /// An underlying methodology call failed.
     Method(power_method::MethodError),
+    /// A campaign journal failed or disagrees with the campaign it is
+    /// being replayed into (wrong fingerprint, out-of-order nodes, I/O).
+    Journal(String),
 }
 
 impl std::fmt::Display for TelemetryError {
@@ -85,6 +91,7 @@ impl std::fmt::Display for TelemetryError {
             TelemetryError::Sim(e) => write!(f, "simulation error: {e}"),
             TelemetryError::Meter(e) => write!(f, "meter error: {e}"),
             TelemetryError::Method(e) => write!(f, "methodology error: {e}"),
+            TelemetryError::Journal(what) => write!(f, "campaign journal error: {what}"),
         }
     }
 }

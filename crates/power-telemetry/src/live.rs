@@ -14,6 +14,19 @@
 //! noise, the block-bounded arrival jitter that exercises the reordering
 //! path, and fault injection all derive from `seed` via independent RNG
 //! substreams, so a campaign is exactly reproducible sample-for-sample.
+//!
+//! # Durable campaigns
+//!
+//! That determinism is what makes a crashed campaign *resumable*: the
+//! only state that matters at a node boundary is the sequence of
+//! finalized per-node window averages fed to the estimator so far.
+//! [`run_live_campaign_journaled`] appends each `(node, average)` to a
+//! [`CampaignJournal`] (e.g. the write-ahead log in `power-archive`)
+//! after it lands, and on startup replays the journal's durable prefix
+//! into the estimator — the campaign continues metering at its
+//! watermark, and the final report is identical to an uninterrupted
+//! run's estimate (ingestion accounting and anomaly events cover only
+//! the resumed portion, since the crashed process's samples are gone).
 
 use crate::anomaly::{AnomalyEvent, AnomalyMonitor, DetectorConfig};
 use crate::ingest::{BackpressurePolicy, Collector, IngestConfig, IngestStats, Sample};
@@ -143,13 +156,64 @@ impl LiveCampaignConfig {
     }
 }
 
+/// Fingerprints a campaign identity: everything that determines the
+/// node selection order and the per-node averages — the full config
+/// (via its `Debug` rendering, the workspace's standard trick for
+/// structural hashing) and the machine size. A journal written under
+/// one fingerprint refuses to replay into a campaign with another.
+pub fn campaign_fingerprint(cfg: &LiveCampaignConfig, population: usize) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut write = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    write(format!("{cfg:?}").as_bytes());
+    write(&(population as u64).to_le_bytes());
+    h
+}
+
+/// The durable prefix a [`CampaignJournal`] hands back on resume.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JournalReplay {
+    /// `(node id, finalized window average)` in metering order.
+    pub nodes: Vec<(usize, f64)>,
+    /// Whether the journal recorded the stopping rule firing.
+    pub stopped: bool,
+}
+
+/// Durable storage for a live campaign's progress.
+///
+/// The driver calls `resume` once at startup, then `record_node` after
+/// every finalized per-node average and `record_stop` when the rule
+/// fires. Implementations must make each record durable before
+/// returning (or accept losing that node to re-metering — determinism
+/// makes re-metering safe, never wrong).
+pub trait CampaignJournal {
+    /// Validate the journal against this campaign's identity and return
+    /// the durable prefix. A fresh journal records the identity and
+    /// returns an empty replay; a journal written by a *different*
+    /// campaign must error rather than poison the estimator.
+    fn resume(&mut self, fingerprint: u64, population: u64) -> Result<JournalReplay>;
+
+    /// Append one finalized `(node, window average)` pair.
+    fn record_node(&mut self, node: usize, average: f64) -> Result<()>;
+
+    /// Record that the stopping rule fired.
+    fn record_stop(&mut self) -> Result<()>;
+}
+
 /// What a finished live campaign reports.
 #[derive(Debug, Clone)]
 pub struct LiveCampaignReport {
     /// Machine size `N`.
     pub population: usize,
-    /// Nodes actually metered.
+    /// Nodes actually metered (including journal-replayed ones).
     pub metered_nodes: u64,
+    /// Nodes whose averages were replayed from a journal instead of
+    /// metered in this process (a subset of `metered_nodes`).
+    pub resumed_nodes: u64,
     /// Node count at which the stopping rule fired, if it did before the
     /// budget ran out.
     pub stopped_at: Option<u64>,
@@ -201,6 +265,28 @@ pub fn run_live_campaign(
     sim: &Simulator<'_>,
     cfg: &LiveCampaignConfig,
 ) -> Result<LiveCampaignReport> {
+    run_campaign(sim, cfg, None)
+}
+
+/// Runs a live campaign with durable progress: like
+/// [`run_live_campaign`], but every finalized per-node average is
+/// appended to `journal` and, if the journal already holds a prefix of
+/// this campaign (same [`campaign_fingerprint`]), the campaign resumes
+/// at its watermark instead of re-metering the recorded nodes. See the
+/// module docs for the exact resume semantics.
+pub fn run_live_campaign_journaled(
+    sim: &Simulator<'_>,
+    cfg: &LiveCampaignConfig,
+    journal: &mut dyn CampaignJournal,
+) -> Result<LiveCampaignReport> {
+    run_campaign(sim, cfg, Some(journal))
+}
+
+fn run_campaign(
+    sim: &Simulator<'_>,
+    cfg: &LiveCampaignConfig,
+    mut journal: Option<&mut dyn CampaignJournal>,
+) -> Result<LiveCampaignReport> {
     cfg.validate()?;
     let population = sim.cluster().len();
     let phases = sim.workload().phases();
@@ -247,9 +333,45 @@ pub fn run_live_campaign(
 
     let mut next_slot = 0usize;
     let mut stopped = false;
+
+    // Replay the journal's durable prefix into the estimator: those
+    // nodes were metered by a previous incarnation of this campaign,
+    // and determinism guarantees re-metering them would reproduce the
+    // recorded averages exactly.
+    let mut resumed_nodes = 0u64;
+    if let Some(journal) = journal.as_deref_mut() {
+        let replay = journal.resume(campaign_fingerprint(cfg, population), population as u64)?;
+        if replay.nodes.len() > candidates.len() {
+            return Err(TelemetryError::Journal(format!(
+                "journal holds {} nodes but the campaign can meter at most {}",
+                replay.nodes.len(),
+                candidates.len()
+            )));
+        }
+        for (slot, &(node, average)) in replay.nodes.iter().enumerate() {
+            if candidates[slot] != node {
+                return Err(TelemetryError::Journal(format!(
+                    "journal node {node} at position {slot} does not match the \
+                     campaign's deterministic selection order (expected {})",
+                    candidates[slot]
+                )));
+            }
+            let decision = estimator.push(average);
+            resumed_nodes += 1;
+            if decision.stop {
+                stopped = true;
+                break;
+            }
+        }
+        next_slot = resumed_nodes as usize;
+        if replay.stopped {
+            stopped = true;
+        }
+    }
+
     while next_slot < candidates.len() && !stopped {
-        let batch_len = if next_slot == 0 {
-            cfg.pilot_nodes.min(candidates.len())
+        let batch_len = if next_slot < cfg.pilot_nodes {
+            (cfg.pilot_nodes - next_slot).min(candidates.len() - next_slot)
         } else {
             cfg.batch_nodes.min(candidates.len() - next_slot)
         };
@@ -347,7 +469,13 @@ pub fn run_live_campaign(
                     other => other,
                 })?;
             let decision = estimator.push(avg);
+            if let Some(journal) = journal.as_deref_mut() {
+                journal.record_node(candidates[slot], avg)?;
+            }
             if decision.stop {
+                if let Some(journal) = journal.as_deref_mut() {
+                    journal.record_stop()?;
+                }
                 stopped = true;
                 break;
             }
@@ -361,6 +489,7 @@ pub fn run_live_campaign(
     Ok(LiveCampaignReport {
         population,
         metered_nodes: estimator.count(),
+        resumed_nodes,
         stopped_at: estimator.stopped_at(),
         planned_nodes,
         mean_node_w,
@@ -562,5 +691,128 @@ mod tests {
         let mut bad = ok;
         bad.faults = vec![(0, MeterFault::DropSamples { prob: 2.0 })];
         assert!(bad.validate().is_err());
+    }
+
+    /// In-memory journal that can simulate a crash by erroring after
+    /// `fail_after` durable records (the record itself still lands, as
+    /// with a real WAL that fsyncs then dies).
+    #[derive(Default)]
+    struct MockJournal {
+        identity: Option<(u64, u64)>,
+        nodes: Vec<(usize, f64)>,
+        stopped: bool,
+        fail_after: Option<usize>,
+    }
+
+    impl CampaignJournal for MockJournal {
+        fn resume(&mut self, fingerprint: u64, population: u64) -> Result<JournalReplay> {
+            match self.identity {
+                None => {
+                    self.identity = Some((fingerprint, population));
+                    Ok(JournalReplay::default())
+                }
+                Some(id) if id == (fingerprint, population) => Ok(JournalReplay {
+                    nodes: self.nodes.clone(),
+                    stopped: self.stopped,
+                }),
+                Some(_) => Err(TelemetryError::Journal("foreign journal".into())),
+            }
+        }
+
+        fn record_node(&mut self, node: usize, average: f64) -> Result<()> {
+            self.nodes.push((node, average));
+            if self
+                .fail_after
+                .is_some_and(|limit| self.nodes.len() >= limit)
+            {
+                return Err(TelemetryError::Journal("injected crash".into()));
+            }
+            Ok(())
+        }
+
+        fn record_stop(&mut self) -> Result<()> {
+            self.stopped = true;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn journaled_campaign_matches_plain_run() {
+        let cluster = Cluster::build(spec(60)).unwrap();
+        let phases = RunPhases::new(30.0, 300.0, 30.0).unwrap();
+        let wl = Firestarter::new(phases);
+        let sim = Simulator::new(&cluster, &wl, LoadBalance::Balanced, config()).unwrap();
+        let cfg = campaign(CvAssumption::Empirical);
+        let plain = run_live_campaign(&sim, &cfg).unwrap();
+        let mut journal = MockJournal::default();
+        let journaled = run_live_campaign_journaled(&sim, &cfg, &mut journal).unwrap();
+        assert_eq!(journaled.resumed_nodes, 0);
+        assert_eq!(journaled.metered_nodes, plain.metered_nodes);
+        assert_eq!(journaled.mean_node_w, plain.mean_node_w);
+        assert_eq!(journaled.relative_accuracy, plain.relative_accuracy);
+        assert_eq!(journal.nodes.len() as u64, plain.metered_nodes);
+        assert_eq!(journal.stopped, plain.stopped_at.is_some());
+    }
+
+    #[test]
+    fn interrupted_campaign_resumes_and_matches() {
+        let cluster = Cluster::build(spec(60)).unwrap();
+        let phases = RunPhases::new(30.0, 300.0, 30.0).unwrap();
+        let wl = Firestarter::new(phases);
+        let sim = Simulator::new(&cluster, &wl, LoadBalance::Balanced, config()).unwrap();
+        let mut cfg = campaign(CvAssumption::Empirical);
+        cfg.lambda = 1e-6; // unreachable: meter the whole 12-node budget
+        cfg.max_nodes = 12;
+        let baseline = run_live_campaign(&sim, &cfg).unwrap();
+        assert!(baseline.metered_nodes > 4, "need room to interrupt");
+
+        // "Crash" after 4 nodes have been made durable.
+        let mut journal = MockJournal {
+            fail_after: Some(4),
+            ..MockJournal::default()
+        };
+        let err = run_live_campaign_journaled(&sim, &cfg, &mut journal).unwrap_err();
+        assert!(matches!(err, TelemetryError::Journal(_)), "{err}");
+        assert_eq!(journal.nodes.len(), 4);
+
+        // Resume from the durable prefix: the report is identical to an
+        // uninterrupted run's.
+        journal.fail_after = None;
+        let resumed = run_live_campaign_journaled(&sim, &cfg, &mut journal).unwrap();
+        assert_eq!(resumed.resumed_nodes, 4);
+        assert_eq!(resumed.metered_nodes, baseline.metered_nodes);
+        assert_eq!(resumed.stopped_at, baseline.stopped_at);
+        assert_eq!(resumed.mean_node_w, baseline.mean_node_w);
+        assert_eq!(resumed.relative_accuracy, baseline.relative_accuracy);
+    }
+
+    #[test]
+    fn journal_mismatches_are_rejected() {
+        let cluster = Cluster::build(spec(60)).unwrap();
+        let phases = RunPhases::new(30.0, 300.0, 30.0).unwrap();
+        let wl = Firestarter::new(phases);
+        let sim = Simulator::new(&cluster, &wl, LoadBalance::Balanced, config()).unwrap();
+        let cfg = campaign(CvAssumption::Empirical);
+
+        // A journal written under a different campaign config.
+        let mut foreign = MockJournal::default();
+        let other = campaign(CvAssumption::Planned(0.10));
+        foreign.identity = Some((campaign_fingerprint(&other, 60), 60));
+        let err = run_live_campaign_journaled(&sim, &cfg, &mut foreign).unwrap_err();
+        assert!(matches!(err, TelemetryError::Journal(_)), "{err}");
+
+        // A journal whose node order disagrees with the deterministic
+        // selection order.
+        let mut run_first = MockJournal::default();
+        run_live_campaign_journaled(&sim, &cfg, &mut run_first).unwrap();
+        let mut tampered = MockJournal {
+            identity: run_first.identity,
+            nodes: run_first.nodes.clone(),
+            stopped: run_first.stopped,
+            fail_after: None,
+        };
+        tampered.nodes.swap(0, 1);
+        let err = run_live_campaign_journaled(&sim, &cfg, &mut tampered).unwrap_err();
+        assert!(matches!(err, TelemetryError::Journal(_)), "{err}");
     }
 }
