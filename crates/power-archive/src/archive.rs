@@ -463,6 +463,67 @@ impl Archive {
         Ok(Some(blob))
     }
 
+    /// Stable location `(segment, offset, record_len)` of the record
+    /// committed under `(key, fingerprint)`, or `None` when no such
+    /// entry exists.
+    ///
+    /// The location changes whenever the entry is superseded by a new
+    /// `put` or moved by compaction, so callers that cache byte offsets
+    /// derived from a blob (block indexes for positioned reads) must
+    /// revalidate their cache against this triple before every use.
+    pub fn entry_location(&self, key: u64, fingerprint: u64) -> Option<(u32, u64, u64)> {
+        let inner = self.inner.lock().expect("archive lock");
+        inner
+            .entries
+            .get(&(key, fingerprint))
+            .map(|e| (e.segment, e.offset, e.record_len))
+    }
+
+    /// Read `len` bytes starting `payload_off` bytes into the payload
+    /// of the record committed under `(key, fingerprint)`, via a
+    /// positioned read of just that range — the rest of the record is
+    /// never touched. `Ok(None)` when no such entry exists.
+    ///
+    /// Unlike [`Archive::get`], this does **not** verify the record's
+    /// frame checksum (that would require reading the whole payload,
+    /// defeating the point). Open-time recovery has already verified
+    /// every committed record once; callers reading structured
+    /// sub-ranges (compressed trace blocks carry their own CRC32) are
+    /// expected to validate what they decode.
+    pub fn read_payload_range(
+        &self,
+        key: u64,
+        fingerprint: u64,
+        payload_off: u64,
+        len: usize,
+    ) -> io::Result<Option<Vec<u8>>> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut inner = self.inner.lock().expect("archive lock");
+        let inner = &mut *inner;
+        let Some(entry) = inner.entries.get(&(key, fingerprint)).copied() else {
+            return Ok(None);
+        };
+        let payload_len = entry.record_len - RECORD_HEADER_LEN;
+        match payload_off.checked_add(len as u64) {
+            Some(end) if end <= payload_len => {}
+            _ => {
+                return Err(corrupt(format!(
+                    "range {payload_off}+{len} exceeds payload of {payload_len} bytes"
+                )))
+            }
+        }
+        let segment = inner
+            .segments
+            .get_mut(&entry.segment)
+            .expect("entry references live segment");
+        segment.file.seek(SeekFrom::Start(
+            entry.offset + RECORD_HEADER_LEN + payload_off,
+        ))?;
+        let mut buf = vec![0u8; len];
+        segment.file.read_exact(&mut buf)?;
+        Ok(Some(buf))
+    }
+
     /// All live entries, in unspecified order.
     pub fn entries(&self) -> Vec<EntryInfo> {
         let inner = self.inner.lock().expect("archive lock");
@@ -765,6 +826,46 @@ mod tests {
         assert_eq!(archive.len(), 1);
         assert!(!segment_path(&dir, 7).exists());
         assert!(!dir.join(MANIFEST_TMP).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn positioned_reads_match_get_and_track_relocation() {
+        let dir = tmpdir("ranges");
+        let archive = Archive::open(&dir).unwrap();
+        let payload = blob(3, 300);
+        archive.put(9, 1, 0, &payload).unwrap();
+
+        // Arbitrary interior range matches the slice of a full get.
+        let range = archive.read_payload_range(9, 1, 50, 120).unwrap().unwrap();
+        assert_eq!(range, payload[50..170]);
+        // Whole payload, empty range, and the very last byte all work.
+        assert_eq!(
+            archive.read_payload_range(9, 1, 0, 300).unwrap().unwrap(),
+            payload
+        );
+        assert_eq!(
+            archive.read_payload_range(9, 1, 299, 1).unwrap().unwrap(),
+            payload[299..]
+        );
+        assert!(archive.read_payload_range(9, 1, 300, 0).unwrap().is_some());
+        // Out-of-bounds is an error, missing entry is None.
+        assert!(archive.read_payload_range(9, 1, 300, 1).is_err());
+        assert!(archive.read_payload_range(9, 1, 0, 301).is_err());
+        assert!(archive.read_payload_range(9, 2, 0, 1).unwrap().is_none());
+
+        // The location triple moves when compaction rewrites, and the
+        // positioned read keeps resolving through the new location.
+        let before = archive.entry_location(9, 1).unwrap();
+        archive.put(10, 1, 0, &blob(4, 64)).unwrap();
+        archive.compact().unwrap();
+        let after = archive.entry_location(9, 1).unwrap();
+        assert_ne!(before.0, after.0, "compaction rolls to a new segment");
+        assert_eq!(
+            archive.read_payload_range(9, 1, 50, 120).unwrap().unwrap(),
+            payload[50..170]
+        );
+        assert!(archive.entry_location(9, 99).is_none());
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -21,9 +21,14 @@
 //! through encode→decode, provided `w` is finite and `|w / quantum|`
 //! rounds to at most 2^62. `quantize` is idempotent, so re-archiving a
 //! decoded block is lossless. Block summaries are computed over the
-//! *quantized* values with a plain sequential loop, so a reader can
-//! recompute them bit-for-bit.
+//! *quantized* values with Neumaier-compensated summation — the same
+//! accumulator `power_sim`'s prefix sums use — so a window aggregate
+//! assembled from block summaries agrees with the in-memory prefix-sum
+//! reference instead of drifting by O(n) rounding. Version-1 blocks
+//! (written before the compensated summary) decode identically; only
+//! their stored `sum_watts` reflects the old naive accumulation.
 
+use power_sim::trace::Neumaier;
 use std::fmt;
 
 /// Default power quantum: 2^-10 W (~1 mW). A power of two, so scaling
@@ -34,7 +39,10 @@ pub const DEFAULT_QUANTUM: f64 = 1.0 / 1024.0;
 pub const MAX_QUANTA: i128 = 1 << 62;
 
 const MAGIC: [u8; 4] = *b"PABK";
-const VERSION: u8 = 1;
+/// Oldest block version this codec still reads: naive summary sums.
+const MIN_VERSION: u8 = 1;
+/// Version written by this codec: summaries use compensated summation.
+const VERSION: u8 = 2;
 /// Fixed header length in bytes (magic through summaries).
 pub const HEADER_LEN: usize = 60;
 /// Trailing checksum length in bytes.
@@ -127,8 +135,14 @@ pub struct DecodedBlock {
 // CRC32 (IEEE 802.3), table-driven, std-only.
 // ---------------------------------------------------------------------------
 
-const fn crc_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+/// Slicing-by-8 tables: `tables[0]` is the classic byte-at-a-time
+/// table; `tables[t][i]` advances a byte through `t` further zero
+/// bytes, so eight input bytes fold in one step. The polynomial (and
+/// therefore every stored checksum) is unchanged from the byte-wise
+/// version — this is purely a throughput upgrade for scan, recovery,
+/// and boundary-block verification on the pruned query path.
+const fn crc_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0usize;
     while i < 256 {
         let mut c = i as u32;
@@ -141,19 +155,42 @@ const fn crc_table() -> [u32; 256] {
             };
             k += 1;
         }
-        table[i] = c;
+        tables[0][i] = c;
         i += 1;
     }
-    table
+    let mut t = 1usize;
+    while t < 8 {
+        let mut i = 0usize;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = tables[0][(prev & 0xFF) as usize] ^ (prev >> 8);
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
 }
 
-static CRC_TABLE: [u32; 256] = crc_table();
+static CRC_TABLES: [[u32; 256]; 8] = crc_tables();
 
 /// CRC32 (IEEE) of `bytes`.
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut c = u32::MAX;
-    for &b in bytes {
-        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ c;
+        let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+        c = CRC_TABLES[7][(lo & 0xFF) as usize]
+            ^ CRC_TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[4][(lo >> 24) as usize]
+            ^ CRC_TABLES[3][(hi & 0xFF) as usize]
+            ^ CRC_TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        c = CRC_TABLES[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
     c ^ u32::MAX
 }
@@ -201,6 +238,62 @@ pub(crate) fn put_ivarint(buf: &mut Vec<u8>, v: i128) {
 
 pub(crate) fn get_ivarint(buf: &[u8], pos: &mut usize) -> Result<i128, CodecError> {
     Ok(unzigzag(get_uvarint(buf, pos)?))
+}
+
+/// One- and two-byte fast paths for the decode hot loops: on a regular
+/// sampling grid almost every delta-of-delta is zero (one byte), and
+/// noisy power deltas usually fit fourteen bits (two bytes), so the
+/// common cases never enter the multi-byte loop and stay in machine-word
+/// arithmetic instead of `i128`.
+#[inline(always)]
+fn get_ivarint_fast(buf: &[u8], pos: &mut usize) -> Result<i128, CodecError> {
+    if let Some([b0, b1]) = buf.get(*pos..*pos + 2) {
+        let (b0, b1) = (*b0, *b1);
+        if b0 < 0x80 {
+            *pos += 1;
+            let v = u32::from(b0);
+            return Ok(i128::from((v >> 1) as i32 ^ -((v & 1) as i32)));
+        }
+        if b1 < 0x80 {
+            *pos += 2;
+            let v = u32::from(b0 & 0x7F) | (u32::from(b1) << 7);
+            return Ok(i128::from((v >> 1) as i32 ^ -((v & 1) as i32)));
+        }
+    }
+    get_ivarint(buf, pos)
+}
+
+/// Advance `pos` past `count` varints without materializing them,
+/// consuming eight body bytes per step: a varint ends at each byte
+/// whose continuation bit is clear, so counting clear high bits in a
+/// word skips whole runs at once.
+#[inline]
+fn skip_varints(body: &[u8], pos: &mut usize, count: u32) -> Result<(), CodecError> {
+    let mut remaining = count;
+    while remaining >= 8 {
+        let Some(chunk) = body.get(*pos..*pos + 8) else {
+            break;
+        };
+        let word = u64::from_le_bytes(chunk.try_into().expect("8-byte slice"));
+        let ends = (!word & 0x8080_8080_8080_8080).count_ones();
+        // A full word is consumed only while strictly more terminators
+        // remain: the word holding the final terminator may already
+        // contain bytes of the next section, which the byte loop below
+        // must not overshoot.
+        if ends >= remaining {
+            break;
+        }
+        remaining -= ends;
+        *pos += 8;
+    }
+    while remaining > 0 {
+        let b = *body.get(*pos).ok_or(CodecError::Truncated)?;
+        *pos += 1;
+        if b & 0x80 == 0 {
+            remaining -= 1;
+        }
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -301,15 +394,19 @@ pub fn encode_block(
     let mut quanta = Vec::with_capacity(watts.len());
     let mut min = f64::INFINITY;
     let mut max = f64::NEG_INFINITY;
-    let mut sum = 0.0f64;
+    // Compensated, not naive: a pruned window query folds these stored
+    // sums together in place of decoding, and must land within final-fold
+    // rounding of the in-memory compensated prefix sums.
+    let mut sum = Neumaier::new();
     for &w in watts {
         let q = quantize_to_int(w, quantum)?;
         let v = dequantize(q, quantum);
         min = min.min(v);
         max = max.max(v);
-        sum += v;
+        sum.add(v);
         quanta.push(q);
     }
+    let sum = sum.total();
 
     let mut buf = Vec::with_capacity(HEADER_LEN + watts.len() * 3 + TRAILER_LEN);
     buf.extend_from_slice(&MAGIC);
@@ -349,7 +446,7 @@ fn parse_header(bytes: &[u8]) -> Result<BlockSummary, CodecError> {
     if bytes[0..4] != MAGIC {
         return Err(CodecError::BadMagic);
     }
-    if bytes[4] != VERSION {
+    if bytes[4] < MIN_VERSION || bytes[4] > VERSION {
         return Err(CodecError::BadVersion(bytes[4]));
     }
     let mut pos = 8usize;
@@ -400,7 +497,7 @@ pub fn decode_block(bytes: &[u8]) -> Result<DecodedBlock, CodecError> {
     let mut prev_t = i128::from(summary.t_first_us);
     let mut prev_delta: i128 = 0;
     for _ in 1..count {
-        let dod = get_ivarint(body, &mut pos)?;
+        let dod = get_ivarint_fast(body, &mut pos)?;
         prev_delta += dod;
         prev_t += prev_delta;
         let t = i64::try_from(prev_t).map_err(|_| CodecError::BadTimestamp)?;
@@ -408,10 +505,10 @@ pub fn decode_block(bytes: &[u8]) -> Result<DecodedBlock, CodecError> {
     }
 
     let mut watts = Vec::with_capacity(count);
-    let mut q = get_ivarint(body, &mut pos)?;
+    let mut q = get_ivarint_fast(body, &mut pos)?;
     watts.push(dequantize(q, summary.quantum));
     for _ in 1..count {
-        q += get_ivarint(body, &mut pos)?;
+        q += get_ivarint_fast(body, &mut pos)?;
         watts.push(dequantize(q, summary.quantum));
     }
     if pos != body.len() {
@@ -421,6 +518,97 @@ pub fn decode_block(bytes: &[u8]) -> Result<DecodedBlock, CodecError> {
         timestamps_us,
         watts,
         summary,
+    })
+}
+
+/// The pieces of a boundary block a pruned window scan needs: the
+/// compensated sum over a local sample range plus the sample values at
+/// the range edges (for fractional edge weighting).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WattsSpan {
+    /// Sum of the quantized watts at local indices `[start, end)`,
+    /// accumulated exactly over the integer quanta and rounded once.
+    pub sum: f64,
+    /// The quantized watt value at local index `start`, when `start`
+    /// is in bounds.
+    pub value_at_start: Option<f64>,
+    /// The quantized watt value at local index `end`, when `end` is in
+    /// bounds (one past the summed range).
+    pub value_at_end: Option<f64>,
+}
+
+/// Decode only the power values a window boundary needs from one block:
+/// the sum over local indices `[start, end)` and the values at `start`
+/// and `end`. Verifies the block CRC first, then skips the timestamp
+/// section without materializing it and stops decoding power deltas at
+/// the last index needed — the batched path that keeps a boundary-block
+/// visit cheaper than a full [`decode_block`].
+///
+/// Requires `start <= end <= count`.
+pub fn decode_watts_span(bytes: &[u8], start: u32, end: u32) -> Result<WattsSpan, CodecError> {
+    let summary = parse_header(bytes)?;
+    let body = &bytes[..bytes.len() - TRAILER_LEN];
+    let mut crc_pos = bytes.len() - TRAILER_LEN;
+    let stored_crc = get_u32(bytes, &mut crc_pos)?;
+    if crc32(body) != stored_crc {
+        return Err(CodecError::ChecksumMismatch);
+    }
+    check_quantum(summary.quantum)?;
+    if start > end || end > summary.count {
+        return Err(CodecError::BadShape);
+    }
+
+    // Skip the timestamp section: count - 1 varints, each ending at its
+    // first byte without the continuation bit. The CRC above vouches for
+    // the bytes, but stay defensive about running off the body.
+    let mut pos = HEADER_LEN;
+    skip_varints(body, &mut pos, summary.count - 1)?;
+
+    // A span starting at (or past) the last sample carries no values.
+    if start >= summary.count {
+        return Ok(WattsSpan {
+            sum: 0.0,
+            value_at_start: None,
+            value_at_end: None,
+        });
+    }
+
+    // Decode power deltas in three phases: roll the cumulative quantum
+    // count up to `start` without touching the accumulator, sum the
+    // in-span samples, then (when asked) decode one more delta for the
+    // sample at `end`. Stops at the last index needed.
+    let mut q = get_ivarint_fast(body, &mut pos)?;
+    for _ in 0..start {
+        q += get_ivarint_fast(body, &mut pos)?;
+    }
+    // Every sample is an integer multiple of the quantum, so the span
+    // sum accumulates quanta exactly in integer arithmetic and rounds
+    // once at the final dequantize — at least as tight as compensated
+    // summation over the dequantized terms, and branch-free per sample.
+    let mut sum_quanta: i128 = 0;
+    let mut value_at_start = None;
+    let mut value_at_end = None;
+    if start < end {
+        value_at_start = Some(dequantize(q, summary.quantum));
+        sum_quanta += q;
+        for _ in start + 1..end {
+            q += get_ivarint_fast(body, &mut pos)?;
+            sum_quanta += q;
+        }
+    } else if start == end && end < summary.count {
+        // Point query: the caller only wants the edge values.
+        value_at_start = Some(dequantize(q, summary.quantum));
+    }
+    if end < summary.count && start < end {
+        q += get_ivarint_fast(body, &mut pos)?;
+        value_at_end = Some(dequantize(q, summary.quantum));
+    } else if start == end && end < summary.count {
+        value_at_end = Some(dequantize(q, summary.quantum));
+    }
+    Ok(WattsSpan {
+        sum: sum_quanta as f64 * summary.quantum,
+        value_at_start,
+        value_at_end,
     })
 }
 
@@ -490,19 +678,108 @@ mod tests {
         let peek = peek_summary(&bytes).unwrap();
         let out = decode_block(&bytes).unwrap();
         assert_eq!(peek, out.summary);
-        let (mut min, mut max, mut sum) = (f64::INFINITY, f64::NEG_INFINITY, 0.0);
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        let mut sum = Neumaier::new();
         for &v in &out.watts {
             min = min.min(v);
             max = max.max(v);
-            sum += v;
+            sum.add(v);
         }
         assert_eq!(peek.min_watts.to_bits(), min.to_bits());
         assert_eq!(peek.max_watts.to_bits(), max.to_bits());
-        assert_eq!(peek.sum_watts.to_bits(), sum.to_bits());
+        assert_eq!(peek.sum_watts.to_bits(), sum.total().to_bits());
         assert_eq!(peek.t_first_us, ts[0]);
         assert_eq!(peek.t_last_us, *ts.last().unwrap());
         assert!(peek.overlaps(1_000_000, 2_000_000));
         assert!(!peek.overlaps(i64::MIN, 0));
+    }
+
+    #[test]
+    fn version_1_blocks_still_decode() {
+        // A v1 block differs only in the version byte (and, for real
+        // historical blocks, a naively accumulated sum). Rewriting the
+        // version byte and re-stamping the CRC must decode cleanly.
+        let ts: Vec<i64> = (0..100).map(|i| i * 1_000_000).collect();
+        let watts: Vec<f64> = (0..100).map(|i| 300.0 + i as f64 * 0.25).collect();
+        let mut bytes = encode_block(&ts, &watts, DEFAULT_QUANTUM).unwrap();
+        bytes[4] = 1;
+        let body_len = bytes.len() - TRAILER_LEN;
+        let crc = crc32(&bytes[..body_len]).to_le_bytes();
+        bytes[body_len..].copy_from_slice(&crc);
+        let out = decode_block(&bytes).unwrap();
+        assert_eq!(out.timestamps_us, ts);
+        assert!(peek_summary(&bytes).is_ok());
+        // Versions outside [MIN_VERSION, VERSION] are rejected.
+        bytes[4] = VERSION + 1;
+        let crc = crc32(&bytes[..body_len]).to_le_bytes();
+        bytes[body_len..].copy_from_slice(&crc);
+        assert_eq!(
+            decode_block(&bytes),
+            Err(CodecError::BadVersion(VERSION + 1))
+        );
+        bytes[4] = 0;
+        let crc = crc32(&bytes[..body_len]).to_le_bytes();
+        bytes[body_len..].copy_from_slice(&crc);
+        assert_eq!(decode_block(&bytes), Err(CodecError::BadVersion(0)));
+    }
+
+    #[test]
+    fn single_sample_block_roundtrips_with_finite_summary() {
+        // Degenerate block: one sample, no timestamp varints, one power
+        // varint. The summary must carry the sample itself — never the
+        // ±INFINITY fold seeds.
+        let bytes = encode_block(&[42_000_000], &[137.5], DEFAULT_QUANTUM).unwrap();
+        let peek = peek_summary(&bytes).unwrap();
+        assert_eq!(peek.count, 1);
+        assert!(peek.min_watts.is_finite() && peek.max_watts.is_finite());
+        assert_eq!(peek.min_watts, 137.5);
+        assert_eq!(peek.max_watts, 137.5);
+        assert_eq!(peek.sum_watts, 137.5);
+        assert_eq!(peek.t_first_us, peek.t_last_us);
+        let out = decode_block(&bytes).unwrap();
+        assert_eq!(out.timestamps_us, vec![42_000_000]);
+        assert_eq!(out.watts, vec![137.5]);
+        let span = decode_watts_span(&bytes, 0, 1).unwrap();
+        assert_eq!(span.sum, 137.5);
+        assert_eq!(span.value_at_start, Some(137.5));
+        assert_eq!(span.value_at_end, None);
+    }
+
+    #[test]
+    fn watts_span_matches_full_decode() {
+        let ts: Vec<i64> = (0..999).map(|i| 3 + i * 500_000).collect();
+        let watts: Vec<f64> = (0..999)
+            .map(|i| 250.0 + ((i * 37) % 113) as f64 * 0.125)
+            .collect();
+        let bytes = encode_block(&ts, &watts, DEFAULT_QUANTUM).unwrap();
+        let full = decode_block(&bytes).unwrap();
+        for (start, end) in [(0u32, 999u32), (0, 1), (998, 999), (17, 530), (250, 250)] {
+            let span = decode_watts_span(&bytes, start, end).unwrap();
+            let mut want = Neumaier::new();
+            for &v in &full.watts[start as usize..end as usize] {
+                want.add(v);
+            }
+            assert_eq!(
+                span.sum.to_bits(),
+                want.total().to_bits(),
+                "[{start},{end})"
+            );
+            assert_eq!(span.value_at_start, Some(full.watts[start as usize]));
+            let expect_end = full.watts.get(end as usize).copied();
+            assert_eq!(span.value_at_end, expect_end);
+        }
+        // Out-of-range requests are rejected, corrupt bytes are caught.
+        assert_eq!(
+            decode_watts_span(&bytes, 5, 1000),
+            Err(CodecError::BadShape)
+        );
+        assert_eq!(decode_watts_span(&bytes, 7, 3), Err(CodecError::BadShape));
+        let mut bad = bytes.clone();
+        bad[HEADER_LEN + 5] ^= 0x20;
+        assert_eq!(
+            decode_watts_span(&bad, 0, 10),
+            Err(CodecError::ChecksumMismatch)
+        );
     }
 
     #[test]

@@ -30,13 +30,15 @@
 pub mod archive;
 pub mod codec;
 pub mod products;
+pub mod query;
 mod record;
 pub mod wal;
 
 pub use archive::{Archive, ArchiveConfig, ArchiveStats, EntryInfo, FLAG_FULL_SWEEP};
 pub use codec::{
-    crc32, decode_block, encode_block, peek_summary, quantize, BlockSummary, CodecError,
-    DecodedBlock, DEFAULT_QUANTUM,
+    crc32, decode_block, decode_watts_span, encode_block, peek_summary, quantize, BlockSummary,
+    CodecError, DecodedBlock, WattsSpan, DEFAULT_QUANTUM,
 };
 pub use products::ProductsArchive;
+pub use query::{pruned_window_sum, BlockMeta, PrunedWindow};
 pub use wal::CampaignWal;

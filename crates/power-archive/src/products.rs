@@ -17,10 +17,16 @@
 //! derive the answer — mirroring the in-memory store's subsumption.
 
 use crate::archive::{Archive, ArchiveStats, FLAG_FULL_SWEEP};
-use crate::codec::{self, decode_block, encode_block, CodecError, DEFAULT_QUANTUM};
+use crate::codec::{
+    self, decode_block, decode_watts_span, encode_block, peek_summary, CodecError, DEFAULT_QUANTUM,
+};
+use crate::query::{pruned_window_sum, BlockMeta};
 use power_sim::engine::MeterScope;
-use power_sim::store::{request_fingerprint, ArchiveTier};
+use power_sim::store::{request_fingerprint, ArchiveTier, WindowAggregate};
+use power_sim::trace::{err_outside_window, window_span};
 use power_sim::{NodeTrace, ProductParts, ProductRequest, RunProducts, SystemTrace};
+use std::collections::HashMap;
+use std::sync::Mutex;
 
 const BLOB_VERSION: u8 = 1;
 const MAX_BLOCK_SAMPLES: usize = 8192;
@@ -246,11 +252,105 @@ pub fn decode_products(blob: &[u8]) -> Result<RunProducts, CodecError> {
     .map_err(|_| CodecError::BadShape)
 }
 
+/// Location of one compressed block inside a blob payload, plus the
+/// header metadata a pruned scan needs.
+#[derive(Debug, Clone, Copy)]
+struct BlockLoc {
+    /// Byte offset of the block within the blob payload.
+    off: u64,
+    /// Length of the block in bytes.
+    len: u32,
+    meta: BlockMeta,
+}
+
+/// Index of one scope's system-trace series within a blob.
+#[derive(Debug, Clone)]
+struct SeriesIndex {
+    t0: f64,
+    dt: f64,
+    blocks: Vec<BlockLoc>,
+}
+
+/// Byte-level index of a blob's three system-trace series, cached so
+/// repeated window queries touch only headers and boundary blocks via
+/// positioned segment reads — the blob is fully read (and checksummed)
+/// exactly once, when the index is built.
+#[derive(Debug, Clone)]
+struct BlobIndex {
+    fingerprint: u64,
+    /// `(segment, offset, record_len)` the index was built against;
+    /// revalidated before every use (supersede and compaction both
+    /// relocate the record).
+    location: (u32, u64, u64),
+    steps: u64,
+    /// One series per scope, in [`MeterScope::ALL`] order.
+    series: [SeriesIndex; 3],
+}
+
+/// Walk a product blob and index its system-trace blocks: byte ranges,
+/// per-block sample counts, and header sums. `None` when the blob has
+/// no system traces or fails to parse.
+fn index_blob(blob: &[u8]) -> Option<(u64, [SeriesIndex; 3])> {
+    let mut pos = 0usize;
+    if *blob.first()? != BLOB_VERSION {
+        return None;
+    }
+    let flags = *blob.get(1)?;
+    if flags & HAS_SYSTEM == 0 {
+        return None;
+    }
+    pos += 2;
+    let _dt = codec::get_f64(blob, &mut pos).ok()?;
+    let steps = codec::get_u64(blob, &mut pos).ok()?;
+    let _cluster_len = codec::get_u64(blob, &mut pos).ok()?;
+    if flags & REQ_WINDOW != 0 {
+        pos += 16;
+    }
+    if flags & HAS_SUBSET != 0 {
+        let n = codec::get_uvarint(blob, &mut pos).ok()?;
+        for _ in 0..n {
+            codec::get_uvarint(blob, &mut pos).ok()?;
+        }
+    }
+    let mut series = Vec::with_capacity(3);
+    for _ in 0..3 {
+        let t0 = codec::get_f64(blob, &mut pos).ok()?;
+        let dt = codec::get_f64(blob, &mut pos).ok()?;
+        let nblocks = codec::get_uvarint(blob, &mut pos).ok()? as usize;
+        let mut blocks = Vec::with_capacity(nblocks);
+        let mut first = 0u64;
+        for _ in 0..nblocks {
+            let len = codec::get_uvarint(blob, &mut pos).ok()? as usize;
+            let end = pos.checked_add(len)?;
+            let bytes = blob.get(pos..end)?;
+            let summary = peek_summary(bytes).ok()?;
+            blocks.push(BlockLoc {
+                off: pos as u64,
+                len: len as u32,
+                meta: BlockMeta {
+                    first,
+                    count: summary.count,
+                    sum_watts: summary.sum_watts,
+                },
+            });
+            first += u64::from(summary.count);
+            pos = end;
+        }
+        if first != steps {
+            return None;
+        }
+        series.push(SeriesIndex { t0, dt, blocks });
+    }
+    let arr: [SeriesIndex; 3] = series.try_into().expect("three scopes");
+    Some((steps, arr))
+}
+
 /// An [`Archive`] of serialized [`RunProducts`], usable as the disk
 /// tier beneath a `TraceStore` (see [`ArchiveTier`]).
 pub struct ProductsArchive {
     archive: Archive,
     quantum: f64,
+    index: Mutex<HashMap<u64, BlobIndex>>,
 }
 
 impl ProductsArchive {
@@ -261,7 +361,11 @@ impl ProductsArchive {
 
     /// Wrap `archive`, quantizing trace samples against `quantum`.
     pub fn with_quantum(archive: Archive, quantum: f64) -> Self {
-        ProductsArchive { archive, quantum }
+        ProductsArchive {
+            archive,
+            quantum,
+            index: Mutex::new(HashMap::new()),
+        }
     }
 
     /// The underlying blob archive.
@@ -272,6 +376,41 @@ impl ProductsArchive {
     /// Sizes and counters of the underlying archive.
     pub fn stats(&self) -> ArchiveStats {
         self.archive.stats()
+    }
+
+    /// A current block index for `key`'s archived system traces: the
+    /// cached one if its record hasn't moved, else freshly built from a
+    /// full (checksummed) read. `None` when no archived entry under
+    /// `key` carries system traces, or on any read/parse failure.
+    fn current_index(&self, key: u64) -> Option<BlobIndex> {
+        let mut cache = self.index.lock().expect("index lock");
+        if let Some(idx) = cache.get(&key) {
+            if self.archive.entry_location(key, idx.fingerprint) == Some(idx.location) {
+                return Some(idx.clone());
+            }
+            cache.remove(&key);
+        }
+        // Prefer a full sweep (stable under supersedes of narrower
+        // requests), else any entry whose blob parses with system
+        // traces.
+        let mut entries = self.archive.entries_for_key(key);
+        entries.sort_by_key(|e| (e.flags & FLAG_FULL_SWEEP == 0, e.fingerprint));
+        for entry in entries {
+            let location = self.archive.entry_location(key, entry.fingerprint)?;
+            let blob = self.archive.get(key, entry.fingerprint).ok()??;
+            let Some((steps, series)) = index_blob(&blob) else {
+                continue;
+            };
+            let idx = BlobIndex {
+                fingerprint: entry.fingerprint,
+                location,
+                steps,
+                series,
+            };
+            cache.insert(key, idx.clone());
+            return Some(idx);
+        }
+        None
     }
 }
 
@@ -325,6 +464,50 @@ impl ArchiveTier for ProductsArchive {
                 Some((entry.key, decode_products(&blob).ok()?))
             })
             .collect()
+    }
+
+    fn window_aggregate(
+        &self,
+        key: u64,
+        scope: MeterScope,
+        from: f64,
+        to: f64,
+    ) -> Option<power_sim::Result<WindowAggregate>> {
+        let idx = self.current_index(key)?;
+        let scope_i = MeterScope::ALL.iter().position(|s| *s == scope)?;
+        let series = &idx.series[scope_i];
+        if series.blocks.is_empty() {
+            return None;
+        }
+        let Some((lo, hi)) = window_span(series.t0, series.dt, idx.steps as usize, from, to) else {
+            return Some(Err(err_outside_window()));
+        };
+        let metas: Vec<BlockMeta> = series.blocks.iter().map(|b| b.meta).collect();
+        // Boundary blocks are fetched with positioned reads of exactly
+        // the block's byte range; their own CRC32 (verified by
+        // `decode_watts_span`) guards against torn or relocated bytes.
+        // Any failure degrades to `None` — the caller falls back to the
+        // decoded path — never to an error.
+        let pruned = pruned_window_sum(&metas, lo, hi, |k, s, e| {
+            let block = &series.blocks[k];
+            let bytes = self
+                .archive
+                .read_payload_range(key, idx.fingerprint, block.off, block.len as usize)
+                .map_err(|_| ())?
+                .ok_or(())?;
+            decode_watts_span(&bytes, s, e).map_err(|_| ())
+        })
+        .ok()?;
+        Some(Ok(WindowAggregate {
+            average_w: pruned.weighted_sum / (hi - lo),
+            energy_j: pruned.weighted_sum * series.dt,
+            t0: series.t0,
+            dt: series.dt,
+            steps: idx.steps,
+            blocks_total: pruned.blocks_total,
+            blocks_decoded: pruned.blocks_decoded,
+            blocks_skipped: pruned.blocks_skipped,
+        }))
     }
 }
 
@@ -451,6 +634,123 @@ mod tests {
         store.products(&sim, &request).unwrap();
         let stats = store.stats();
         assert_eq!((stats.misses, stats.archive_hits, stats.hits), (0, 0, 1));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn window_aggregate_prunes_and_matches_decoded() {
+        let (cluster, wl, cfg) = fixture();
+        let sim = Simulator::new(&cluster, &wl, LoadBalance::Balanced, cfg).unwrap();
+        let dir = tmpdir("window");
+        let tier = Arc::new(ProductsArchive::new(Archive::open(&dir).unwrap()));
+        let request = ProductRequest::system_only();
+
+        // Write through once, keep the unquantized reference trace.
+        let reference = {
+            let store = TraceStore::bounded(8).with_archive(Arc::clone(&tier) as _);
+            let products = store.products(&sim, &request).unwrap();
+            products.system_trace(MeterScope::Wall).unwrap().clone()
+        };
+
+        // A cold store answers windows via the pruned path — no
+        // materialization, counters tick, and every answer tracks the
+        // decoded reference within the quantization contract.
+        let store = TraceStore::bounded(8).with_archive(Arc::clone(&tier) as _);
+        let t_end = reference.t_end();
+        for (from, to) in [
+            (0.0, t_end),
+            (12.5, 61.25),
+            (0.0, 5.0),
+            (t_end - 7.25, t_end + 100.0),
+            (-50.0, 19.9),
+        ] {
+            let agg = store
+                .window_aggregate(&sim, MeterScope::Wall, from, to)
+                .expect("archived series answers")
+                .expect("window overlaps");
+            let want_avg = reference.window_average(from, to).unwrap();
+            let want_energy = reference.window_energy(from, to).unwrap();
+            assert!(
+                (agg.average_w - want_avg).abs() <= DEFAULT_QUANTUM,
+                "[{from},{to}): pruned {} vs decoded {want_avg}",
+                agg.average_w
+            );
+            assert!(
+                (agg.energy_j - want_energy).abs() <= DEFAULT_QUANTUM * t_end,
+                "[{from},{to}): pruned energy {} vs decoded {want_energy}",
+                agg.energy_j
+            );
+            assert!(agg.blocks_decoded <= 2, "{agg:?}");
+            assert_eq!(agg.steps, reference.watts.len() as u64);
+            assert!((agg.t_end() - t_end).abs() < 1e-9);
+        }
+        let stats = store.stats();
+        assert_eq!(stats.archive_pruned_queries, 5);
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+
+        // Semantic verdicts match the in-memory trace errors: empty
+        // overlap and degenerate windows are Some(Err), not fallbacks.
+        let err = store
+            .window_aggregate(&sim, MeterScope::Wall, t_end + 10.0, t_end + 20.0)
+            .unwrap()
+            .unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            reference
+                .window_average(t_end + 10.0, t_end + 20.0)
+                .unwrap_err()
+                .to_string()
+        );
+        assert!(store
+            .window_aggregate(&sim, MeterScope::Wall, 5.0, 5.0)
+            .unwrap()
+            .is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_boundary_block_degrades_to_decoded_path() {
+        let (cluster, wl, cfg) = fixture();
+        let sim = Simulator::new(&cluster, &wl, LoadBalance::Balanced, cfg).unwrap();
+        let dir = tmpdir("torn-scan");
+        let tier = Arc::new(ProductsArchive::new(Archive::open(&dir).unwrap()));
+        let request = ProductRequest::system_only();
+        {
+            let store = TraceStore::bounded(8).with_archive(Arc::clone(&tier) as _);
+            store.products(&sim, &request).unwrap();
+        }
+
+        // Prime the block index with a healthy pruned query.
+        let store = TraceStore::bounded(8).with_archive(Arc::clone(&tier) as _);
+        assert!(store
+            .window_aggregate(&sim, MeterScope::Wall, 12.5, 30.0)
+            .unwrap()
+            .is_ok());
+
+        // Rot the segment bytes behind the archive's back. The cached
+        // index still points at the old offsets; the boundary block's
+        // own CRC32 catches the damage mid-scan.
+        let seg = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().is_some_and(|e| e == "seg"))
+            .unwrap();
+        let mut bytes = std::fs::read(&seg).unwrap();
+        for b in bytes.iter_mut().skip(64) {
+            *b ^= 0xA5;
+        }
+        std::fs::write(&seg, &bytes).unwrap();
+
+        // Fractional window → boundary decode → CRC mismatch → the tier
+        // declines (None) instead of erroring, and the store's decoded
+        // path still serves the request by recomputing.
+        assert!(store
+            .window_aggregate(&sim, MeterScope::Wall, 12.5, 30.0)
+            .is_none());
+        let products = store.products(&sim, &request).unwrap();
+        assert!(products.system_trace(MeterScope::Wall).is_some());
+        let stats = store.stats();
+        assert_eq!((stats.misses, stats.archive_pruned_queries), (1, 1));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

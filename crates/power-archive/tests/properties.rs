@@ -4,7 +4,12 @@
 //! bitwise identical to one recomputed from the quantized values, and
 //! any single corrupted byte is detected rather than decoded.
 
-use power_archive::{decode_block, encode_block, peek_summary, quantize, DEFAULT_QUANTUM};
+use power_archive::{
+    decode_block, decode_watts_span, encode_block, peek_summary, pruned_window_sum, quantize,
+    BlockMeta, DEFAULT_QUANTUM,
+};
+use power_sim::trace::window_span;
+use power_sim::SystemTrace;
 use proptest::prelude::*;
 
 /// Build one of the four series shapes from generated parameters.
@@ -60,15 +65,17 @@ proptest! {
         }
 
         // The stored summary matches a recomputation from the
-        // quantized values, bit for bit (sum in sequential order).
+        // quantized values, bit for bit (Neumaier-compensated sum in
+        // sequential order, matching the encoder as of codec v2).
         let mut min = f64::INFINITY;
         let mut max = f64::NEG_INFINITY;
-        let mut sum = 0.0f64;
+        let mut acc = power_sim::trace::Neumaier::new();
         for &q in &decoded.watts {
             min = min.min(q);
             max = max.max(q);
-            sum += q;
+            acc.add(q);
         }
+        let sum = acc.total();
         let s = decoded.summary;
         prop_assert_eq!(s.count as usize, len);
         prop_assert_eq!(s.quantum.to_bits(), DEFAULT_QUANTUM.to_bits());
@@ -99,5 +106,57 @@ proptest! {
             decode_block(&blob).is_err(),
             "flipping byte {} with mask {:#x} went undetected", at, mask
         );
+    }
+
+    /// The pruned-scan window aggregate agrees with the in-memory
+    /// prefix-sum reference for windows swept across every block-edge
+    /// alignment — whole blocks, fractional edges landing exactly on,
+    /// just before, and just after block boundaries, and any block
+    /// size down to single-sample blocks.
+    #[test]
+    fn pruned_window_agrees_across_any_block_alignment(
+        block_len in 1usize..=96,
+        edge_mult in 0usize..=8,
+        from_off in -1.5f64..1.5,
+        exact_edge in 0u8..2,
+        width in 0.125f64..300.0,
+    ) {
+        let n = 400usize;
+        let watts: Vec<f64> = (0..n)
+            .map(|i| quantize(200.0 + ((i * 13) % 37) as f64 * 0.25, DEFAULT_QUANTUM))
+            .collect();
+        let trace = SystemTrace::new(0.0, 1.0, watts.clone()).unwrap();
+
+        let mut blocks = Vec::new();
+        let mut metas = Vec::new();
+        let mut first = 0u64;
+        for chunk in watts.chunks(block_len) {
+            let ts: Vec<i64> = (0..chunk.len() as i64)
+                .map(|i| (first as i64 + i) * 1_000_000)
+                .collect();
+            let bytes = encode_block(&ts, chunk, DEFAULT_QUANTUM).unwrap();
+            let summary = peek_summary(&bytes).unwrap();
+            metas.push(BlockMeta { first, count: summary.count, sum_watts: summary.sum_watts });
+            blocks.push(bytes);
+            first += chunk.len() as u64;
+        }
+
+        let edge = (edge_mult * block_len).min(n) as f64;
+        let from = if exact_edge == 1 { edge } else { edge + from_off };
+        let to = from + width;
+        if let Ok(reference) = trace.window_average(from, to) {
+            let (lo, hi) = window_span(0.0, 1.0, n, from, to).expect("average implies overlap");
+            let pruned = pruned_window_sum(&metas, lo, hi, |k, s, e| {
+                decode_watts_span(&blocks[k], s, e)
+            })
+            .expect("blocks decode");
+            let got = pruned.weighted_sum / (hi - lo);
+            prop_assert!(
+                (got - reference).abs() <= 1e-9 * (1.0 + reference.abs()),
+                "window [{}, {}) blocks of {}: pruned {} vs reference {}",
+                from, to, block_len, got, reference
+            );
+            prop_assert!(pruned.blocks_decoded <= 2, "{:?}", pruned);
+        }
     }
 }

@@ -398,6 +398,92 @@ fn smoke(store_dir: Option<PathBuf>) -> ExitCode {
         eprintln!("smoke: server still answering after shutdown");
         return ExitCode::FAILURE;
     }
+
+    // Query-from-compressed: reopen the same archive with no warm start,
+    // so nothing is materialized in memory, then ask for a window
+    // aggregate over a sweep this run already archived. The answer must
+    // come off the block summaries — the pruned counters in `/metrics`
+    // have to tick, proving the query never decoded the whole trace.
+    if let Some(dir) = &store_dir {
+        match pruned_query_phase(dir, timeout) {
+            Ok(()) => {}
+            Err(msg) => {
+                eprintln!("smoke: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     println!("smoke: shutdown drained cleanly; all checks passed");
     ExitCode::SUCCESS
+}
+
+/// Boot a fresh server over an existing archive with `warm_on_start`
+/// off and issue a cold `/v1/trace/window`: the pruned archive path
+/// must answer it (counter visible in `/metrics`), not a decoded trace.
+fn pruned_query_phase(dir: &std::path::Path, timeout: Duration) -> Result<(), String> {
+    let state = ServeState::try_new(ServeConfig {
+        max_nodes: 64,
+        store_dir: Some(dir.to_path_buf()),
+        warm_on_start: false,
+        ..ServeConfig::default()
+    })
+    .map(Arc::new)
+    .map_err(|err| format!("cannot reopen sweep archive cold: {err}"))?;
+    let server = Server::start(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            ..ServerConfig::default()
+        },
+        Arc::clone(&state),
+    )
+    .map_err(|err| format!("cannot bind loopback for pruned phase: {err}"))?;
+    let addr = server.local_addr();
+
+    let window = "/v1/trace/window?system=L-CSC&nodes=16&dt=120&from=600&to=3000";
+    match loadgen::http_request(addr, &loadgen::get_request(window), timeout) {
+        Ok((200, _)) => {}
+        Ok((status, body)) => {
+            server.shutdown();
+            return Err(format!("cold window query -> {status}: {body}"));
+        }
+        Err(err) => {
+            server.shutdown();
+            return Err(format!("cold window query failed: {err}"));
+        }
+    }
+
+    let metrics = match loadgen::http_request(addr, &loadgen::get_request("/metrics"), timeout) {
+        Ok((200, body)) => body,
+        Ok((status, body)) => {
+            server.shutdown();
+            return Err(format!("metrics after pruned query -> {status}: {body}"));
+        }
+        Err(err) => {
+            server.shutdown();
+            return Err(format!("metrics after pruned query failed: {err}"));
+        }
+    };
+    server.shutdown();
+
+    let counter = |name: &str| -> u64 {
+        metrics
+            .lines()
+            .find_map(|line| line.strip_prefix(name))
+            .and_then(|rest| rest.trim().parse().ok())
+            .unwrap_or(0)
+    };
+    let pruned = counter("power_serve_archive_pruned_queries_total");
+    let skipped = counter("power_serve_archive_blocks_skipped_total");
+    if pruned == 0 {
+        return Err(format!(
+            "cold window query did not take the pruned archive path \
+             (power_serve_archive_pruned_queries_total = 0):\n{metrics}"
+        ));
+    }
+    println!(
+        "smoke: pruned archive query — archive_pruned_queries {pruned}, blocks_skipped {skipped}"
+    );
+    Ok(())
 }

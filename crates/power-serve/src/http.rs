@@ -179,6 +179,14 @@ impl RequestBuffer {
         self.carry.len()
     }
 
+    /// Appends bytes received outside [`RequestBuffer::next_request`] —
+    /// e.g. the first bytes of a request observed while waiting out the
+    /// between-requests idle budget — so the next parse starts from
+    /// them.
+    pub fn push_bytes(&mut self, bytes: &[u8]) {
+        self.carry.extend_from_slice(bytes);
+    }
+
     /// Reads the next request from `stream` under `limits`.
     ///
     /// `Ok(None)` means the connection is cleanly done: the peer closed

@@ -319,6 +319,17 @@ impl Metrics {
         out.push_str("# TYPE power_serve_store_entries gauge\n");
         out.push_str(&format!("power_serve_store_entries {}\n", stats.entries));
 
+        out.push_str("# TYPE power_serve_archive_pruned_queries_total counter\n");
+        out.push_str(&format!(
+            "power_serve_archive_pruned_queries_total {}\n",
+            stats.archive_pruned_queries
+        ));
+        out.push_str("# TYPE power_serve_archive_blocks_skipped_total counter\n");
+        out.push_str(&format!(
+            "power_serve_archive_blocks_skipped_total {}\n",
+            stats.blocks_skipped
+        ));
+
         if let Some(gauges) = archive {
             out.push_str("# TYPE power_serve_archive_entries gauge\n");
             out.push_str(&format!("power_serve_archive_entries {}\n", gauges.entries));
@@ -434,6 +445,8 @@ mod tests {
                 evictions: 0,
                 archive_hits: 4,
                 archive_writes: 2,
+                archive_pruned_queries: 6,
+                blocks_skipped: 120,
                 entries: 2,
             },
             Some(ArchiveGauges {
@@ -450,6 +463,8 @@ mod tests {
         assert!(page.contains("power_serve_store_total{outcome=\"coalesced\"} 3"));
         assert!(page.contains("power_serve_store_total{outcome=\"archive_hits\"} 4"));
         assert!(page.contains("power_serve_store_total{outcome=\"archive_writes\"} 2"));
+        assert!(page.contains("power_serve_archive_pruned_queries_total 6"));
+        assert!(page.contains("power_serve_archive_blocks_skipped_total 120"));
         assert!(page.contains("power_serve_archive_entries 2"));
         assert!(page.contains("power_serve_archive_segments 1"));
         assert!(page.contains("power_serve_archive_bytes{kind=\"live\"} 4096"));

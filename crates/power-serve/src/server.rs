@@ -35,6 +35,7 @@ use crate::router::route;
 use crate::state::ServeState;
 use std::collections::VecDeque;
 use std::io;
+use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -274,6 +275,26 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     let mut buffer = RequestBuffer::new();
     let mut served: u64 = 0;
     loop {
+        // Between requests the socket waits under the (usually shorter)
+        // idle budget — but only for the *first* bytes. Once any byte
+        // of the next request arrives the connection is mid-request and
+        // the full read budget governs again, so a request whose bytes
+        // merely straddle the idle deadline completes, while one that
+        // stalls half-written times out under `read_timeout` into a 408
+        // below (never a silent idle close). A pipelined request
+        // already buffered skips the wait entirely.
+        if served > 0 && buffer.buffered() == 0 {
+            let _ = stream.set_read_timeout(Some(shared.idle_timeout));
+            let mut first = [0u8; 512];
+            match stream.read(&mut first) {
+                // Clean close or idle expiry between requests: nothing
+                // to answer, nothing to count beyond the admission the
+                // connection already consumed.
+                Ok(0) | Err(_) => break,
+                Ok(n) => buffer.push_bytes(&first[..n]),
+            }
+            let _ = stream.set_read_timeout(Some(shared.read_timeout));
+        }
         let started = Instant::now();
         match buffer.next_request(&mut stream, &shared.limits) {
             Ok(Some(request)) => {
@@ -292,15 +313,10 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
                 if response.write_to_conn(&mut stream, keep_alive).is_err() || !keep_alive {
                     break;
                 }
-                // Between requests the socket waits under the (usually
-                // shorter) idle budget; the next arriving byte is the
-                // start of a request read under the same budget.
-                let _ = stream.set_read_timeout(Some(shared.idle_timeout));
             }
             Ok(None) => {
-                // Clean close or idle expiry between requests: nothing
-                // to answer, nothing to count beyond the admission the
-                // connection already consumed.
+                // Clean close before the first request, or EOF with
+                // nothing buffered.
                 break;
             }
             Err(err) => {
@@ -358,6 +374,113 @@ mod tests {
         assert!(admission.conserved());
         assert_eq!(admission.offered, 1);
         server.shutdown();
+    }
+
+    /// A keep-alive connection whose next request stalls half-written
+    /// must be answered with `408 Request Timeout`, not silently closed
+    /// as idle — the idle budget is only for connections with *no*
+    /// request bytes outstanding.
+    #[test]
+    fn stalled_half_written_request_gets_408_not_silent_close() {
+        let config = ServerConfig {
+            idle_timeout: Duration::from_millis(150),
+            read_timeout: Duration::from_millis(600),
+            ..ServerConfig::default()
+        };
+        let server = Server::start(config, Arc::new(ServeState::default())).expect("bind loopback");
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        use std::io::Write;
+
+        // Request 1 completes normally and keeps the connection alive.
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let first = read_response(&mut stream);
+        assert!(first.starts_with("HTTP/1.1 200"), "{first}");
+
+        // Request 2 sends half a head, then stalls well past the idle
+        // timeout. The server must classify this as a request timeout.
+        stream.write_all(b"GET /healthz HTT").unwrap();
+        let mut rest = Vec::new();
+        stream.read_to_end(&mut rest).expect("response then close");
+        let rest = String::from_utf8_lossy(&rest);
+        assert!(
+            rest.starts_with("HTTP/1.1 408"),
+            "half-written request must get 408, got: {rest:?}"
+        );
+        assert_eq!(server.state().metrics.errors(Endpoint::Other), 1);
+        server.shutdown();
+    }
+
+    /// Once request bytes have started arriving, the *read* budget
+    /// governs — a request whose bytes merely straddle the (shorter)
+    /// idle deadline still completes.
+    #[test]
+    fn half_written_request_straddling_idle_timeout_completes() {
+        let config = ServerConfig {
+            idle_timeout: Duration::from_millis(100),
+            read_timeout: Duration::from_secs(2),
+            ..ServerConfig::default()
+        };
+        let server = Server::start(config, Arc::new(ServeState::default())).expect("bind loopback");
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        use std::io::Write;
+
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let first = read_response(&mut stream);
+        assert!(first.starts_with("HTTP/1.1 200"), "{first}");
+
+        // Half the second request, a pause longer than idle_timeout
+        // (but within read_timeout), then the rest: must succeed.
+        stream.write_all(b"GET /healthz HT").unwrap();
+        std::thread::sleep(Duration::from_millis(300));
+        stream.write_all(b"TP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let second = read_response(&mut stream);
+        assert!(
+            second.starts_with("HTTP/1.1 200"),
+            "straddling request must complete, got: {second:?}"
+        );
+
+        // A connection idle between requests (no bytes at all) still
+        // expires silently — no 408, just EOF.
+        let mut rest = Vec::new();
+        stream.read_to_end(&mut rest).expect("silent close");
+        assert!(rest.is_empty(), "idle expiry must not write: {rest:?}");
+        assert_eq!(server.state().metrics.errors(Endpoint::Other), 0);
+        server.shutdown();
+    }
+
+    /// Reads one HTTP response (head + content-length body) as a string.
+    fn read_response(stream: &mut TcpStream) -> String {
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 1024];
+        loop {
+            let n = stream.read(&mut chunk).expect("read response");
+            assert!(n > 0, "peer closed mid-response");
+            buf.extend_from_slice(&chunk[..n]);
+            if let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                let head = String::from_utf8_lossy(&buf[..head_end + 4]).to_string();
+                let body_len = head
+                    .lines()
+                    .find_map(|l| {
+                        l.to_ascii_lowercase()
+                            .strip_prefix("content-length:")
+                            .map(|v| v.trim().parse::<usize>().unwrap())
+                    })
+                    .unwrap_or(0);
+                if buf.len() >= head_end + 4 + body_len {
+                    return String::from_utf8_lossy(&buf).to_string();
+                }
+            }
+        }
     }
 
     #[test]

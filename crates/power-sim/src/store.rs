@@ -60,7 +60,8 @@
 //!   quantization, so a tiered store may answer within one quantum
 //!   (~1 mW) of a fresh simulation rather than bit-identically.
 
-use crate::engine::{ProductRequest, RunProducts, Simulator};
+use crate::engine::{MeterScope, ProductRequest, RunProducts, Simulator};
+use crate::trace::err_degenerate_window;
 use crate::Result;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -146,6 +147,38 @@ fn subsumes(have: &ProductRequest, want: &ProductRequest) -> bool {
     true
 }
 
+/// A window aggregate answered without materializing a full
+/// [`RunProducts`] — the result of [`TraceStore::window_aggregate`],
+/// whether it came from a cached trace's prefix sums or from the archive
+/// tier's pruned scan over compressed block summaries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowAggregate {
+    /// Average power over the (clipped) window, watts.
+    pub average_w: f64,
+    /// Energy over the (clipped) window, joules.
+    pub energy_j: f64,
+    /// Time of the trace's first sample, seconds.
+    pub t0: f64,
+    /// Sample interval, seconds.
+    pub dt: f64,
+    /// Samples in the trace the window was evaluated against.
+    pub steps: u64,
+    /// Compressed blocks in the series (0 when answered from memory).
+    pub blocks_total: u64,
+    /// Boundary blocks the pruned path had to decode.
+    pub blocks_decoded: u64,
+    /// Blocks answered from their header summary or never read.
+    pub blocks_skipped: u64,
+}
+
+impl WindowAggregate {
+    /// End time of the underlying trace (one interval past the last
+    /// sample), matching [`crate::SystemTrace::t_end`].
+    pub fn t_end(&self) -> f64 {
+        self.t0 + self.steps as f64 * self.dt
+    }
+}
+
 /// A second storage tier beneath the in-memory cache: typically an
 /// on-disk archive (see the `power-archive` crate), but any durable
 /// keyed store works.
@@ -166,6 +199,26 @@ pub trait ArchiveTier: Send + Sync {
     /// Decode every archived product for warm-on-startup, as `(key,
     /// products)` pairs in unspecified order.
     fn warm(&self) -> Vec<(u64, RunProducts)>;
+
+    /// Answer a `[from, to)` window aggregate for `key`'s system trace at
+    /// `scope` straight off archived block summaries, decoding at most
+    /// the boundary blocks — without materializing the full products.
+    ///
+    /// `None` means the tier cannot answer (no archived series, or any
+    /// internal failure — torn data degrades to the decoded path, never
+    /// to an error). `Some(Err(_))` is a *semantic* verdict: the window
+    /// is degenerate or does not overlap the archived trace, with the
+    /// same error the in-memory trace methods return. The default
+    /// implementation answers nothing.
+    fn window_aggregate(
+        &self,
+        _key: u64,
+        _scope: MeterScope,
+        _from: f64,
+        _to: f64,
+    ) -> Option<Result<WindowAggregate>> {
+        None
+    }
 }
 
 /// Cache-effectiveness counters for a [`TraceStore`], as reported by
@@ -191,6 +244,12 @@ pub struct CacheStats {
     pub archive_hits: u64,
     /// Freshly simulated products written through to the archive tier.
     pub archive_writes: u64,
+    /// Window aggregates answered by the archive tier's pruned scan over
+    /// block summaries, without materializing products in the LRU.
+    pub archive_pruned_queries: u64,
+    /// Compressed blocks pruned-scan queries skipped (answered from the
+    /// header summary or never read) instead of decoding.
+    pub blocks_skipped: u64,
     /// Cached sweeps currently held.
     pub entries: usize,
 }
@@ -211,7 +270,7 @@ impl std::fmt::Display for CacheStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} hits ({} derived, {} coalesced, {} archive) / {} misses ({:.0}% hit rate, {} entries, {} evicted, {} archived)",
+            "{} hits ({} derived, {} coalesced, {} archive) / {} misses ({:.0}% hit rate, {} entries, {} evicted, {} archived, {} pruned / {} blocks skipped)",
             self.hits,
             self.derived,
             self.coalesced,
@@ -220,7 +279,9 @@ impl std::fmt::Display for CacheStats {
             self.hit_rate() * 100.0,
             self.entries,
             self.evictions,
-            self.archive_writes
+            self.archive_writes,
+            self.archive_pruned_queries,
+            self.blocks_skipped
         )
     }
 }
@@ -307,6 +368,8 @@ pub struct TraceStore {
     evictions: AtomicU64,
     archive_hits: AtomicU64,
     archive_writes: AtomicU64,
+    archive_pruned_queries: AtomicU64,
+    blocks_skipped: AtomicU64,
 }
 
 impl TraceStore {
@@ -530,6 +593,72 @@ impl TraceStore {
         Ok(products)
     }
 
+    /// Answer a `[from, to)` window aggregate over `sim`'s system trace
+    /// at `scope` without materializing a full [`RunProducts`] for cold
+    /// data: a cached trace answers in O(1) off its prefix sums (counted
+    /// as a hit); otherwise the archive tier's pruned scan combines
+    /// whole-block summaries and decodes at most the two boundary blocks
+    /// (counted in [`CacheStats::archive_pruned_queries`] /
+    /// [`CacheStats::blocks_skipped`]), deliberately *not* populating
+    /// the LRU.
+    ///
+    /// `None` means neither tier can answer — fall back to
+    /// [`TraceStore::products`]. `Some(Err(_))` carries the same window
+    /// errors [`crate::SystemTrace::window_average`] returns.
+    pub fn window_aggregate(
+        &self,
+        sim: &Simulator<'_>,
+        scope: MeterScope,
+        from: f64,
+        to: f64,
+    ) -> Option<Result<WindowAggregate>> {
+        if !(to > from) {
+            // Same up-front verdict every trace method gives; answering
+            // here spares an entire simulation on the fallback path.
+            return Some(Err(err_degenerate_window()));
+        }
+        let key = simulation_key(sim);
+        let from_memory = {
+            let stamp = self.stamp();
+            let mut entries = self.lock();
+            entries
+                .iter_mut()
+                .find(|e| e.key == key && e.products.system_trace(scope).is_some())
+                .map(|e| {
+                    e.last_used = stamp;
+                    Arc::clone(&e.products)
+                })
+        };
+        if let Some(products) = from_memory {
+            let trace = products.system_trace(scope).expect("matched above");
+            let result = trace.window_average(from, to).and_then(|average_w| {
+                let energy_j = trace.window_energy(from, to)?;
+                Ok(WindowAggregate {
+                    average_w,
+                    energy_j,
+                    t0: trace.t0,
+                    dt: trace.dt,
+                    steps: trace.len() as u64,
+                    blocks_total: 0,
+                    blocks_decoded: 0,
+                    blocks_skipped: 0,
+                })
+            });
+            if result.is_ok() {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+            }
+            return Some(result);
+        }
+        let archive = self.archive.as_ref()?;
+        let result = archive.window_aggregate(key, scope, from, to)?;
+        self.archive_pruned_queries.fetch_add(1, Ordering::Relaxed);
+        if let Ok(agg) = &result {
+            self.blocks_skipped
+                .fetch_add(agg.blocks_skipped, Ordering::Relaxed);
+        }
+        Some(result)
+    }
+
     /// Number of cached sweeps.
     pub fn len(&self) -> usize {
         self.lock().len()
@@ -580,6 +709,16 @@ impl TraceStore {
         self.archive_writes.load(Ordering::Relaxed)
     }
 
+    /// Window aggregates answered by the archive tier's pruned scan.
+    pub fn archive_pruned_queries(&self) -> u64 {
+        self.archive_pruned_queries.load(Ordering::Relaxed)
+    }
+
+    /// Compressed blocks pruned-scan queries skipped instead of decoding.
+    pub fn blocks_skipped(&self) -> u64 {
+        self.blocks_skipped.load(Ordering::Relaxed)
+    }
+
     /// A consistent snapshot of the cache-effectiveness counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -590,6 +729,8 @@ impl TraceStore {
             evictions: self.evictions(),
             archive_hits: self.archive_hits(),
             archive_writes: self.archive_writes(),
+            archive_pruned_queries: self.archive_pruned_queries(),
+            blocks_skipped: self.blocks_skipped(),
             entries: self.len(),
         }
     }
@@ -1062,6 +1203,57 @@ mod tests {
         let plain = TraceStore::new();
         assert!(!plain.has_archive());
         assert_eq!(plain.warm_from_archive(), 0);
+    }
+
+    #[test]
+    fn window_aggregate_memory_path_and_fallbacks() {
+        let (cluster, wl, cfg) = fixture();
+        let sim = Simulator::new(&cluster, &wl, LoadBalance::Balanced, cfg).unwrap();
+        let store = TraceStore::new();
+        // Degenerate windows are answered up front, no tier needed and
+        // no simulation spent.
+        assert!(matches!(
+            store.window_aggregate(&sim, MeterScope::Wall, 10.0, 10.0),
+            Some(Err(_))
+        ));
+        // Nothing cached and no archive: the store declines.
+        assert!(store
+            .window_aggregate(&sim, MeterScope::Wall, 0.0, 100.0)
+            .is_none());
+        assert_eq!(store.stats().hits, 0);
+
+        // With a cached system trace the aggregate is a memory hit that
+        // matches the trace's own O(1) answers exactly.
+        let p = store
+            .products(&sim, &ProductRequest::system_only())
+            .unwrap();
+        let agg = store
+            .window_aggregate(&sim, MeterScope::Wall, 20.0, 180.0)
+            .unwrap()
+            .unwrap();
+        let trace = p.system_trace(MeterScope::Wall).unwrap();
+        assert_eq!(agg.average_w, trace.window_average(20.0, 180.0).unwrap());
+        assert_eq!(agg.energy_j, trace.window_energy(20.0, 180.0).unwrap());
+        assert_eq!(agg.steps, trace.len() as u64);
+        assert_eq!(agg.t_end(), trace.t_end());
+        assert_eq!(agg.blocks_total, 0);
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.archive_pruned_queries, 0);
+
+        // A window outside the run errors like the trace methods do.
+        assert!(matches!(
+            store.window_aggregate(&sim, MeterScope::Wall, 5000.0, 6000.0),
+            Some(Err(_))
+        ));
+
+        // An archive tier using the default window_aggregate keeps the
+        // store declining cold windows rather than failing.
+        let tiered = TraceStore::new().with_archive(Arc::new(MockArchive::default()) as _);
+        assert!(tiered
+            .window_aggregate(&sim, MeterScope::Wall, 0.0, 100.0)
+            .is_none());
+        assert_eq!(tiered.stats().archive_pruned_queries, 0);
     }
 
     #[test]

@@ -33,22 +33,54 @@ use crate::{Result, SimError};
 use serde::{Deserialize, Serialize};
 use std::sync::OnceLock;
 
+/// Neumaier-compensated running sum.
+///
+/// The single summation algorithm every aggregate in the workspace uses:
+/// the prefix sums here, the block summaries in `power-archive`, and the
+/// pruned-scan window queries all fold their terms through this
+/// accumulator, so a sum derived from on-disk block summaries agrees with
+/// the in-memory prefix-sum reference to within rounding of the final
+/// fold rather than drifting by O(n) ULPs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Neumaier {
+    sum: f64,
+    comp: f64,
+}
+
+impl Neumaier {
+    /// A fresh accumulator at zero.
+    pub fn new() -> Self {
+        Neumaier::default()
+    }
+
+    /// Folds one term into the sum.
+    #[inline]
+    pub fn add(&mut self, v: f64) {
+        let t = self.sum + v;
+        self.comp += if self.sum.abs() >= v.abs() {
+            (self.sum - t) + v
+        } else {
+            (v - t) + self.sum
+        };
+        self.sum = t;
+    }
+
+    /// The compensated total so far.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.sum + self.comp
+    }
+}
+
 /// Neumaier-compensated prefix sums: `prefix[i]` is the sum of
 /// `values[..i]`, with the running compensation folded into every entry.
 fn compensated_prefix(values: &[f64]) -> Vec<f64> {
     let mut prefix = Vec::with_capacity(values.len() + 1);
     prefix.push(0.0);
-    let mut sum = 0.0;
-    let mut comp = 0.0;
+    let mut acc = Neumaier::new();
     for &v in values {
-        let t = sum + v;
-        comp += if sum.abs() >= v.abs() {
-            (sum - t) + v
-        } else {
-            (v - t) + sum
-        };
-        sum = t;
-        prefix.push(sum + comp);
+        acc.add(v);
+        prefix.push(acc.total());
     }
     prefix
 }
@@ -66,7 +98,16 @@ fn cum_at(prefix: &[f64], values: &[f64], x: f64) -> f64 {
 
 /// Clamps `[from, to)` (seconds) to the sampled range and converts it to
 /// fractional sample coordinates; `None` when the overlap has zero measure.
-fn clamped_span(t0: f64, dt: f64, len: usize, from: f64, to: f64) -> Option<(f64, f64)> {
+///
+/// This is *the* window-semantics contract, shared by every query path:
+/// the in-memory prefix-sum methods below, and the archive's pruned scan
+/// over compressed blocks. Sample `i` covers `[t0 + i*dt, t0 + (i+1)*dt)`
+/// — half-open on the right, so a window starting exactly at a sample
+/// boundary includes that sample and one ending exactly on a boundary
+/// excludes the sample that starts there. Any other implementation of the
+/// clamp risks off-by-one disagreement at block edges; derive from this
+/// helper instead.
+pub fn window_span(t0: f64, dt: f64, len: usize, from: f64, to: f64) -> Option<(f64, f64)> {
     let n = len as f64;
     let lo = ((from - t0) / dt).clamp(0.0, n);
     let hi = ((to - t0) / dt).clamp(0.0, n);
@@ -77,14 +118,17 @@ fn clamped_span(t0: f64, dt: f64, len: usize, from: f64, to: f64) -> Option<(f64
     }
 }
 
-fn err_degenerate_window() -> SimError {
+/// The error every query path returns for a window with `to <= from`.
+pub fn err_degenerate_window() -> SimError {
     SimError::InvalidConfig {
         field: "to",
         reason: "window end must exceed window start",
     }
 }
 
-fn err_outside_window() -> SimError {
+/// The error every query path returns for a window that does not overlap
+/// the sampled range.
+pub fn err_outside_window() -> SimError {
     SimError::InvalidConfig {
         field: "window",
         reason: "window does not overlap the trace",
@@ -180,7 +224,7 @@ impl SystemTrace {
         if !(to > from) {
             return Err(err_degenerate_window());
         }
-        let (lo, hi) = clamped_span(self.t0, self.dt, self.watts.len(), from, to)
+        let (lo, hi) = window_span(self.t0, self.dt, self.watts.len(), from, to)
             .ok_or_else(err_outside_window)?;
         let cum = self.cum();
         Ok((cum_at(cum, &self.watts, hi) - cum_at(cum, &self.watts, lo)) / (hi - lo))
@@ -193,7 +237,7 @@ impl SystemTrace {
         if !(to > from) {
             return Err(err_degenerate_window());
         }
-        let (lo, hi) = clamped_span(self.t0, self.dt, self.watts.len(), from, to)
+        let (lo, hi) = window_span(self.t0, self.dt, self.watts.len(), from, to)
             .ok_or_else(err_outside_window)?;
         let cum = self.cum();
         Ok((cum_at(cum, &self.watts, hi) - cum_at(cum, &self.watts, lo)) * self.dt)
@@ -356,7 +400,7 @@ impl NodeTrace {
         if !(to > from) {
             return Err(err_degenerate_window());
         }
-        let (lo, hi) = clamped_span(self.t0, self.dt, self.sample_count(), from, to)
+        let (lo, hi) = window_span(self.t0, self.dt, self.sample_count(), from, to)
             .ok_or_else(err_outside_window)?;
         let cum = self.cum();
         Ok(self
