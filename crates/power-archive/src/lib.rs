@@ -22,13 +22,17 @@
 //!   a second tier beneath the in-memory `TraceStore` (memory LRU → disk
 //!   archive → recompute), and a campaign write-ahead log implementing
 //!   `power_telemetry`'s `CampaignJournal` so an interrupted live
-//!   campaign resumes at its watermark.
+//!   campaign resumes at its watermark. [`fleet`] extends the same
+//!   contract to whole fleets: one multiplexed WAL (`FleetWal`)
+//!   implementing `power_fleet::FleetJournal`, so a killed fleet
+//!   resumes every in-flight campaign at its watermark.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod archive;
 pub mod codec;
+pub mod fleet;
 pub mod products;
 pub mod query;
 mod record;
@@ -39,6 +43,7 @@ pub use codec::{
     crc32, decode_block, decode_watts_span, encode_block, peek_summary, quantize, BlockSummary,
     CodecError, DecodedBlock, WattsSpan, DEFAULT_QUANTUM,
 };
+pub use fleet::FleetWal;
 pub use products::ProductsArchive;
 pub use query::{pruned_window_sum, BlockMeta, PrunedWindow};
 pub use wal::CampaignWal;

@@ -8,7 +8,7 @@
 //! * prefix-sum vs naive-scan window queries (the O(1) query math behind
 //!   interval-gaming scans and Table 2 segments).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use power_bench::{bench_sim_config, fixture};
 use power_sim::engine::{MeterScope, SimulationConfig, Simulator};
 use power_stats::ci::mean_ci_t;
@@ -159,4 +159,4 @@ criterion_group!(
     bench_window_coverage_sweep,
     bench_window_query_math
 );
-criterion_main!(benches);
+power_bench::bench_main!("ablations", benches);

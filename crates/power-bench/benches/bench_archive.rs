@@ -19,7 +19,7 @@
 //!   baseline (472 MB/s when the budget was set), since interior blocks
 //!   are answered from their 60-byte header summaries.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use power_archive::codec::{HEADER_LEN, TRAILER_LEN};
 use power_archive::{
     decode_block, decode_watts_span, encode_block, peek_summary, pruned_window_sum, Archive,
@@ -298,4 +298,4 @@ fn bench_archive(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_archive);
-criterion_main!(benches);
+power_bench::bench_main!("archive", benches);

@@ -1,7 +1,7 @@
 //! Figure 3: the bootstrap coverage simulation — the most compute-heavy
 //! statistical piece of the reproduction.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use power_stats::bootstrap::{bootstrap_means, coverage_study, CoverageConfig};
 use power_stats::empirical::Empirical;
 use power_stats::rng::{normal_draw, seeded};
@@ -50,4 +50,4 @@ fn bench_bootstrap_primitives(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_coverage_study, bench_bootstrap_primitives);
-criterion_main!(benches);
+power_bench::bench_main!("figure3", benches);

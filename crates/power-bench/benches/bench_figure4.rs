@@ -1,7 +1,7 @@
 //! Figure 4: the L-CSC case-study sweep (per-node efficiency under
 //! tuned / default / fan-corrected configurations).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use power_repro::experiments::figure4;
 use std::hint::black_box;
 
@@ -16,4 +16,4 @@ fn bench_figure4_sweep(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_figure4_sweep);
-criterion_main!(benches);
+power_bench::bench_main!("figure4", benches);

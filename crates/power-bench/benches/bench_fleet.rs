@@ -1,0 +1,233 @@
+//! Fleet-layer benchmarks with enforced budgets, sized for one vCPU:
+//!
+//! * **concurrency** — at least 1 000 campaigns created on one fleet
+//!   and driven concurrently to their sequential stopping rules, with
+//!   the plane-wide conservation law holding at the end;
+//! * **aggregate ingest** — the partitioned plane must sustain at
+//!   least 13 M samples/s from a single producer multiplexing many
+//!   campaigns (half the single-campaign collector baseline: the
+//!   shard hand-off may cost at most one more indirection, not a new
+//!   bottleneck);
+//! * **leaderboard latency** — ranking 1 000 finished campaigns must
+//!   take at most 1 ms per query at the median, so the live endpoint
+//!   stays interactive while the fleet churns.
+//!
+//! Every measured figure lands in `BENCH_fleet.json` via
+//! [`power_bench::report`].
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use power_bench::report::{self, Direction};
+use power_fleet::{Fleet, FleetCampaignSpec, FleetConfig};
+use power_telemetry::ingest::{BackpressurePolicy, IngestConfig, Sample};
+use power_telemetry::plane::{IngestPlane, PlaneConfig};
+use std::hint::black_box;
+use std::time::Instant;
+
+const CAMPAIGNS: u64 = 1_000;
+
+fn small_spec(i: u64) -> FleetCampaignSpec {
+    FleetCampaignSpec {
+        name: format!("fleet-{i}"),
+        population: 64 + (i % 5) * 16,
+        mean_node_w: 300.0 + (i % 7) as f64 * 25.0,
+        cv: 0.03 + (i % 3) as f64 * 0.01,
+        samples_per_node: 4,
+        seed: 0xF1EE7 ^ i,
+        ..FleetCampaignSpec::default()
+    }
+}
+
+/// Builds a fleet of `CAMPAIGNS` campaigns and drives every one to its
+/// stopping rule; used by both the concurrency and leaderboard budgets.
+fn full_fleet() -> Fleet {
+    let fleet = Fleet::new(FleetConfig {
+        shards: 16,
+        max_campaigns: CAMPAIGNS + 16,
+    })
+    .expect("fleet config");
+    for i in 0..CAMPAIGNS {
+        fleet.create(small_spec(i)).expect("create campaign");
+    }
+    fleet.drive_until_idle();
+    fleet
+}
+
+/// Budget 1: 1 000 concurrent campaigns to completion, conservation
+/// plane-wide and per shard.
+fn bench_fleet_concurrency(c: &mut Criterion) {
+    let start = Instant::now();
+    let fleet = full_fleet();
+    let elapsed = start.elapsed().as_secs_f64();
+
+    assert_eq!(fleet.live_count(), 0, "every campaign must reach a stop");
+    let terminal: u64 = fleet
+        .state_counts()
+        .iter()
+        .filter(|(s, _)| s.label() != "live" && s.label() != "failed")
+        .map(|(_, n)| n)
+        .sum();
+    report::budget(
+        "campaigns_completed",
+        terminal as f64,
+        Direction::AtLeast,
+        CAMPAIGNS as f64,
+    );
+    let plane = fleet.plane_stats();
+    assert!(plane.conserved(), "plane conservation violated: {plane:?}");
+    let mut shard_sum = 0u64;
+    for shard in 0..fleet.shards() {
+        let s = fleet.shard_stats(shard);
+        assert!(s.conserved(), "shard {shard} conservation violated");
+        shard_sum += s.offered;
+    }
+    assert_eq!(shard_sum, plane.offered, "shards must sum to the plane");
+    report::metric("campaigns_per_s", CAMPAIGNS as f64 / elapsed);
+    report::metric("campaign_run_samples", plane.offered as f64);
+    println!(
+        "fleet_concurrency: {CAMPAIGNS} campaigns to their stopping rules in {elapsed:.2}s \
+         ({:.0} campaigns/s, {} samples conserved)",
+        CAMPAIGNS as f64 / elapsed,
+        plane.offered
+    );
+
+    let mut group = c.benchmark_group("fleet_concurrency");
+    group.sample_size(10);
+    // Timed unit: one full scheduler pass over a live fleet.
+    group.bench_function(BenchmarkId::new("advance", "all_shards"), |b| {
+        let fleet = Fleet::new(FleetConfig {
+            shards: 16,
+            max_campaigns: 512,
+        })
+        .unwrap();
+        for i in 0..128 {
+            // Tiny lambda keeps the roster live across iterations.
+            fleet
+                .create(FleetCampaignSpec {
+                    lambda: 1e-9,
+                    ..small_spec(i)
+                })
+                .unwrap();
+        }
+        b.iter(|| {
+            let mut metered = 0u64;
+            for shard in 0..fleet.shards() {
+                metered += fleet.advance_shard(shard);
+            }
+            black_box(metered)
+        })
+    });
+    group.finish();
+}
+
+/// Budget 2: aggregate ingest across a multiplexed plane, one producer.
+fn bench_plane_ingest(c: &mut Criterion) {
+    const PLANE_CAMPAIGNS: u64 = 64;
+    const NODES: usize = 16;
+    const PER_NODE: u64 = 512;
+    let plane = IngestPlane::new(PlaneConfig { shards: 8 }).expect("plane config");
+    let cfg = IngestConfig {
+        lateness: 0,
+        ring_capacity: 1_024,
+        channel_capacity: 1_024,
+        backpressure: BackpressurePolicy::Block,
+    };
+    for id in 0..PLANE_CAMPAIGNS {
+        plane.register(id, NODES, 0.0, 1.0, &cfg).expect("register");
+    }
+    // One in-order node-major batch per campaign; each pass shifts every
+    // sequence number forward so samples stay fresh (accepted, never
+    // duplicate) without reallocating the batches.
+    let mut batches: Vec<Vec<Sample>> = (0..PLANE_CAMPAIGNS)
+        .map(|id| {
+            let mut batch = Vec::with_capacity(NODES * PER_NODE as usize);
+            for seq in 0..PER_NODE {
+                for node in 0..NODES {
+                    let watts = 350.0 + id as f64 + (seq % 13) as f64 * 0.5;
+                    batch.push(Sample { node, seq, watts });
+                }
+            }
+            batch
+        })
+        .collect();
+    let offer_pass = |batches: &mut Vec<Vec<Sample>>| {
+        for (id, batch) in batches.iter_mut().enumerate() {
+            for s in batch.iter_mut() {
+                s.seq += PER_NODE;
+            }
+            plane.offer(id as u64, batch).expect("offer");
+        }
+    };
+
+    // Warm up, then time enough passes to smooth scheduler noise.
+    offer_pass(&mut batches);
+    let passes = 10u64;
+    let per_pass = PLANE_CAMPAIGNS * NODES as u64 * PER_NODE;
+    let start = Instant::now();
+    for _ in 0..passes {
+        offer_pass(&mut batches);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let rate = (passes * per_pass) as f64 / elapsed;
+
+    let stats = plane.stats();
+    assert!(stats.conserved(), "plane conservation violated: {stats:?}");
+    assert_eq!(stats.offered, (passes + 1) * per_pass);
+    assert_eq!(stats.ingest.duplicates, 0, "shifted batches must be fresh");
+    report::budget("ingest_samples_per_s", rate, Direction::AtLeast, 13.0e6);
+    println!(
+        "plane_ingest: {:.1}M samples/s aggregate over {PLANE_CAMPAIGNS} campaigns \
+         on 8 shards (floor 13M)",
+        rate / 1e6
+    );
+
+    let mut group = c.benchmark_group("fleet_plane_ingest");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("multiplexed", "pass"), |b| {
+        b.iter(|| {
+            offer_pass(&mut batches);
+            black_box(plane.stats().offered)
+        })
+    });
+    group.finish();
+}
+
+/// Budget 3: leaderboard latency at 1 000 campaigns.
+fn bench_leaderboard(c: &mut Criterion) {
+    let fleet = full_fleet();
+    let warm = fleet.leaderboard(100);
+    assert_eq!(warm.len(), 100);
+    assert!(warm[0].gflops_per_w >= warm[99].gflops_per_w);
+
+    let queries = 201;
+    let mut times_us: Vec<f64> = (0..queries)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(fleet.leaderboard(100));
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    times_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = times_us[queries / 2];
+    report::budget("leaderboard_median_us", median, Direction::AtMost, 1_000.0);
+    report::metric("leaderboard_p99_us", times_us[queries * 99 / 100]);
+    println!(
+        "fleet_leaderboard: median {median:.0}us, p99 {:.0}us at {CAMPAIGNS} campaigns \
+         (ceiling 1ms median)",
+        times_us[queries * 99 / 100]
+    );
+
+    let mut group = c.benchmark_group("fleet_leaderboard");
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::new("query", "top100_of_1000"), |b| {
+        b.iter(|| black_box(fleet.leaderboard(100).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fleet_concurrency,
+    bench_plane_ingest,
+    bench_leaderboard
+);
+power_bench::bench_main!("fleet", benches);

@@ -1,6 +1,6 @@
 //! Section 3 gaming: the optimal-interval scan over system traces.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use power_bench::fixture;
 use power_method::gaming::optimal_interval;
 use power_method::window::TimingRule;
@@ -27,4 +27,4 @@ fn bench_interval_scans(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_interval_scans);
-criterion_main!(benches);
+power_bench::bench_main!("gaming", benches);

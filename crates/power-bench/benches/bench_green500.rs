@@ -1,6 +1,6 @@
 //! Section 1: rank-stability Monte Carlo over the synthetic Nov-2014 list.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use power_green500::list::{november_2014_top, RankedList};
 use power_green500::perturb::{rank_stability, PerturbConfig};
 use std::hint::black_box;
@@ -28,4 +28,4 @@ fn bench_list_construction(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_rank_stability, bench_list_construction);
-criterion_main!(benches);
+power_bench::bench_main!("green500", benches);

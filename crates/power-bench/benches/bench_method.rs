@@ -1,7 +1,7 @@
 //! Measurement-methodology execution: full `measure()` pipelines under
 //! every level, plus submission validation throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use power_bench::{bench_sim_config, fixture};
 use power_method::level::Methodology;
 use power_method::measure::{measure, MeasurementPlan};
@@ -57,4 +57,4 @@ fn bench_validate(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_measure_levels, bench_validate);
-criterion_main!(benches);
+power_bench::bench_main!("method", benches);

@@ -1,7 +1,7 @@
 //! Table 2 / Figure 1: whole-system HPL trace generation and segment
 //! averaging for each of the four trace systems.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use power_bench::{bench_sim_config, fixture};
 use power_sim::engine::{MeterScope, Simulator};
 use power_sim::systems;
@@ -53,4 +53,4 @@ fn bench_segment_averaging(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_trace_generation, bench_segment_averaging);
-criterion_main!(benches);
+power_bench::bench_main!("table2", benches);

@@ -1,7 +1,7 @@
 //! Table 4 / Figure 2: per-node time-averaged power statistics and
 //! histogram construction across the six node-variability systems.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use power_bench::{bench_sim_config, fixture};
 use power_sim::engine::Simulator;
 use power_sim::systems::SystemPreset;
@@ -71,4 +71,4 @@ fn bench_figure2_histograms(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_node_averages, bench_figure2_histograms);
-criterion_main!(benches);
+power_bench::bench_main!("table4", benches);

@@ -1,7 +1,7 @@
 //! Table 5 and the statistical kernels behind it: sample-size planning
 //! (Eq. 4/5), quantile functions, and confidence intervals.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use power_stats::ci::{mean_ci_t, mean_ci_z};
 use power_stats::normal::{standard_quantile, z_critical};
 use power_stats::sample_size::{chernoff_hoeffding_nodes, paper_table5, SampleSizePlan};
@@ -66,4 +66,4 @@ criterion_group!(
     bench_quantiles,
     bench_confidence_intervals
 );
-criterion_main!(benches);
+power_bench::bench_main!("table5", benches);

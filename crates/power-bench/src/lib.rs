@@ -16,6 +16,30 @@
 //! | `bench_gaming`    | Section 3 optimal-interval scans |
 //! | `bench_green500`  | Section 1 rank-stability Monte Carlo |
 //! | `bench_ablations` | design-choice ablations (threads, dt, bootstrap memory strategy, window coverage) |
+//! | `bench_telemetry` | streaming ingest, ring queries, stopping-rule push |
+//! | `bench_serve`     | endpoint routing + loopback throughput budgets |
+//! | `bench_archive`   | archive append/scan/compaction |
+//! | `bench_fleet`     | fleet concurrency, partitioned-plane ingest, leaderboard latency budgets |
+//!
+//! Every bench binary ends by draining the [`report`] sink to a
+//! machine-readable `BENCH_<name>.json` (see [`bench_main!`]), and the
+//! targets with hard budgets enforce them through [`report::budget`] so
+//! a regression fails `cargo bench` at the site that measured it.
+
+pub mod report;
+
+/// Drop-in replacement for `criterion_main!` that also drains the
+/// [`report`] sink to `BENCH_<name>.json` after the groups run, so
+/// every bench binary leaves machine-readable evidence behind.
+#[macro_export]
+macro_rules! bench_main {
+    ($name:literal, $($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::report::write($name);
+        }
+    };
+}
 
 use power_repro::RunScale;
 use power_sim::cluster::Cluster;

@@ -1,0 +1,118 @@
+//! Durable fleet state: the multiplexed campaign journal.
+//!
+//! `power_telemetry::CampaignJournal` persists exactly one campaign.
+//! A fleet runs thousands, and giving each its own file would turn
+//! resume into a directory walk and every node record into a separate
+//! fd. [`FleetJournal`] is the multiplexed contract instead: one
+//! durable log carries every campaign's records, tagged by campaign id,
+//! and one `replay` at open time reconstructs the whole fleet — specs,
+//! finalized node averages in metering order, and completion marks.
+//!
+//! The semantics mirror the single-campaign journal: a record that was
+//! durable is replayed verbatim; a record lost to a crash is re-derived
+//! by re-metering, which is safe because campaign node averages are
+//! deterministic functions of the spec (see [`crate::spec`]). The
+//! file-backed implementation lives in `power-archive` (`FleetWal`);
+//! [`MemJournal`] here is the in-process reference used by tests.
+
+use crate::{FleetError, Result};
+use std::collections::BTreeMap;
+
+/// One campaign's durable state as reconstructed by `replay`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CampaignReplay {
+    /// Encoded [`crate::FleetCampaignSpec`] (see `spec.encode()`).
+    pub spec: Vec<u8>,
+    /// Spec fingerprint recorded at creation, revalidated on resume.
+    pub fingerprint: u64,
+    /// `(node, finalized window average)` pairs in metering order.
+    pub nodes: Vec<(u64, f64)>,
+    /// Whether the campaign recorded completion (rule fired or budget
+    /// exhausted).
+    pub finished: bool,
+}
+
+/// Durable, multiplexed storage for a whole fleet's progress.
+///
+/// Implementations must apply records in order per campaign; `replay`
+/// returns campaigns in ascending id order with deleted campaigns
+/// omitted.
+pub trait FleetJournal: Send {
+    /// Reconstructs every surviving campaign's durable state.
+    fn replay(&mut self) -> Result<BTreeMap<u64, CampaignReplay>>;
+
+    /// Records a campaign's creation: identity plus encoded spec.
+    fn record_created(&mut self, id: u64, fingerprint: u64, spec: &[u8]) -> Result<()>;
+
+    /// Appends one finalized `(node, window average)` pair.
+    fn record_node(&mut self, id: u64, node: u64, average: f64) -> Result<()>;
+
+    /// Marks the campaign finished (stopping rule fired or meter budget
+    /// exhausted).
+    fn record_finished(&mut self, id: u64) -> Result<()>;
+
+    /// Removes the campaign from durable state; future replays must not
+    /// return it.
+    fn record_deleted(&mut self, id: u64) -> Result<()>;
+}
+
+/// In-memory [`FleetJournal`]: the reference implementation for tests
+/// and journal-less fleets that still want resume within one process.
+#[derive(Debug, Clone, Default)]
+pub struct MemJournal {
+    campaigns: BTreeMap<u64, CampaignReplay>,
+}
+
+impl MemJournal {
+    /// Creates an empty journal.
+    pub fn new() -> Self {
+        MemJournal::default()
+    }
+}
+
+impl FleetJournal for MemJournal {
+    fn replay(&mut self) -> Result<BTreeMap<u64, CampaignReplay>> {
+        Ok(self.campaigns.clone())
+    }
+
+    fn record_created(&mut self, id: u64, fingerprint: u64, spec: &[u8]) -> Result<()> {
+        if self.campaigns.contains_key(&id) {
+            return Err(FleetError::Journal(format!(
+                "campaign {id} already created"
+            )));
+        }
+        self.campaigns.insert(
+            id,
+            CampaignReplay {
+                spec: spec.to_vec(),
+                fingerprint,
+                nodes: Vec::new(),
+                finished: false,
+            },
+        );
+        Ok(())
+    }
+
+    fn record_node(&mut self, id: u64, node: u64, average: f64) -> Result<()> {
+        let c = self
+            .campaigns
+            .get_mut(&id)
+            .ok_or_else(|| FleetError::Journal(format!("campaign {id} unknown to journal")))?;
+        c.nodes.push((node, average));
+        Ok(())
+    }
+
+    fn record_finished(&mut self, id: u64) -> Result<()> {
+        let c = self
+            .campaigns
+            .get_mut(&id)
+            .ok_or_else(|| FleetError::Journal(format!("campaign {id} unknown to journal")))?;
+        c.finished = true;
+        Ok(())
+    }
+
+    fn record_deleted(&mut self, id: u64) -> Result<()> {
+        self.campaigns.remove(&id);
+        Ok(())
+    }
+}

@@ -1,0 +1,107 @@
+//! The live leaderboard: in-flight submissions ranked by efficiency.
+//!
+//! The Green500 publishes a *point estimate* per machine; the paper's
+//! argument is that a ranking without uncertainty is a ranking of
+//! noise. This leaderboard ranks every campaign that has at least one
+//! finalized node by GFLOPS/W and attaches the campaign's *current*
+//! confidence interval — live campaigns shift as nodes finalize,
+//! finished ones are frozen at their stopping decision.
+//!
+//! CI semantics: the campaign's estimator gives a CI on the **mean
+//! node power** (empirical spread, the rule's quantile, with the
+//! finite-population correction — see
+//! [`SequentialEstimator::ci`](power_telemetry::SequentialEstimator::ci)).
+//! Machine power is `N ×` that mean, and efficiency is a monotone
+//! *decreasing* transform of power, so the efficiency interval comes
+//! from mapping the power interval's endpoints and swapping them:
+//! `[rmax / p_hi, rmax / p_lo]`. No additional approximation is
+//! introduced — the coverage statement carries over exactly.
+
+use crate::fleet::{CampaignState, Fleet};
+use power_method::Methodology;
+
+/// One ranked leaderboard entry.
+#[derive(Debug, Clone)]
+pub struct LeaderboardRow {
+    /// 1-based rank after sorting by efficiency (ties break by id).
+    pub rank: u64,
+    /// Campaign id.
+    pub id: u64,
+    /// Submission name.
+    pub name: String,
+    /// Methodology tag of the submission.
+    pub level: Methodology,
+    /// Campaign lifecycle state (live entries still move).
+    pub state: CampaignState,
+    /// Machine size.
+    pub population: u64,
+    /// Nodes with finalized averages backing this entry.
+    pub metered_nodes: u64,
+    /// Machine Rmax in GFLOPS.
+    pub rmax_gflops: f64,
+    /// Estimated machine power in watts.
+    pub power_w: f64,
+    /// Point efficiency estimate in GFLOPS/W.
+    pub gflops_per_w: f64,
+    /// Efficiency confidence interval `(lower, upper)`, present once
+    /// the campaign has ≥ 2 nodes.
+    pub ci_gflops_per_w: Option<(f64, f64)>,
+    /// The campaign's current relative CI half-width on power.
+    pub relative_accuracy: Option<f64>,
+}
+
+impl Fleet {
+    /// Builds the leaderboard: every campaign with at least one
+    /// finalized node, sorted by descending efficiency, truncated to
+    /// `limit` rows (0 = no limit).
+    ///
+    /// Rows are built straight off each campaign's runtime under its
+    /// shard lock — no [`CampaignStatus`](crate::CampaignStatus)
+    /// snapshots, no spec clones, no plane lookups — so the query stays
+    /// interactive (sub-millisecond at a thousand campaigns) while the
+    /// fleet churns.
+    pub fn leaderboard(&self, limit: usize) -> Vec<LeaderboardRow> {
+        let mut rows: Vec<LeaderboardRow> = Vec::new();
+        self.for_each_runtime(|id, rt| {
+            if rt.estimator.count() == 0 {
+                return;
+            }
+            let population = rt.spec.population;
+            let power_w = rt.estimator.mean() * population as f64;
+            let rmax = rt.spec.rmax_gflops();
+            let gflops_per_w = rmax / power_w;
+            let ci_gflops_per_w = rt.estimator.ci().ok().map(|ci| {
+                let p_lo = ci.lower() * population as f64;
+                let p_hi = ci.upper() * population as f64;
+                (rmax / p_hi, rmax / p_lo)
+            });
+            rows.push(LeaderboardRow {
+                rank: 0,
+                id,
+                name: rt.spec.name.clone(),
+                level: rt.spec.level,
+                state: rt.state,
+                population,
+                metered_nodes: rt.next_slot,
+                rmax_gflops: rmax,
+                power_w,
+                gflops_per_w,
+                ci_gflops_per_w,
+                relative_accuracy: rt.estimator.relative_accuracy().ok(),
+            });
+        });
+        rows.sort_by(|a, b| {
+            b.gflops_per_w
+                .partial_cmp(&a.gflops_per_w)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+        if limit > 0 {
+            rows.truncate(limit);
+        }
+        for (i, row) in rows.iter_mut().enumerate() {
+            row.rank = i as u64 + 1;
+        }
+        rows
+    }
+}

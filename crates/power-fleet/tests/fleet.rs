@@ -1,0 +1,434 @@
+//! Fleet acceptance tests: scheduler fairness, shard accounting,
+//! leaderboard CI semantics, and journal resume.
+
+use power_fleet::journal::{CampaignReplay, FleetJournal, MemJournal};
+use power_fleet::{CampaignState, Fleet, FleetCampaignSpec, FleetConfig};
+use power_stats::ci::{mean_ci_t_finite, mean_ci_z_finite};
+use power_stats::Summary;
+use power_telemetry::online::CiQuantile;
+use power_telemetry::plane::{IngestPlane, PlaneConfig, PlaneStats};
+use power_telemetry::{IngestConfig, Sample};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// The planned-CV stopping rule is deterministic in `n` (it never looks
+/// at the data), so the expected stopping node count can be computed
+/// directly from Eq. 5 + the finite-population correction.
+fn expected_planned_stop(confidence: f64, cv: f64, lambda: f64, population: u64) -> u64 {
+    let z = power_stats::normal::z_critical(confidence).unwrap();
+    for n in 2..=population {
+        let fpc = (((population - n) as f64) / ((population - 1) as f64)).sqrt();
+        if z * cv / (n as f64).sqrt() * fpc <= lambda {
+            return n;
+        }
+    }
+    population
+}
+
+fn spec(i: u64) -> FleetCampaignSpec {
+    FleetCampaignSpec {
+        name: format!("machine-{i}"),
+        population: 96 + (i % 5) * 64,
+        mean_node_w: 300.0 + (i % 7) as f64 * 40.0,
+        cv: 0.03 + (i % 3) as f64 * 0.01,
+        samples_per_node: 32,
+        lateness: if i.is_multiple_of(2) { 0 } else { 4 },
+        seed: 0xF1EE7 ^ i,
+        ..FleetCampaignSpec::default()
+    }
+}
+
+#[test]
+fn concurrent_campaigns_run_to_their_stopping_rules() {
+    let fleet = Fleet::new(FleetConfig {
+        shards: 8,
+        ..FleetConfig::default()
+    })
+    .unwrap();
+    let n_campaigns = 200u64;
+    let ids: Vec<u64> = (0..n_campaigns)
+        .map(|i| fleet.create(spec(i)).unwrap())
+        .collect();
+    assert_eq!(fleet.live_count(), n_campaigns);
+    fleet.drive_until_idle();
+    assert_eq!(fleet.live_count(), 0);
+
+    for &id in &ids {
+        let status = fleet.status(id).unwrap();
+        assert_eq!(status.state, CampaignState::Stopped, "campaign {id}");
+        // The planned-CV rule ignores the data: the stopping node count
+        // is exactly the Eq. 5 + FPC prediction.
+        let s = &status.spec;
+        let expected = expected_planned_stop(s.confidence, s.cv, s.lambda, s.population);
+        assert_eq!(status.metered_nodes, expected, "campaign {id}");
+        assert!(status.ci_node_w.is_some());
+        let ra = status.relative_accuracy.unwrap();
+        assert!(ra <= s.lambda, "campaign {id}: {ra} > λ");
+        // The estimate tracks the declared population within a few
+        // percent (noise + small n).
+        let mean = status.mean_node_w.unwrap();
+        assert!(
+            (mean / s.mean_node_w - 1.0).abs() < 0.10,
+            "campaign {id}: mean {mean} vs truth {}",
+            s.mean_node_w
+        );
+    }
+
+    // Plane-wide conservation holds after the whole fleet retired, and
+    // per-shard stats sum exactly to the plane totals.
+    let total = fleet.plane_stats();
+    assert!(total.conserved(), "{total:?}");
+    assert!(total.offered > 0);
+    let mut sum = PlaneStats::default();
+    for shard in 0..fleet.shards() {
+        let s = fleet.shard_stats(shard);
+        assert!(s.conserved(), "shard {shard}: {s:?}");
+        sum.offered += s.offered;
+        sum.pending += s.pending;
+        sum.ingest.accepted += s.ingest.accepted;
+        sum.ingest.late_dropped += s.ingest.late_dropped;
+        sum.ingest.backpressure_dropped += s.ingest.backpressure_dropped;
+        sum.ingest.gaps += s.ingest.gaps;
+        sum.ingest.reordered += s.ingest.reordered;
+        sum.ingest.duplicates += s.ingest.duplicates;
+    }
+    assert_eq!(sum.offered, total.offered);
+    assert_eq!(sum.ingest, total.ingest);
+    // Nothing was lost: jitter is bounded below lateness, so every
+    // offered sample was accepted.
+    assert_eq!(total.ingest.accepted, total.offered);
+    assert_eq!(total.ingest.late_dropped, 0);
+
+    // The leaderboard ranks every campaign, efficiency descending, with
+    // CIs bracketing the point estimates.
+    let rows = fleet.leaderboard(0);
+    assert_eq!(rows.len(), n_campaigns as usize);
+    for pair in rows.windows(2) {
+        assert!(pair[0].gflops_per_w >= pair[1].gflops_per_w);
+    }
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(row.rank, i as u64 + 1);
+        let (lo, hi) = row.ci_gflops_per_w.unwrap();
+        assert!(lo <= row.gflops_per_w && row.gflops_per_w <= hi, "{row:?}");
+    }
+    let limited = fleet.leaderboard(10);
+    assert_eq!(limited.len(), 10);
+    assert_eq!(limited[9].rank, 10);
+}
+
+#[test]
+fn lockstep_scheduling_never_starves_a_campaign() {
+    let fleet = Fleet::new(FleetConfig {
+        shards: 4,
+        ..FleetConfig::default()
+    })
+    .unwrap();
+    // One census-bound heavyweight (λ unreachable) among many quick
+    // campaigns: the lockstep contract says every live campaign gains
+    // exactly one node per full scheduling round.
+    let heavy = fleet
+        .create(FleetCampaignSpec {
+            name: "census".into(),
+            population: 64,
+            lambda: 1e-9,
+            samples_per_node: 8,
+            ..FleetCampaignSpec::default()
+        })
+        .unwrap();
+    let quick: Vec<u64> = (0..40)
+        .map(|i| {
+            fleet
+                .create(FleetCampaignSpec {
+                    name: format!("quick-{i}"),
+                    population: 128,
+                    cv: 0.02,
+                    samples_per_node: 8,
+                    seed: i,
+                    ..FleetCampaignSpec::default()
+                })
+                .unwrap()
+        })
+        .collect();
+
+    let mut rounds = 0u64;
+    loop {
+        let mut advanced = 0;
+        for shard in 0..fleet.shards() {
+            advanced += fleet.advance_shard(shard);
+        }
+        if advanced == 0 {
+            break;
+        }
+        rounds += 1;
+        // Lockstep: any campaign still live has exactly `rounds` nodes.
+        for &id in quick.iter().chain(std::iter::once(&heavy)) {
+            let st = fleet.status(id).unwrap();
+            if st.state == CampaignState::Live {
+                assert_eq!(st.metered_nodes, rounds, "campaign {id} fell behind");
+            }
+        }
+        assert!(rounds <= 64 + 1, "scheduler failed to terminate");
+    }
+
+    // The heavyweight ran its census to the stopping decision at n = N
+    // (the FPC sends the half-width to zero) — it was never starved by
+    // the 40 quick campaigns completing first.
+    let st = fleet.status(heavy).unwrap();
+    assert_eq!(st.state, CampaignState::Stopped);
+    assert_eq!(st.metered_nodes, 64);
+    for &id in &quick {
+        assert_ne!(fleet.status(id).unwrap().state, CampaignState::Live);
+    }
+}
+
+/// Leaderboard CI semantics: the interval on the ranking page is the
+/// batch CI machinery run over the campaign's finalized node averages —
+/// same Summary, same quantile, same finite-population correction —
+/// mapped through the monotone power→efficiency transform.
+#[test]
+fn leaderboard_ci_matches_batch_ci_on_the_same_averages() {
+    for quantile in [CiQuantile::Normal, CiQuantile::StudentT] {
+        let shared = Arc::new(Mutex::new(MemJournal::new()));
+        let fleet = Fleet::open(
+            FleetConfig::default(),
+            Box::new(SharedJournal(Arc::clone(&shared))),
+        )
+        .unwrap();
+        let id = fleet
+            .create(FleetCampaignSpec {
+                name: "empirical".into(),
+                population: 256,
+                empirical_cv: true,
+                quantile,
+                samples_per_node: 16,
+                seed: 99,
+                ..FleetCampaignSpec::default()
+            })
+            .unwrap();
+        fleet.drive_until_idle();
+        let status = fleet.status(id).unwrap();
+        let spec = &status.spec;
+
+        // Batch recomputation on the journaled averages.
+        let averages: Vec<f64> = shared.lock().unwrap().replay().unwrap()[&id]
+            .nodes
+            .iter()
+            .map(|&(_, avg)| avg)
+            .collect();
+        assert_eq!(averages.len() as u64, status.metered_nodes);
+        let summary: Summary = averages.iter().copied().collect();
+        let batch = match quantile {
+            CiQuantile::Normal => mean_ci_z_finite(&summary, spec.confidence, spec.population),
+            CiQuantile::StudentT => mean_ci_t_finite(&summary, spec.confidence, spec.population),
+        }
+        .unwrap();
+
+        let live = status.ci_node_w.unwrap();
+        assert_eq!(live.lower(), batch.lower());
+        assert_eq!(live.upper(), batch.upper());
+
+        // And the leaderboard row is that CI mapped through
+        // rmax / (N · power): endpoints swap.
+        let row = fleet
+            .leaderboard(0)
+            .into_iter()
+            .find(|r| r.id == id)
+            .unwrap();
+        let (lo, hi) = row.ci_gflops_per_w.unwrap();
+        let n = spec.population as f64;
+        assert!((lo - spec.rmax_gflops() / (batch.upper() * n)).abs() < 1e-12);
+        assert!((hi - spec.rmax_gflops() / (batch.lower() * n)).abs() < 1e-12);
+    }
+}
+
+/// A journal handle the test can keep while the fleet owns its half —
+/// the crash seam for resume tests.
+struct SharedJournal(Arc<Mutex<MemJournal>>);
+
+impl FleetJournal for SharedJournal {
+    fn replay(&mut self) -> power_fleet::Result<BTreeMap<u64, CampaignReplay>> {
+        self.0.lock().unwrap().replay()
+    }
+    fn record_created(&mut self, id: u64, fp: u64, spec: &[u8]) -> power_fleet::Result<()> {
+        self.0.lock().unwrap().record_created(id, fp, spec)
+    }
+    fn record_node(&mut self, id: u64, node: u64, average: f64) -> power_fleet::Result<()> {
+        self.0.lock().unwrap().record_node(id, node, average)
+    }
+    fn record_finished(&mut self, id: u64) -> power_fleet::Result<()> {
+        self.0.lock().unwrap().record_finished(id)
+    }
+    fn record_deleted(&mut self, id: u64) -> power_fleet::Result<()> {
+        self.0.lock().unwrap().record_deleted(id)
+    }
+}
+
+#[test]
+fn resumed_fleet_matches_uninterrupted_run() {
+    let mk_specs = || (0..30u64).map(spec).collect::<Vec<_>>();
+
+    // Control: uninterrupted run.
+    let control = Fleet::new(FleetConfig::default()).unwrap();
+    let control_ids: Vec<u64> = mk_specs()
+        .into_iter()
+        .map(|s| control.create(s).unwrap())
+        .collect();
+    control.drive_until_idle();
+
+    // Interrupted run: advance only a few rounds, then "crash" (drop
+    // the fleet; the shared journal is the surviving disk state).
+    let shared = Arc::new(Mutex::new(MemJournal::new()));
+    let ids: Vec<u64> = {
+        let fleet = Fleet::open(
+            FleetConfig::default(),
+            Box::new(SharedJournal(Arc::clone(&shared))),
+        )
+        .unwrap();
+        let ids: Vec<u64> = mk_specs()
+            .into_iter()
+            .map(|s| fleet.create(s).unwrap())
+            .collect();
+        for _ in 0..5 {
+            for shard in 0..fleet.shards() {
+                fleet.advance_shard(shard);
+            }
+        }
+        assert!(fleet.live_count() > 0, "crash must land mid-flight");
+        ids
+    };
+
+    // Restart from the journal: every campaign resumes at its durable
+    // watermark, then runs to the same answer as the control.
+    let resumed = Fleet::open(
+        FleetConfig::default(),
+        Box::new(SharedJournal(Arc::clone(&shared))),
+    )
+    .unwrap();
+    assert_eq!(resumed.campaign_count(), 30);
+    let mut any_partial = false;
+    for &id in &ids {
+        let st = resumed.status(id).unwrap();
+        assert_eq!(st.resumed_nodes, st.metered_nodes);
+        if st.state == CampaignState::Live {
+            assert!(st.metered_nodes > 0, "campaign {id} lost its prefix");
+            any_partial = true;
+        }
+    }
+    assert!(any_partial, "test should exercise mid-flight resume");
+    resumed.drive_until_idle();
+
+    for (&id, &cid) in ids.iter().zip(&control_ids) {
+        let a = resumed.status(id).unwrap();
+        let b = control.status(cid).unwrap();
+        assert_eq!(a.state, b.state, "campaign {id}");
+        assert_eq!(a.metered_nodes, b.metered_nodes);
+        // Determinism: resumed estimates are bit-identical to the
+        // uninterrupted run's.
+        assert_eq!(a.mean_node_w, b.mean_node_w);
+        assert_eq!(
+            a.ci_node_w.as_ref().map(|c| (c.lower(), c.upper())),
+            b.ci_node_w.as_ref().map(|c| (c.lower(), c.upper()))
+        );
+    }
+
+    // Deletion is durable: a deleted campaign stays gone across reopen.
+    assert!(resumed.delete(ids[0]).unwrap());
+    let reopened = Fleet::open(
+        FleetConfig::default(),
+        Box::new(SharedJournal(Arc::clone(&shared))),
+    )
+    .unwrap();
+    assert!(reopened.status(ids[0]).is_none());
+    assert_eq!(reopened.campaign_count(), 29);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Shard accounting under concurrent producers: with several
+    /// threads offering interleaved batches (including duplicates and
+    /// stale repeats), every shard individually satisfies
+    /// `accepted + dropped + duplicates + pending == offered`, and the
+    /// shard snapshots sum exactly to the plane totals, which equal the
+    /// producers' own ledgers.
+    #[test]
+    fn shard_accounting_sums_under_concurrent_producers(
+        shards in 1usize..6,
+        campaigns in 1u64..12,
+        producers in 1usize..5,
+        batches in 1usize..8,
+        lateness in 0u64..4,
+        dup_every in 2u64..7,
+    ) {
+        let plane = IngestPlane::new(PlaneConfig { shards }).unwrap();
+        let cfg = IngestConfig {
+            lateness,
+            ring_capacity: 64,
+            ..IngestConfig::default()
+        };
+        for id in 0..campaigns {
+            plane.register(id, 2, 0.0, 1.0, &cfg).unwrap();
+        }
+        // Each producer owns a disjoint slice of sequence space per
+        // campaign so concurrent offers never race on the same lane
+        // region; duplicates are injected *within* a producer's slice.
+        let offered_by_producers: u64 = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..producers)
+                .map(|p| {
+                    let plane = &plane;
+                    scope.spawn(move || {
+                        let mut sent = 0u64;
+                        for id in 0..campaigns {
+                            for b in 0..batches {
+                                let base = ((p * batches + b) * 8) as u64;
+                                let mut batch: Vec<Sample> = (0..8)
+                                    .map(|k| Sample {
+                                        node: (k % 2) as usize,
+                                        seq: (base + k) / 2,
+                                        watts: 100.0 + k as f64,
+                                    })
+                                    .collect();
+                                if base.is_multiple_of(dup_every) {
+                                    let dup = batch[0];
+                                    batch.push(dup);
+                                }
+                                plane.offer(id, &batch).unwrap();
+                                sent += batch.len() as u64;
+                            }
+                        }
+                        sent
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+
+        let total = plane.stats();
+        prop_assert_eq!(total.offered, offered_by_producers);
+        prop_assert!(total.conserved(), "plane: {:?}", total);
+        let mut sum = PlaneStats::default();
+        for shard in 0..plane.shard_count() {
+            let s = plane.shard_stats(shard);
+            prop_assert!(s.conserved(), "shard {}: {:?}", shard, s);
+            sum.campaigns += s.campaigns;
+            sum.offered += s.offered;
+            sum.pending += s.pending;
+            sum.ingest.accepted += s.ingest.accepted;
+            sum.ingest.late_dropped += s.ingest.late_dropped;
+            sum.ingest.backpressure_dropped += s.ingest.backpressure_dropped;
+            sum.ingest.gaps += s.ingest.gaps;
+            sum.ingest.reordered += s.ingest.reordered;
+            sum.ingest.duplicates += s.ingest.duplicates;
+        }
+        prop_assert_eq!(sum, total);
+
+        // Flushing drains pending without breaking the law.
+        for id in 0..campaigns {
+            plane.flush(id).unwrap();
+        }
+        let flushed = plane.stats();
+        prop_assert_eq!(flushed.pending, 0);
+        prop_assert!(flushed.conserved(), "after flush: {:?}", flushed);
+    }
+}

@@ -20,6 +20,14 @@
 //! the persistence tier: a cold directory must absorb archive writes,
 //! and a second smoke over the same directory must start warm and serve
 //! every sweep without recomputing.
+//!
+//! `--fleet-smoke` runs the fleet crash-restart exercise: spawn a real
+//! child server journalling its fleet to a store directory, create 120
+//! campaigns over `POST /v1/campaigns`, SIGKILL the child once every
+//! campaign has journalled progress, reopen the directory, and assert
+//! every campaign resumed at its watermark, ran to its stopping rule,
+//! and the ingest plane's conservation law held. (`--fleet-child` is
+//! the internal killable server half of this mode.)
 
 use power_serve::loadgen::{self, LoadPlan, PooledClient};
 use power_serve::server::{Server, ServerConfig};
@@ -40,6 +48,8 @@ struct Args {
     max_per_conn: u64,
     store_dir: Option<PathBuf>,
     smoke: bool,
+    fleet_smoke: bool,
+    fleet_child: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -52,6 +62,8 @@ fn parse_args() -> Result<Args, String> {
         max_per_conn: 1024,
         store_dir: None,
         smoke: false,
+        fleet_smoke: false,
+        fleet_child: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -85,6 +97,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--store-dir" => args.store_dir = Some(PathBuf::from(value("--store-dir")?)),
             "--smoke" => args.smoke = true,
+            "--fleet-smoke" => args.fleet_smoke = true,
+            // Internal: the killable server process the fleet smoke spawns.
+            "--fleet-child" => args.fleet_child = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -97,13 +112,19 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("serve: {msg}");
             eprintln!(
-                "usage: serve [--addr HOST:PORT] [--workers N] [--queue N] [--capacity N] [--idle-ms N] [--max-per-conn N] [--store-dir DIR] [--smoke]"
+                "usage: serve [--addr HOST:PORT] [--workers N] [--queue N] [--capacity N] [--idle-ms N] [--max-per-conn N] [--store-dir DIR] [--smoke] [--fleet-smoke]"
             );
             return ExitCode::FAILURE;
         }
     };
     if args.smoke {
         return smoke(args.store_dir);
+    }
+    if args.fleet_smoke {
+        return fleet_smoke(args.store_dir);
+    }
+    if args.fleet_child {
+        return fleet_child(args.store_dir);
     }
 
     let state = match ServeState::try_new(ServeConfig {
@@ -486,4 +507,225 @@ fn pruned_query_phase(dir: &std::path::Path, timeout: Duration) -> Result<(), St
         "smoke: pruned archive query — archive_pruned_queries {pruned}, blocks_skipped {skipped}"
     );
     Ok(())
+}
+
+/// The killable half of the fleet smoke: serve on an ephemeral port
+/// with the journal under `--store-dir` and a positive driver pace so
+/// campaigns stay observably in flight until the parent SIGKILLs us.
+fn fleet_child(store_dir: Option<PathBuf>) -> ExitCode {
+    let Some(dir) = store_dir else {
+        eprintln!("fleet-child: --store-dir is required");
+        return ExitCode::FAILURE;
+    };
+    let state = match ServeState::try_new(ServeConfig {
+        max_nodes: 64,
+        store_dir: Some(dir),
+        warm_on_start: false,
+        ..ServeConfig::default()
+    }) {
+        Ok(state) => Arc::new(state),
+        Err(err) => {
+            eprintln!("fleet-child: cannot open store: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match Server::start(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            fleet_pace: Duration::from_millis(2),
+            ..ServerConfig::default()
+        },
+        state,
+    ) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("fleet-child: cannot bind loopback: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The parent parses this exact line for the port.
+    println!("fleet-child listening on {}", server.local_addr());
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+/// The CI fleet smoke: spawn a child server journalling to a store
+/// directory, create a fleet of slow campaigns over HTTP, SIGKILL the
+/// child mid-measurement, reopen the same directory in-process, and
+/// assert every campaign resumed at its journalled watermark, ran to
+/// its stopping rule, and the plane's conservation law held throughout.
+fn fleet_smoke(store_dir: Option<PathBuf>) -> ExitCode {
+    use std::io::BufRead;
+    let timeout = Duration::from_secs(10);
+    let campaigns: u64 = 120;
+    let dir = store_dir.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("power-fleet-smoke-{}", std::process::id()))
+    });
+    if let Err(err) = std::fs::create_dir_all(&dir) {
+        eprintln!("fleet-smoke: cannot create {}: {err}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    println!("fleet-smoke: store at {}", dir.display());
+
+    // Phase 1: a real child process we can kill without warning.
+    let exe = std::env::current_exe().expect("own path");
+    let mut child = match std::process::Command::new(&exe)
+        .args(["--fleet-child", "--store-dir"])
+        .arg(&dir)
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+    {
+        Ok(child) => child,
+        Err(err) => {
+            eprintln!("fleet-smoke: cannot spawn child: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut lines = std::io::BufReader::new(child.stdout.take().expect("piped stdout")).lines();
+    let addr: std::net::SocketAddr = match lines.next() {
+        Some(Ok(line)) if line.starts_with("fleet-child listening on ") => line
+            ["fleet-child listening on ".len()..]
+            .trim()
+            .parse()
+            .expect("child printed a socket address"),
+        other => {
+            eprintln!("fleet-smoke: child did not announce itself: {other:?}");
+            let _ = child.kill();
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("fleet-smoke: child serving on {addr}");
+
+    // Large populations + a tiny lambda + the child's paced driver keep
+    // every campaign live long enough to die mid-measurement.
+    let mut client = PooledClient::new(addr, timeout);
+    let body = format!(
+        "{{\"name\": \"smoke\", \"population\": 4000, \"samples_per_node\": 4, \
+          \"lambda\": 1e-6, \"seed\": 11, \"count\": {campaigns}}}"
+    );
+    let created = match client.request(&loadgen::post_request_keep_alive("/v1/campaigns", &body)) {
+        Ok(resp) if resp.status == 201 => resp,
+        Ok(resp) => {
+            eprintln!("fleet-smoke: create -> {}: {}", resp.status, resp.body);
+            let _ = child.kill();
+            return ExitCode::FAILURE;
+        }
+        Err(err) => {
+            eprintln!("fleet-smoke: create failed: {err}");
+            let _ = child.kill();
+            return ExitCode::FAILURE;
+        }
+    };
+    if !created.body.contains(&format!("\"created\":{campaigns}")) {
+        eprintln!("fleet-smoke: batch create reported: {}", created.body);
+        let _ = child.kill();
+        return ExitCode::FAILURE;
+    }
+    println!("fleet-smoke: created {campaigns} campaigns over HTTP");
+
+    // Wait until every campaign has at least one journalled node (it
+    // shows on the leaderboard), so "resumed at the watermark" is a
+    // non-trivial claim for all of them — then kill without warning.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let resp = match client.request(&loadgen::get_request_keep_alive(&format!(
+            "/v1/leaderboard?limit={campaigns}"
+        ))) {
+            Ok(resp) if resp.status == 200 => resp,
+            other => {
+                eprintln!("fleet-smoke: leaderboard poll failed: {other:?}");
+                let _ = child.kill();
+                return ExitCode::FAILURE;
+            }
+        };
+        let rows = resp.body.matches("\"rank\":").count() as u64;
+        if rows >= campaigns {
+            break;
+        }
+        if std::time::Instant::now() > deadline {
+            eprintln!("fleet-smoke: only {rows}/{campaigns} campaigns progressed in time");
+            let _ = child.kill();
+            return ExitCode::FAILURE;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    child.kill().expect("SIGKILL child");
+    let _ = child.wait();
+    println!("fleet-smoke: child killed mid-measurement");
+
+    // Phase 2: reopen the same directory in-process. Every campaign
+    // must be back, live, with its metered nodes equal to what the
+    // journal replayed — the watermark — before any new metering.
+    let state = match ServeState::try_new(ServeConfig {
+        max_nodes: 64,
+        store_dir: Some(dir.clone()),
+        warm_on_start: false,
+        ..ServeConfig::default()
+    }) {
+        Ok(state) => state,
+        Err(err) => {
+            eprintln!("fleet-smoke: reopen failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let statuses = state.fleet.list();
+    if statuses.len() as u64 != campaigns {
+        eprintln!(
+            "fleet-smoke: {} of {campaigns} campaigns survived the crash",
+            statuses.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    let mut resumed_total = 0u64;
+    for status in &statuses {
+        if status.resumed_nodes == 0 || status.metered_nodes != status.resumed_nodes {
+            eprintln!(
+                "fleet-smoke: campaign {} resumed {} nodes but shows {} metered",
+                status.id, status.resumed_nodes, status.metered_nodes
+            );
+            return ExitCode::FAILURE;
+        }
+        resumed_total += status.resumed_nodes;
+    }
+    println!(
+        "fleet-smoke: all {campaigns} campaigns resumed at their watermarks \
+         ({resumed_total} nodes journalled before the kill)"
+    );
+
+    // Drive the resumed fleet to its stopping rules and check both the
+    // conservation law and the final leaderboard.
+    state.fleet.drive_until_idle();
+    let plane = state.fleet.plane_stats();
+    if !plane.conserved() {
+        eprintln!("fleet-smoke: plane conservation violated after resume: {plane:?}");
+        return ExitCode::FAILURE;
+    }
+    let board = state.fleet.leaderboard(0);
+    if board.len() as u64 != campaigns || board.iter().any(|row| row.ci_gflops_per_w.is_none()) {
+        eprintln!(
+            "fleet-smoke: final leaderboard has {} rows (want {campaigns}, all with CIs)",
+            board.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    let terminal = state
+        .fleet
+        .state_counts()
+        .iter()
+        .filter(|(s, _)| s.label() == "stopped" || s.label() == "exhausted")
+        .map(|(_, n)| n)
+        .sum::<u64>();
+    if terminal != campaigns {
+        eprintln!("fleet-smoke: only {terminal}/{campaigns} campaigns reached a stop");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "fleet-smoke: resumed fleet ran to {terminal} stopping decisions; \
+         plane conserved ({} samples); all checks passed",
+        plane.offered
+    );
+    std::fs::remove_dir_all(&dir).ok();
+    ExitCode::SUCCESS
 }

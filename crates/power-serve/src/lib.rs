@@ -12,12 +12,16 @@
 //!   caps, total error enumeration (`400`/`408`/`413`/`431`), and a
 //!   per-connection [`http::RequestBuffer`] that preserves pipelined
 //!   bytes so one connection can serve sequential requests;
-//! * [`router`] — pure request → response dispatch over the six
-//!   endpoints (`/v1/measure`, `/v1/sample-size`, `/v1/trace/window`,
-//!   `/v1/systems`, `/healthz`, `/metrics`);
+//! * [`router`] — pure request → response dispatch over the endpoints
+//!   (`/v1/measure`, `/v1/sample-size`, `/v1/trace/window`,
+//!   `/v1/systems`, the campaign-fleet CRUD under `/v1/campaigns`, the
+//!   live `/v1/leaderboard`, `/healthz`, `/metrics`);
 //! * [`state`] — shared catalog + the single-flight, LRU-bounded
 //!   [`power_sim::store::TraceStore`] all simulation endpoints go
-//!   through;
+//!   through, plus the [`power_fleet::Fleet`] behind the campaign
+//!   endpoints (journalled to `<store_dir>/fleet.wal` when a store
+//!   directory is configured, so a killed server resumes every
+//!   in-flight campaign at its watermark);
 //! * [`metrics`] — per-endpoint counters and latency histograms with a
 //!   Prometheus text rendering, plus the admission conservation law
 //!   `offered == accepted + rejected`;
@@ -39,8 +43,10 @@ pub mod state;
 
 pub use http::{HttpError, HttpLimits, Request, RequestBuffer, Response};
 pub use json::Json;
-pub use loadgen::{LoadPlan, LoadReport, PooledClient, PooledResponse};
-pub use metrics::{AdmissionStats, ArchiveGauges, Endpoint, Metrics};
+pub use loadgen::{
+    CampaignLoadPlan, CampaignReport, LoadPlan, LoadReport, PooledClient, PooledResponse,
+};
+pub use metrics::{AdmissionStats, ArchiveGauges, Endpoint, FleetGauges, Metrics};
 pub use router::route;
 pub use server::{Server, ServerConfig};
 pub use state::{ServeConfig, ServeState};

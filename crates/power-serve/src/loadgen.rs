@@ -17,6 +17,13 @@
 //! honoring the advertised `Retry-After` plus jitter; a retried request
 //! is still one `offered`, with extra attempts counted in `retries`, so
 //! the conservation law stays exact.
+//!
+//! **Campaign mode** ([`run_campaigns`]) drives the fleet API instead
+//! of the query API: create a fleet of campaigns (batched `POST
+//! /v1/campaigns`), poll the live gauge to zero, read the final
+//! leaderboard, and reconcile the server's ingest-plane conservation
+//! law from `/metrics` — the load generator checks the same ledger the
+//! fleet keeps internally, from the outside.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -472,6 +479,259 @@ pub fn run(addr: SocketAddr, plan: &LoadPlan) -> LoadReport {
         retries: retries.load(Ordering::Relaxed),
         elapsed: started.elapsed(),
     }
+}
+
+/// Parameters for campaign-mode load: create a fleet of campaigns over
+/// HTTP, poll them to completion, and reconcile every ledger.
+#[derive(Debug, Clone)]
+pub struct CampaignLoadPlan {
+    /// Campaigns to create.
+    pub campaigns: u64,
+    /// Machine size per campaign.
+    pub population: u64,
+    /// Samples per metered node.
+    pub samples_per_node: u32,
+    /// Campaigns per `POST /v1/campaigns` (the `count` field).
+    pub batch: u64,
+    /// Base RNG seed; campaign `i` gets `seed + i`.
+    pub seed: u64,
+    /// Per-request timeout.
+    pub timeout: Duration,
+    /// Sleep between completion polls.
+    pub poll: Duration,
+    /// Give up if the fleet has not finished within this budget.
+    pub max_wait: Duration,
+}
+
+impl Default for CampaignLoadPlan {
+    fn default() -> Self {
+        CampaignLoadPlan {
+            campaigns: 100,
+            population: 128,
+            samples_per_node: 16,
+            batch: 50,
+            seed: 1,
+            timeout: Duration::from_secs(10),
+            poll: Duration::from_millis(50),
+            max_wait: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Outcome of a campaign-mode run, with both sides of every ledger.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CampaignReport {
+    /// Campaigns the server acknowledged creating.
+    pub created: u64,
+    /// Campaigns that reached `stopped` or `exhausted`.
+    pub finished: u64,
+    /// Campaigns that reached `failed`.
+    pub failed: u64,
+    /// Rows the final leaderboard returned for this fleet.
+    pub leaderboard_rows: u64,
+    /// Leaderboard rows carrying a confidence interval.
+    pub rows_with_ci: u64,
+    /// Plane counter: samples offered (from `/metrics`).
+    pub offered: u64,
+    /// Plane counter: samples accepted.
+    pub accepted: u64,
+    /// Plane counter: late + backpressure drops.
+    pub dropped: u64,
+    /// Plane counter: duplicates discarded.
+    pub duplicates: u64,
+    /// Plane counter: samples still pending behind watermarks.
+    pub pending: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl CampaignReport {
+    /// The plane-wide conservation law, read back over HTTP: every
+    /// sample the fleet offered was accepted, dropped, a duplicate, or
+    /// is still pending — exactly one of them.
+    pub fn conserved(&self) -> bool {
+        self.offered == self.accepted + self.dropped + self.duplicates + self.pending
+    }
+
+    /// Campaign ledger: everything created reached a terminal state and
+    /// appeared on the leaderboard.
+    pub fn complete(&self) -> bool {
+        self.created == self.finished + self.failed
+            && self.failed == 0
+            && self.leaderboard_rows >= self.created
+            && self.rows_with_ci >= self.created
+    }
+}
+
+impl std::fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "created {} -> finished {} + failed {}; leaderboard {} rows ({} with CI); \
+             plane offered {} = accepted {} + dropped {} + dup {} + pending {} in {:.2}s",
+            self.created,
+            self.finished,
+            self.failed,
+            self.leaderboard_rows,
+            self.rows_with_ci,
+            self.offered,
+            self.accepted,
+            self.dropped,
+            self.duplicates,
+            self.pending,
+            self.elapsed.as_secs_f64()
+        )
+    }
+}
+
+/// Parses one `power_serve_fleet_samples_total{outcome="..."}` counter
+/// off a `/metrics` page.
+fn fleet_counter(page: &str, outcome: &str) -> u64 {
+    let prefix = format!("power_serve_fleet_samples_total{{outcome=\"{outcome}\"}} ");
+    page.lines()
+        .find_map(|line| line.strip_prefix(prefix.as_str()))
+        .and_then(|rest| rest.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Campaign mode: create -> poll -> leaderboard over one keep-alive
+/// connection, then reconcile the campaign ledger and the ingest
+/// plane's conservation law as read back from `/metrics`.
+pub fn run_campaigns(addr: SocketAddr, plan: &CampaignLoadPlan) -> std::io::Result<CampaignReport> {
+    use crate::json::Json;
+    let started = Instant::now();
+    let mut client = PooledClient::new(addr, plan.timeout);
+    let mut report = CampaignReport::default();
+    let mut ids: Vec<u64> = Vec::with_capacity(plan.campaigns as usize);
+
+    // Create: batches of `batch` campaigns per POST.
+    let mut remaining = plan.campaigns;
+    let mut batch_index = 0u64;
+    while remaining > 0 {
+        let count = remaining.min(plan.batch.max(1));
+        let body = format!(
+            "{{\"name\": \"loadgen-{batch_index}\", \"population\": {}, \
+              \"samples_per_node\": {}, \"seed\": {}, \"count\": {count}}}",
+            plan.population,
+            plan.samples_per_node,
+            plan.seed.wrapping_add(batch_index * plan.batch),
+        );
+        let raw = post_request_keep_alive("/v1/campaigns", &body);
+        let response = client.request(&raw)?;
+        if response.status != 201 {
+            return Err(invalid_owned(format!(
+                "campaign create -> {}: {}",
+                response.status, response.body
+            )));
+        }
+        let parsed = Json::parse(&response.body)
+            .map_err(|e| invalid_owned(format!("create response is not JSON: {e}")))?;
+        if count == 1 {
+            let id = parsed
+                .get("id")
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| invalid("create response lacks an id"))?;
+            ids.push(id);
+        } else {
+            let batch_ids = parsed
+                .get("ids")
+                .and_then(|v| v.as_array().map(|a| a.to_vec()))
+                .ok_or_else(|| invalid("batch create response lacks ids"))?;
+            for v in &batch_ids {
+                ids.push(v.as_u64().ok_or_else(|| invalid("non-integer id"))?);
+            }
+        }
+        report.created += count;
+        remaining -= count;
+        batch_index += 1;
+    }
+
+    // Poll: the leaderboard's `live` gauge falling to zero means every
+    // campaign reached a terminal state.
+    let deadline = Instant::now() + plan.max_wait;
+    loop {
+        let response = client.request(&get_request_keep_alive("/v1/leaderboard?limit=1"))?;
+        if response.status != 200 {
+            return Err(invalid_owned(format!(
+                "leaderboard poll -> {}",
+                response.status
+            )));
+        }
+        let live = Json::parse(&response.body)
+            .ok()
+            .and_then(|j| j.get("live").and_then(|v| v.as_u64()))
+            .ok_or_else(|| invalid("leaderboard response lacks `live`"))?;
+        if live == 0 {
+            break;
+        }
+        if Instant::now() > deadline {
+            return Err(invalid_owned(format!(
+                "fleet still has {live} live campaigns after {:?}",
+                plan.max_wait
+            )));
+        }
+        std::thread::sleep(plan.poll);
+    }
+
+    // Terminal states, campaign by campaign.
+    for &id in &ids {
+        let response = client.request(&get_request_keep_alive(&format!("/v1/campaigns/{id}")))?;
+        if response.status != 200 {
+            return Err(invalid_owned(format!(
+                "campaign {id} -> {}",
+                response.status
+            )));
+        }
+        let status = Json::parse(&response.body)
+            .ok()
+            .and_then(|j| j.get("state").and_then(|v| v.as_str().map(str::to_string)))
+            .ok_or_else(|| invalid("campaign response lacks `state`"))?;
+        match status.as_str() {
+            "stopped" | "exhausted" => report.finished += 1,
+            "failed" => report.failed += 1,
+            other => {
+                return Err(invalid_owned(format!(
+                    "campaign {id} still `{other}` after the live gauge hit zero"
+                )))
+            }
+        }
+    }
+
+    // The final leaderboard over the whole fleet.
+    let response = client.request(&get_request_keep_alive(&format!(
+        "/v1/leaderboard?limit={}",
+        plan.campaigns.max(1)
+    )))?;
+    let rows = Json::parse(&response.body)
+        .ok()
+        .and_then(|j| j.get("rows").and_then(|v| v.as_array().map(|a| a.to_vec())))
+        .ok_or_else(|| invalid("leaderboard response lacks rows"))?;
+    report.leaderboard_rows = rows.len() as u64;
+    report.rows_with_ci = rows
+        .iter()
+        .filter(|r| {
+            r.get("ci_gflops_per_w")
+                .is_some_and(|ci| !matches!(ci, Json::Null))
+        })
+        .count() as u64;
+
+    // Reconcile the plane's conservation law from `/metrics`.
+    let response = client.request(&get_request_keep_alive("/metrics"))?;
+    if response.status != 200 {
+        return Err(invalid_owned(format!("/metrics -> {}", response.status)));
+    }
+    report.offered = fleet_counter(&response.body, "offered");
+    report.accepted = fleet_counter(&response.body, "accepted");
+    report.dropped = fleet_counter(&response.body, "late_dropped")
+        + fleet_counter(&response.body, "backpressure_dropped");
+    report.duplicates = fleet_counter(&response.body, "duplicates");
+    report.pending = fleet_counter(&response.body, "pending");
+    report.elapsed = started.elapsed();
+    Ok(report)
+}
+
+fn invalid_owned(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
 }
 
 #[cfg(test)]

@@ -32,6 +32,10 @@ pub enum Endpoint {
     SampleSize,
     /// `GET /v1/trace/window`.
     TraceWindow,
+    /// `POST|GET /v1/campaigns` and `GET|DELETE /v1/campaigns/:id`.
+    Campaigns,
+    /// `GET /v1/leaderboard`.
+    Leaderboard,
     /// `GET /v1/systems`.
     Systems,
     /// `GET /healthz`.
@@ -44,10 +48,12 @@ pub enum Endpoint {
 
 impl Endpoint {
     /// Every endpoint, in rendering order.
-    pub const ALL: [Endpoint; 7] = [
+    pub const ALL: [Endpoint; 9] = [
         Endpoint::Measure,
         Endpoint::SampleSize,
         Endpoint::TraceWindow,
+        Endpoint::Campaigns,
+        Endpoint::Leaderboard,
         Endpoint::Systems,
         Endpoint::Healthz,
         Endpoint::Metrics,
@@ -60,10 +66,12 @@ impl Endpoint {
             Endpoint::Measure => 0,
             Endpoint::SampleSize => 1,
             Endpoint::TraceWindow => 2,
-            Endpoint::Systems => 3,
-            Endpoint::Healthz => 4,
-            Endpoint::Metrics => 5,
-            Endpoint::Other => 6,
+            Endpoint::Campaigns => 3,
+            Endpoint::Leaderboard => 4,
+            Endpoint::Systems => 5,
+            Endpoint::Healthz => 6,
+            Endpoint::Metrics => 7,
+            Endpoint::Other => 8,
         }
     }
 
@@ -73,6 +81,8 @@ impl Endpoint {
             Endpoint::Measure => "measure",
             Endpoint::SampleSize => "sample_size",
             Endpoint::TraceWindow => "trace_window",
+            Endpoint::Campaigns => "campaigns",
+            Endpoint::Leaderboard => "leaderboard",
             Endpoint::Systems => "systems",
             Endpoint::Healthz => "healthz",
             Endpoint::Metrics => "metrics",
@@ -91,6 +101,32 @@ const LATENCY_MAX_US: f64 = 100_000.0;
 /// [0, 128] requests; longer-lived connections clamp into the top bin.
 const CONN_REQUESTS_BINS: usize = 32;
 const CONN_REQUESTS_MAX: f64 = 128.0;
+
+/// Gauges describing the campaign fleet, when one is attached.
+///
+/// Cardinality is bounded by construction: campaigns are aggregated
+/// into the four lifecycle states (`power_serve_campaigns{state=...}`),
+/// never exported as per-campaign series — a fleet of 10 000 campaigns
+/// costs the same scrape budget as a fleet of 10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FleetGauges {
+    /// Campaign counts by lifecycle state label, in display order.
+    pub states: [(&'static str, u64); 4],
+    /// Ingest plane shards.
+    pub shards: u64,
+    /// Samples handed to the plane (live + retired campaigns).
+    pub offered: u64,
+    /// Samples accepted behind watermarks.
+    pub accepted: u64,
+    /// Samples dropped as too late.
+    pub late_dropped: u64,
+    /// Samples dropped to ring backpressure.
+    pub backpressure_dropped: u64,
+    /// Duplicate sequence numbers discarded.
+    pub duplicates: u64,
+    /// Samples still buffered ahead of a watermark.
+    pub pending: u64,
+}
 
 struct EndpointSlot {
     requests: AtomicU64,
@@ -148,7 +184,7 @@ pub struct ArchiveGauges {
 
 /// The server's metrics registry.
 pub struct Metrics {
-    endpoints: [EndpointSlot; 7],
+    endpoints: [EndpointSlot; 9],
     offered: AtomicU64,
     accepted: AtomicU64,
     rejected: AtomicU64,
@@ -265,9 +301,14 @@ impl Metrics {
     }
 
     /// Renders the Prometheus text exposition, folding in the trace
-    /// store's cache counters and, when a disk tier is attached, the
-    /// archive gauges.
-    pub fn render_prometheus(&self, stats: CacheStats, archive: Option<ArchiveGauges>) -> String {
+    /// store's cache counters and, when attached, the archive and
+    /// campaign-fleet gauges.
+    pub fn render_prometheus(
+        &self,
+        stats: CacheStats,
+        archive: Option<ArchiveGauges>,
+        fleet: Option<FleetGauges>,
+    ) -> String {
         let mut out = String::with_capacity(4096);
 
         out.push_str("# TYPE power_serve_requests_total counter\n");
@@ -349,6 +390,30 @@ impl Metrics {
             ));
             out.push_str("# TYPE power_serve_archive_warmed gauge\n");
             out.push_str(&format!("power_serve_archive_warmed {}\n", gauges.warmed));
+        }
+
+        if let Some(fleet) = fleet {
+            out.push_str("# TYPE power_serve_campaigns gauge\n");
+            for (state, count) in fleet.states {
+                out.push_str(&format!(
+                    "power_serve_campaigns{{state=\"{state}\"}} {count}\n"
+                ));
+            }
+            out.push_str("# TYPE power_serve_fleet_shards gauge\n");
+            out.push_str(&format!("power_serve_fleet_shards {}\n", fleet.shards));
+            out.push_str("# TYPE power_serve_fleet_samples_total counter\n");
+            for (outcome, value) in [
+                ("offered", fleet.offered),
+                ("accepted", fleet.accepted),
+                ("late_dropped", fleet.late_dropped),
+                ("backpressure_dropped", fleet.backpressure_dropped),
+                ("duplicates", fleet.duplicates),
+                ("pending", fleet.pending),
+            ] {
+                out.push_str(&format!(
+                    "power_serve_fleet_samples_total{{outcome=\"{outcome}\"}} {value}\n"
+                ));
+            }
         }
 
         out.push_str("# TYPE power_serve_latency_us histogram\n");
@@ -456,6 +521,16 @@ mod tests {
                 dead_bytes: 512,
                 warmed: 2,
             }),
+            Some(FleetGauges {
+                states: [("live", 3), ("stopped", 5), ("exhausted", 1), ("failed", 0)],
+                shards: 16,
+                offered: 100,
+                accepted: 98,
+                late_dropped: 1,
+                backpressure_dropped: 0,
+                duplicates: 1,
+                pending: 0,
+            }),
         );
         assert!(page.contains("power_serve_requests_total{endpoint=\"measure\"} 2"));
         assert!(page.contains("power_serve_errors_total{endpoint=\"measure\"} 1"));
@@ -470,6 +545,10 @@ mod tests {
         assert!(page.contains("power_serve_archive_bytes{kind=\"live\"} 4096"));
         assert!(page.contains("power_serve_archive_bytes{kind=\"dead\"} 512"));
         assert!(page.contains("power_serve_archive_warmed 2"));
+        assert!(page.contains("power_serve_campaigns{state=\"live\"} 3"));
+        assert!(page.contains("power_serve_campaigns{state=\"failed\"} 0"));
+        assert!(page.contains("power_serve_fleet_shards 16"));
+        assert!(page.contains("power_serve_fleet_samples_total{outcome=\"accepted\"} 98"));
         assert!(page.contains("power_serve_latency_us_count{endpoint=\"measure\"} 2"));
         assert!(page.contains("le=\"+Inf\"} 2"));
     }
@@ -484,7 +563,7 @@ mod tests {
         // interior buckets between them.
         m.record(Endpoint::Measure, 200, Duration::from_micros(10));
         m.record(Endpoint::Measure, 200, Duration::from_secs(10));
-        let page = m.render_prometheus(CacheStats::default(), None);
+        let page = m.render_prometheus(CacheStats::default(), None, None);
 
         let prefix = "power_serve_latency_us_bucket{endpoint=\"measure\",le=\"";
         let mut rungs = 0;
@@ -511,7 +590,7 @@ mod tests {
         m.connection_closed(0);
         assert_eq!(m.connections_closed(), 2);
         assert_eq!(m.connection_requests_sum(), 9);
-        let page = m.render_prometheus(CacheStats::default(), None);
+        let page = m.render_prometheus(CacheStats::default(), None, None);
         assert!(page.contains("power_serve_connections_closed_total 2"));
         assert!(page.contains("power_serve_connection_requests_count 2"));
         assert!(page.contains("power_serve_connection_requests_sum 9"));
@@ -526,7 +605,7 @@ mod tests {
     fn latency_overflow_clamps_into_top_bucket() {
         let m = Metrics::new();
         m.record(Endpoint::Systems, 200, Duration::from_secs(10));
-        let page = m.render_prometheus(CacheStats::default(), None);
+        let page = m.render_prometheus(CacheStats::default(), None, None);
         assert!(page.contains("power_serve_latency_us_count{endpoint=\"systems\"} 1"));
         assert!(page.contains("power_serve_latency_us_sum{endpoint=\"systems\"} 10000000"));
     }

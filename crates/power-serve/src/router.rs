@@ -8,6 +8,11 @@
 //! | POST   | `/v1/measure`      | full EE HPC WG measurement ([`measure_with_store`]) |
 //! | POST   | `/v1/sample-size`  | Eq. 5 finite-population plan (Table 5 as a service) |
 //! | GET    | `/v1/trace/window` | O(1) prefix-sum window average over a cached sweep |
+//! | POST   | `/v1/campaigns`    | register fleet campaigns (optionally a batch)    |
+//! | GET    | `/v1/campaigns`    | the fleet roster, filterable by state            |
+//! | GET    | `/v1/campaigns/:id`| one campaign's live status                       |
+//! | DELETE | `/v1/campaigns/:id`| unregister a campaign                            |
+//! | GET    | `/v1/leaderboard`  | live efficiency ranking with confidence intervals |
 //! | GET    | `/v1/systems`      | the queryable system catalog                     |
 //! | GET    | `/healthz`         | liveness + uptime                                |
 //! | GET    | `/metrics`         | Prometheus-style counters and histograms         |
@@ -26,8 +31,9 @@
 
 use crate::http::{Request, Response};
 use crate::json::Json;
-use crate::metrics::Endpoint;
+use crate::metrics::{Endpoint, FleetGauges};
 use crate::state::ServeState;
+use power_fleet::{CampaignStatus, FleetCampaignSpec, FleetError, LeaderboardRow};
 use power_method::level::Methodology;
 use power_method::measure::{measure_with_store, MeasurementPlan, NodeSelection, WindowPlacement};
 use power_sim::cluster::Cluster;
@@ -35,9 +41,13 @@ use power_sim::engine::{MeterScope, ProductRequest, SimulationConfig};
 use power_sim::systems::SystemPreset;
 use power_sim::Simulator;
 use power_stats::sample_size::SampleSizePlan;
+use power_telemetry::online::CiQuantile;
 
 /// Dispatches one request.
 pub fn route(state: &ServeState, req: &Request) -> (Endpoint, Response) {
+    if let Some(rest) = req.path.strip_prefix("/v1/campaigns/") {
+        return (Endpoint::Campaigns, campaign_item(state, req, rest));
+    }
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => (Endpoint::Healthz, healthz(state)),
         ("GET", "/metrics") => (Endpoint::Metrics, metrics(state)),
@@ -45,15 +55,20 @@ pub fn route(state: &ServeState, req: &Request) -> (Endpoint, Response) {
         ("POST", "/v1/sample-size") => (Endpoint::SampleSize, sample_size(req)),
         ("POST", "/v1/measure") => (Endpoint::Measure, measure(state, req)),
         ("GET", "/v1/trace/window") => (Endpoint::TraceWindow, trace_window(state, req)),
+        ("POST", "/v1/campaigns") => (Endpoint::Campaigns, campaigns_create(state, req)),
+        ("GET", "/v1/campaigns") => (Endpoint::Campaigns, campaigns_list(state, req)),
+        ("GET", "/v1/leaderboard") => (Endpoint::Leaderboard, leaderboard(state, req)),
         (_, "/healthz") => (Endpoint::Healthz, method_not_allowed("GET")),
         (_, "/metrics") => (Endpoint::Metrics, method_not_allowed("GET")),
         (_, "/v1/systems") => (Endpoint::Systems, method_not_allowed("GET")),
         (_, "/v1/sample-size") => (Endpoint::SampleSize, method_not_allowed("POST")),
         (_, "/v1/measure") => (Endpoint::Measure, method_not_allowed("POST")),
         (_, "/v1/trace/window") => (Endpoint::TraceWindow, method_not_allowed("GET")),
+        (_, "/v1/campaigns") => (Endpoint::Campaigns, method_not_allowed("GET, POST")),
+        (_, "/v1/leaderboard") => (Endpoint::Leaderboard, method_not_allowed("GET")),
         _ => (
             Endpoint::Other,
-            Response::error(404, "no such endpoint; see /v1/systems, /v1/measure, /v1/sample-size, /v1/trace/window, /healthz, /metrics"),
+            Response::error(404, "no such endpoint; see /v1/systems, /v1/measure, /v1/sample-size, /v1/trace/window, /v1/campaigns, /v1/leaderboard, /healthz, /metrics"),
         ),
     }
 }
@@ -84,11 +99,22 @@ fn metrics(state: &ServeState) -> Response {
             warmed: state.warmed as u64,
         }
     });
+    let plane = state.fleet.plane_stats();
+    let fleet = FleetGauges {
+        states: state.fleet.state_counts().map(|(s, c)| (s.label(), c)),
+        shards: state.fleet.shards() as u64,
+        offered: plane.offered,
+        accepted: plane.ingest.accepted,
+        late_dropped: plane.ingest.late_dropped,
+        backpressure_dropped: plane.ingest.backpressure_dropped,
+        duplicates: plane.ingest.duplicates,
+        pending: plane.pending,
+    };
     Response::text(
         200,
         state
             .metrics
-            .render_prometheus(state.store.stats(), archive),
+            .render_prometheus(state.store.stats(), archive, Some(fleet)),
     )
 }
 
@@ -482,6 +508,333 @@ fn trace_window(state: &ServeState, req: &Request) -> Response {
     )
 }
 
+// ---- campaign fleet endpoints -------------------------------------------
+
+/// Maps a fleet error onto the service's status-code conventions.
+fn fleet_error_response(err: FleetError) -> Response {
+    match err {
+        FleetError::InvalidSpec { .. } => Response::error(400, &err.to_string()),
+        FleetError::Capacity { .. } => Response::error(429, &err.to_string()),
+        FleetError::UnknownCampaign { id } => {
+            Response::error(404, &format!("campaign {id} is not registered"))
+        }
+        other => Response::error(500, &other.to_string()),
+    }
+}
+
+/// Parses a campaign spec from a request body, starting from defaults.
+fn parse_campaign_spec(body: &Json) -> Result<FleetCampaignSpec, Response> {
+    let mut spec = FleetCampaignSpec::default();
+    if let Some(name) = body.get("name") {
+        spec.name = name
+            .as_str()
+            .ok_or_else(|| Response::error(400, "field `name` must be a string"))?
+            .to_string();
+    }
+    if let Some(v) = opt_u64(body, "population")? {
+        spec.population = v;
+    }
+    if let Some(v) = opt_f64(body, "mean_node_w")? {
+        spec.mean_node_w = v;
+    }
+    if let Some(v) = opt_f64(body, "cv")? {
+        spec.cv = v;
+    }
+    if let Some(v) = opt_f64(body, "noise_sigma")? {
+        spec.noise_sigma = v;
+    }
+    if let Some(v) = opt_f64(body, "confidence")? {
+        spec.confidence = v;
+    }
+    if let Some(v) = opt_f64(body, "lambda")? {
+        spec.lambda = v;
+    }
+    match body.get("quantile").map(|q| q.as_str()) {
+        None => {}
+        Some(Some("normal" | "z")) => spec.quantile = CiQuantile::Normal,
+        Some(Some("t" | "student_t")) => spec.quantile = CiQuantile::StudentT,
+        _ => return Err(Response::error(400, "quantile must be `normal` or `t`")),
+    }
+    match body.get("empirical_cv") {
+        None => {}
+        Some(v) => {
+            spec.empirical_cv = v
+                .as_bool()
+                .ok_or_else(|| Response::error(400, "field `empirical_cv` must be a boolean"))?;
+        }
+    }
+    match body.get("methodology").map(|m| m.as_str()) {
+        None => {}
+        Some(Some(name)) => match parse_methodology(name) {
+            Some(m) => spec.level = m,
+            None => {
+                return Err(Response::error(
+                    400,
+                    "methodology must be one of level1, level2, level3, revised",
+                ))
+            }
+        },
+        Some(None) => return Err(Response::error(400, "methodology must be a string")),
+    }
+    if let Some(v) = opt_u64(body, "samples_per_node")? {
+        spec.samples_per_node = u32::try_from(v)
+            .map_err(|_| Response::error(400, "samples_per_node is out of range"))?;
+    }
+    if let Some(v) = opt_f64(body, "gflops_per_node")? {
+        spec.gflops_per_node = v;
+    }
+    if let Some(v) = opt_u64(body, "lateness")? {
+        spec.lateness = v;
+    }
+    if let Some(v) = opt_u64(body, "max_nodes")? {
+        spec.max_nodes = v;
+    }
+    if let Some(v) = opt_u64(body, "seed")? {
+        spec.seed = v;
+    }
+    Ok(spec)
+}
+
+/// `POST /v1/campaigns` — register one campaign (or, with `count`, a
+/// batch sharing the spec with per-campaign seeds) and start metering.
+fn campaigns_create(state: &ServeState, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    let spec = match parse_campaign_spec(&body) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let count = match opt_u64(&body, "count") {
+        Ok(v) => v.unwrap_or(1),
+        Err(r) => return r,
+    };
+    if count == 0 || count > 100_000 {
+        return Response::error(400, "count must be between 1 and 100000");
+    }
+    if count == 1 {
+        return match state.fleet.create(spec) {
+            Ok(id) => {
+                let status = state.fleet.status(id).expect("campaign just created");
+                Response::json(201, &campaign_json(&status))
+            }
+            Err(e) => fleet_error_response(e),
+        };
+    }
+    // Batch mode: same spec, distinct seeds and name suffixes so every
+    // submission measures a different machine from the same family.
+    let base_name = spec.name.clone();
+    let mut ids = Vec::with_capacity(count as usize);
+    for i in 0..count {
+        let mut one = spec.clone();
+        one.seed = spec.seed.wrapping_add(i);
+        if !base_name.is_empty() {
+            one.name = format!("{base_name}-{i}");
+        }
+        match state.fleet.create(one) {
+            Ok(id) => ids.push(id),
+            Err(e) => {
+                // Partial creation is still reported: the caller gets
+                // what was registered plus why the batch stopped.
+                let mut members = vec![
+                    ("created", Json::num(ids.len() as f64)),
+                    ("requested", Json::num(count as f64)),
+                    (
+                        "ids",
+                        Json::Array(ids.iter().map(|&id| Json::num(id as f64)).collect()),
+                    ),
+                    ("error", Json::str(e.to_string())),
+                ];
+                let status = match e {
+                    FleetError::Capacity { .. } => 429,
+                    FleetError::InvalidSpec { .. } => 400,
+                    _ => 500,
+                };
+                members.retain(|(k, _)| *k != "ids" || ids.len() <= 10_000);
+                return Response::json(status, &Json::object(members));
+            }
+        }
+    }
+    Response::json(
+        201,
+        &Json::object([
+            ("created", Json::num(ids.len() as f64)),
+            (
+                "ids",
+                Json::Array(ids.iter().map(|&id| Json::num(id as f64)).collect()),
+            ),
+        ]),
+    )
+}
+
+/// `GET /v1/campaigns` — the fleet roster, optionally filtered by state.
+fn campaigns_list(state: &ServeState, req: &Request) -> Response {
+    let state_filter = match req.query_param("state") {
+        None => None,
+        Some(label) => {
+            match power_fleet::CampaignState::ALL
+                .iter()
+                .find(|s| s.label() == label)
+            {
+                Some(s) => Some(*s),
+                None => {
+                    return Response::error(
+                        400,
+                        "state must be one of live, stopped, exhausted, failed",
+                    )
+                }
+            }
+        }
+    };
+    let limit = match parse_query_u64(req, "limit") {
+        Ok(v) => v.unwrap_or(1000) as usize,
+        Err(r) => return r,
+    };
+    let all = state.fleet.list();
+    let total = all.len();
+    let items: Vec<Json> = all
+        .iter()
+        .filter(|c| state_filter.is_none_or(|f| c.state == f))
+        .take(limit)
+        .map(campaign_summary_json)
+        .collect();
+    Response::json(
+        200,
+        &Json::object([
+            ("total", Json::num(total as f64)),
+            ("returned", Json::num(items.len() as f64)),
+            ("campaigns", Json::Array(items)),
+        ]),
+    )
+}
+
+/// `GET|DELETE /v1/campaigns/:id`.
+fn campaign_item(state: &ServeState, req: &Request, rest: &str) -> Response {
+    let id: u64 = match rest.parse() {
+        Ok(id) => id,
+        Err(_) => return Response::error(404, "campaign ids are non-negative integers"),
+    };
+    match req.method.as_str() {
+        "GET" => match state.fleet.status(id) {
+            Some(status) => Response::json(200, &campaign_json(&status)),
+            None => Response::error(404, &format!("campaign {id} is not registered")),
+        },
+        "DELETE" => match state.fleet.delete(id) {
+            Ok(true) => Response::json(200, &Json::object([("deleted", Json::num(id as f64))])),
+            Ok(false) => Response::error(404, &format!("campaign {id} is not registered")),
+            Err(e) => fleet_error_response(e),
+        },
+        _ => method_not_allowed("GET, DELETE"),
+    }
+}
+
+/// `GET /v1/leaderboard` — live Green500-style ranking with CIs.
+fn leaderboard(state: &ServeState, req: &Request) -> Response {
+    let limit = match parse_query_u64(req, "limit") {
+        Ok(v) => v.unwrap_or(100) as usize,
+        Err(r) => return r,
+    };
+    let rows: Vec<Json> = state
+        .fleet
+        .leaderboard(limit)
+        .iter()
+        .map(leaderboard_row_json)
+        .collect();
+    Response::json(
+        200,
+        &Json::object([
+            ("campaigns", Json::num(state.fleet.campaign_count() as f64)),
+            ("live", Json::num(state.fleet.live_count() as f64)),
+            ("rows", Json::Array(rows)),
+        ]),
+    )
+}
+
+fn opt_num(v: Option<f64>) -> Json {
+    v.map_or(Json::Null, Json::num)
+}
+
+fn campaign_summary_json(status: &CampaignStatus) -> Json {
+    Json::object([
+        ("id", Json::num(status.id as f64)),
+        ("name", Json::str(status.spec.name.clone())),
+        ("state", Json::str(status.state.label())),
+        ("metered_nodes", Json::num(status.metered_nodes as f64)),
+        ("budget", Json::num(status.budget as f64)),
+        ("gflops_per_w", opt_num(status.gflops_per_w())),
+    ])
+}
+
+fn campaign_json(status: &CampaignStatus) -> Json {
+    let spec = &status.spec;
+    let mut members = vec![
+        ("id", Json::num(status.id as f64)),
+        ("name", Json::str(spec.name.clone())),
+        ("state", Json::str(status.state.label())),
+        ("methodology", Json::str(methodology_label(spec.level))),
+        ("population", Json::num(spec.population as f64)),
+        ("budget", Json::num(status.budget as f64)),
+        ("metered_nodes", Json::num(status.metered_nodes as f64)),
+        ("resumed_nodes", Json::num(status.resumed_nodes as f64)),
+        ("samples_per_node", Json::num(spec.samples_per_node as f64)),
+        ("confidence", Json::num(spec.confidence)),
+        ("lambda", Json::num(spec.lambda)),
+        ("rmax_gflops", Json::num(spec.rmax_gflops())),
+        ("mean_node_w", opt_num(status.mean_node_w)),
+        ("power_w", opt_num(status.power_w())),
+        ("gflops_per_w", opt_num(status.gflops_per_w())),
+        ("relative_accuracy", opt_num(status.relative_accuracy)),
+        (
+            "ci_node_w",
+            status.ci_node_w.as_ref().map_or(Json::Null, |ci| {
+                Json::Array(vec![Json::num(ci.lower()), Json::num(ci.upper())])
+            }),
+        ),
+    ];
+    if let Some((ingest, offered)) = &status.ingest {
+        members.push((
+            "ingest",
+            Json::object([
+                ("offered", Json::num(*offered as f64)),
+                ("accepted", Json::num(ingest.accepted as f64)),
+                ("late_dropped", Json::num(ingest.late_dropped as f64)),
+                (
+                    "backpressure_dropped",
+                    Json::num(ingest.backpressure_dropped as f64),
+                ),
+                ("duplicates", Json::num(ingest.duplicates as f64)),
+            ]),
+        ));
+    }
+    if let Some(err) = &status.error {
+        members.push(("error", Json::str(err.clone())));
+    }
+    Json::object(members)
+}
+
+fn leaderboard_row_json(row: &LeaderboardRow) -> Json {
+    Json::object([
+        ("rank", Json::num(row.rank as f64)),
+        ("id", Json::num(row.id as f64)),
+        ("name", Json::str(row.name.clone())),
+        ("methodology", Json::str(methodology_label(row.level))),
+        ("state", Json::str(row.state.label())),
+        ("population", Json::num(row.population as f64)),
+        ("metered_nodes", Json::num(row.metered_nodes as f64)),
+        ("rmax_gflops", Json::num(row.rmax_gflops)),
+        ("power_w", Json::num(row.power_w)),
+        ("gflops_per_w", Json::num(row.gflops_per_w)),
+        (
+            "ci_gflops_per_w",
+            row.ci_gflops_per_w.map_or(Json::Null, |(lo, hi)| {
+                Json::Array(vec![Json::num(lo), Json::num(hi)])
+            }),
+        ),
+        ("relative_accuracy", opt_num(row.relative_accuracy)),
+    ])
+}
+
 // ---- small parsing helpers ----------------------------------------------
 
 fn parse_body(req: &Request) -> Result<Json, Response> {
@@ -820,6 +1173,160 @@ mod tests {
         assert_eq!(resp.status, 405);
         let (_, resp) = route(&state, &get("/v1/measure"));
         assert_eq!(resp.status, 405);
+    }
+
+    fn delete(path: &str) -> Request {
+        let raw = format!("DELETE {path} HTTP/1.1\r\n\r\n");
+        crate::http::read_request(
+            &mut std::io::Cursor::new(raw.into_bytes()),
+            &crate::http::HttpLimits::default(),
+        )
+        .unwrap()
+        .unwrap()
+    }
+
+    #[test]
+    fn campaign_crud_over_http() {
+        let state = state();
+        let (ep, resp) = route(
+            &state,
+            &post(
+                "/v1/campaigns",
+                r#"{"name": "crud", "population": 64, "samples_per_node": 8, "seed": 7}"#,
+            ),
+        );
+        assert_eq!(ep, Endpoint::Campaigns);
+        assert_eq!(resp.status, 201, "{}", String::from_utf8_lossy(&resp.body));
+        let created = body_json(&resp);
+        let id = created.get("id").unwrap().as_u64().unwrap();
+        assert_eq!(created.get("state").unwrap().as_str(), Some("live"));
+        assert_eq!(created.get("population").unwrap().as_u64(), Some(64));
+
+        // Router-test states carry no driver; advance the fleet by hand.
+        state.fleet.drive_until_idle();
+
+        let (ep, resp) = route(&state, &get(&format!("/v1/campaigns/{id}")));
+        assert_eq!(ep, Endpoint::Campaigns);
+        assert_eq!(resp.status, 200);
+        let status = body_json(&resp);
+        assert_eq!(status.get("state").unwrap().as_str(), Some("stopped"));
+        assert!(status.get("gflops_per_w").unwrap().as_f64().unwrap() > 0.0);
+        let ci = status.get("ci_node_w").unwrap().as_array().unwrap();
+        let mean = status.get("mean_node_w").unwrap().as_f64().unwrap();
+        assert!(ci[0].as_f64().unwrap() <= mean && mean <= ci[1].as_f64().unwrap());
+
+        let (_, resp) = route(&state, &get("/v1/campaigns?state=stopped"));
+        let list = body_json(&resp);
+        assert_eq!(list.get("total").unwrap().as_u64(), Some(1));
+        assert_eq!(list.get("returned").unwrap().as_u64(), Some(1));
+
+        let (_, resp) = route(&state, &delete(&format!("/v1/campaigns/{id}")));
+        assert_eq!(resp.status, 200);
+        assert_eq!(body_json(&resp).get("deleted").unwrap().as_u64(), Some(id));
+        let (_, resp) = route(&state, &get(&format!("/v1/campaigns/{id}")));
+        assert_eq!(resp.status, 404);
+        let (_, resp) = route(&state, &delete(&format!("/v1/campaigns/{id}")));
+        assert_eq!(resp.status, 404);
+    }
+
+    #[test]
+    fn campaign_validation_batching_and_methods() {
+        let state = state();
+        for body in [
+            r#"{"population": 0}"#,
+            r#"{"cv": -0.5}"#,
+            r#"{"lambda": 0}"#,
+            r#"{"quantile": "cauchy"}"#,
+            r#"{"methodology": "L9"}"#,
+            r#"{"count": 0}"#,
+            r#"not json"#,
+        ] {
+            let (_, resp) = route(&state, &post("/v1/campaigns", body));
+            assert_eq!(resp.status, 400, "{body}");
+        }
+
+        let (_, resp) = route(
+            &state,
+            &post(
+                "/v1/campaigns",
+                r#"{"name": "batch", "population": 32, "samples_per_node": 4, "count": 5}"#,
+            ),
+        );
+        assert_eq!(resp.status, 201, "{}", String::from_utf8_lossy(&resp.body));
+        let batch = body_json(&resp);
+        assert_eq!(batch.get("created").unwrap().as_u64(), Some(5));
+        assert_eq!(batch.get("ids").unwrap().as_array().unwrap().len(), 5);
+
+        let (_, resp) = route(&state, &get("/v1/campaigns/not-a-number"));
+        assert_eq!(resp.status, 404);
+        let (_, resp) = route(&state, &delete("/v1/campaigns"));
+        assert_eq!(resp.status, 405);
+        let (_, resp) = route(&state, &post("/v1/leaderboard", "{}"));
+        assert_eq!(resp.status, 405);
+        let (_, resp) = route(&state, &get("/v1/campaigns?state=nope"));
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn leaderboard_ranks_by_efficiency_and_metrics_stay_bounded() {
+        let state = state();
+        // Three machines at different node powers: efficiency orders
+        // them inversely (same Rmax per node).
+        for (name, watts) in [("hot", 500.0), ("warm", 400.0), ("cool", 300.0)] {
+            let body = format!(
+                r#"{{"name": "{name}", "population": 48, "mean_node_w": {watts},
+                     "samples_per_node": 8, "seed": 3}}"#
+            );
+            let (_, resp) = route(&state, &post("/v1/campaigns", &body));
+            assert_eq!(resp.status, 201);
+        }
+        state.fleet.drive_until_idle();
+
+        let (ep, resp) = route(&state, &get("/v1/leaderboard"));
+        assert_eq!(ep, Endpoint::Leaderboard);
+        assert_eq!(resp.status, 200);
+        let board = body_json(&resp);
+        assert_eq!(board.get("live").unwrap().as_u64(), Some(0));
+        let rows = board.get("rows").unwrap().as_array().unwrap();
+        assert_eq!(rows.len(), 3);
+        let names: Vec<&str> = rows
+            .iter()
+            .map(|r| r.get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(names, ["cool", "warm", "hot"]);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.get("rank").unwrap().as_u64(), Some(i as u64 + 1));
+            let ci = row.get("ci_gflops_per_w").unwrap().as_array().unwrap();
+            let eff = row.get("gflops_per_w").unwrap().as_f64().unwrap();
+            assert!(ci[0].as_f64().unwrap() <= eff && eff <= ci[1].as_f64().unwrap());
+        }
+        let (_, resp) = route(&state, &get("/v1/leaderboard?limit=1"));
+        let top = body_json(&resp);
+        assert_eq!(top.get("rows").unwrap().as_array().unwrap().len(), 1);
+
+        // The gauge family stays bounded: one series per state, never
+        // one per campaign, and the sample counters obey conservation.
+        let (_, resp) = route(&state, &get("/metrics"));
+        let page = String::from_utf8(resp.body).unwrap();
+        assert!(page.contains("power_serve_campaigns{state=\"stopped\"} 3"));
+        assert!(page.contains("power_serve_campaigns{state=\"live\"} 0"));
+        assert_eq!(page.matches("power_serve_campaigns{").count(), 4);
+        let counter = |outcome: &str| -> u64 {
+            let prefix = format!("power_serve_fleet_samples_total{{outcome=\"{outcome}\"}} ");
+            page.lines()
+                .find_map(|l| l.strip_prefix(prefix.as_str()))
+                .and_then(|rest| rest.trim().parse().ok())
+                .unwrap()
+        };
+        assert!(counter("offered") > 0);
+        assert_eq!(
+            counter("offered"),
+            counter("accepted")
+                + counter("late_dropped")
+                + counter("backpressure_dropped")
+                + counter("duplicates")
+                + counter("pending")
+        );
     }
 
     #[test]

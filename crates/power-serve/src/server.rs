@@ -33,6 +33,7 @@ use crate::http::{HttpError, HttpLimits, Request, RequestBuffer, Response};
 use crate::metrics::Endpoint;
 use crate::router::route;
 use crate::state::ServeState;
+use power_fleet::FleetDriver;
 use std::collections::VecDeque;
 use std::io;
 use std::io::Read;
@@ -68,6 +69,10 @@ pub struct ServerConfig {
     pub max_requests_per_connection: u64,
     /// `Retry-After` seconds advertised on `503` rejections.
     pub retry_after_s: u32,
+    /// Sleep inserted after each full fleet scheduling round. Zero (the
+    /// default) drives campaigns at full speed; a positive pace keeps
+    /// them observably in flight for demos and crash tests.
+    pub fleet_pace: Duration,
 }
 
 impl Default for ServerConfig {
@@ -81,6 +86,7 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(2),
             max_requests_per_connection: 1024,
             retry_after_s: 1,
+            fleet_pace: Duration::ZERO,
         }
     }
 }
@@ -103,6 +109,7 @@ pub struct Server {
     shared: Arc<Shared>,
     accept_handle: Option<JoinHandle<()>>,
     worker_handles: Vec<JoinHandle<()>>,
+    fleet_driver: Option<FleetDriver>,
 }
 
 impl Server {
@@ -138,11 +145,13 @@ impl Server {
             .name("power-serve-accept".to_string())
             .spawn(move || accept_loop(&listener, &accept_shared, queue_depth, retry_after))?;
 
+        let fleet_driver = FleetDriver::spawn(Arc::clone(&shared.state.fleet), config.fleet_pace);
         Ok(Server {
             local_addr,
             shared,
             accept_handle: Some(accept_handle),
             worker_handles,
+            fleet_driver: Some(fleet_driver),
         })
     }
 
@@ -157,8 +166,11 @@ impl Server {
     }
 
     /// Graceful shutdown: stop accepting, drain the queue and in-flight
-    /// requests, join every thread.
+    /// requests, stop the fleet driver, join every thread.
     pub fn shutdown(mut self) {
+        if let Some(driver) = self.fleet_driver.take() {
+            driver.stop();
+        }
         self.shared.shutdown.store(true, Ordering::SeqCst);
         // Wake the accept thread out of its blocking accept(). The wake
         // connection is detected via the shutdown flag before it is

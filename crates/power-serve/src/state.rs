@@ -13,7 +13,8 @@
 //! recomputed — by the next.
 
 use crate::metrics::Metrics;
-use power_archive::{Archive, ProductsArchive};
+use power_archive::{Archive, FleetWal, ProductsArchive};
+use power_fleet::{Fleet, FleetConfig};
 use power_sim::store::{ArchiveTier, TraceStore};
 use power_sim::systems::SystemPreset;
 use std::io;
@@ -46,6 +47,10 @@ pub struct ServeConfig {
     /// Pre-populate the memory tier from the archive at startup instead
     /// of faulting sweeps in lazily on first request.
     pub warm_on_start: bool,
+    /// Ingest-plane shards for the campaign fleet.
+    pub fleet_shards: usize,
+    /// Cap on concurrently-registered fleet campaigns.
+    pub max_campaigns: u64,
 }
 
 impl Default for ServeConfig {
@@ -59,6 +64,8 @@ impl Default for ServeConfig {
             common_noise_sigma: 0.004,
             store_dir: None,
             warm_on_start: true,
+            fleet_shards: 16,
+            max_campaigns: 10_000,
         }
     }
 }
@@ -75,6 +82,10 @@ pub struct ServeState {
     pub archive: Option<Arc<ProductsArchive>>,
     /// Sweeps loaded from the archive into the memory tier at startup.
     pub warmed: usize,
+    /// The campaign fleet behind `/v1/campaigns` and `/v1/leaderboard`.
+    /// With a store directory, it is journalled to `<dir>/fleet.wal` and
+    /// resumes every in-flight campaign at its watermark on restart.
+    pub fleet: Arc<Fleet>,
     /// Request metrics.
     pub metrics: Metrics,
     /// Server start time, for `/healthz` uptime.
@@ -97,6 +108,11 @@ impl ServeState {
         };
         let mut archive = None;
         let mut warmed = 0;
+        let fleet_cfg = FleetConfig {
+            shards: config.fleet_shards,
+            max_campaigns: config.max_campaigns,
+        };
+        let fleet;
         if let Some(dir) = &config.store_dir {
             let products = Arc::new(ProductsArchive::new(Archive::open(dir)?));
             store = store.with_archive(Arc::clone(&products) as Arc<dyn ArchiveTier>);
@@ -104,6 +120,15 @@ impl ServeState {
                 warmed = store.warm_from_archive();
             }
             archive = Some(products);
+            // The fleet journal shares the archive directory; the
+            // archive only claims MANIFEST.log and *.seg names, so the
+            // WAL rides alongside without interfering with recovery.
+            let wal = FleetWal::open(dir.join("fleet.wal"))?;
+            fleet = Fleet::open(fleet_cfg, Box::new(wal))
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        } else {
+            fleet = Fleet::new(fleet_cfg)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
         }
         Ok(ServeState {
             config,
@@ -111,6 +136,7 @@ impl ServeState {
             store,
             archive,
             warmed,
+            fleet: Arc::new(fleet),
             metrics: Metrics::new(),
             started: Instant::now(),
         })

@@ -1,0 +1,222 @@
+//! Loopback integration tests for the fleet layer: campaign CRUD and
+//! the live leaderboard over real sockets, the background fleet driver
+//! racing HTTP reads, the campaign-mode load generator's double-entry
+//! reconciliation, and crash-restart resume through the journalled
+//! store directory.
+
+use power_serve::loadgen::{self, CampaignLoadPlan, PooledClient};
+use power_serve::server::{Server, ServerConfig};
+use power_serve::state::{ServeConfig, ServeState};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn json(body: &str) -> power_serve::json::Json {
+    power_serve::json::Json::parse(body).expect("well-formed JSON body")
+}
+
+fn start_with(config: ServeConfig, pace: Duration) -> Server {
+    let state = Arc::new(ServeState::try_new(config).expect("state"));
+    Server::start(
+        ServerConfig {
+            workers: 2,
+            fleet_pace: pace,
+            ..ServerConfig::default()
+        },
+        state,
+    )
+    .expect("bind loopback")
+}
+
+/// The load generator's campaign mode against a live server: every
+/// campaign created over HTTP runs to its stopping rule under the
+/// background driver, lands on the leaderboard with a CI, and the
+/// plane's conservation law read back from `/metrics` balances.
+#[test]
+fn campaign_load_run_reconciles_every_ledger() {
+    let server = start_with(ServeConfig::default(), Duration::ZERO);
+    let plan = CampaignLoadPlan {
+        campaigns: 120,
+        population: 64,
+        samples_per_node: 8,
+        batch: 50,
+        ..CampaignLoadPlan::default()
+    };
+    let report = loadgen::run_campaigns(server.local_addr(), &plan).expect("campaign run");
+    assert_eq!(report.created, 120, "{report}");
+    assert!(report.complete(), "{report}");
+    assert!(report.conserved(), "{report}");
+    assert_eq!(report.pending, 0, "idle fleet holds no pending samples");
+    // Every campaign meters at least the rule's two-node minimum.
+    assert!(report.offered >= 120 * 2 * 8, "{report}");
+    server.shutdown();
+}
+
+/// While the driver is pacing campaigns (kept deliberately slow), the
+/// leaderboard and status endpoints serve consistent in-flight reads:
+/// live rows move, ranks stay contiguous, and the campaign gauge family
+/// tracks the roster.
+#[test]
+fn live_leaderboard_serves_in_flight_campaigns() {
+    let server = start_with(ServeConfig::default(), Duration::from_millis(2));
+    let addr = server.local_addr();
+    let mut client = PooledClient::new(addr, TIMEOUT);
+
+    let body = r#"{"name": "inflight", "population": 4000, "samples_per_node": 8,
+                   "lambda": 0.002, "count": 8}"#;
+    let raw = loadgen::post_request_keep_alive("/v1/campaigns", body);
+    let resp = client.request(&raw).expect("create");
+    assert_eq!(resp.status, 201, "{}", resp.body);
+
+    // Catch the fleet mid-flight at least once before it finishes.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut saw_live_row = false;
+    loop {
+        let resp = client
+            .request(&loadgen::get_request_keep_alive("/v1/leaderboard"))
+            .expect("leaderboard");
+        assert_eq!(resp.status, 200);
+        let board = json(&resp.body);
+        let live = board.get("live").unwrap().as_u64().unwrap();
+        let rows = board.get("rows").unwrap().as_array().unwrap();
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.get("rank").unwrap().as_u64(), Some(i as u64 + 1));
+        }
+        if live > 0 && !rows.is_empty() {
+            saw_live_row = true;
+            let resp = client
+                .request(&loadgen::get_request_keep_alive("/metrics"))
+                .expect("metrics");
+            assert!(resp.body.contains("power_serve_campaigns{state=\"live\"}"));
+        }
+        if live == 0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "fleet never went idle");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(saw_live_row, "paced fleet should be observable in flight");
+
+    let resp = client
+        .request(&loadgen::get_request_keep_alive("/v1/leaderboard?limit=3"))
+        .expect("final leaderboard");
+    let board = json(&resp.body);
+    let rows = board.get("rows").unwrap().as_array().unwrap();
+    assert_eq!(rows.len(), 3);
+    for row in rows {
+        assert!(
+            !matches!(
+                row.get("ci_gflops_per_w").unwrap(),
+                power_serve::json::Json::Null
+            ),
+            "finished campaigns carry efficiency CIs"
+        );
+    }
+    server.shutdown();
+}
+
+/// Kill-and-restart through the store directory: a server stopped with
+/// campaigns finished resumes every one of them from `fleet.wal`, with
+/// identical estimates, and the roster survives a further delete.
+#[test]
+fn store_dir_restart_resumes_the_fleet() {
+    let dir = tempdir();
+    let first = start_with(
+        ServeConfig {
+            store_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        },
+        Duration::ZERO,
+    );
+    let addr = first.local_addr();
+    let mut client = PooledClient::new(addr, TIMEOUT);
+    let body = r#"{"name": "durable", "population": 96, "samples_per_node": 8, "count": 12}"#;
+    let resp = client
+        .request(&loadgen::post_request_keep_alive("/v1/campaigns", body))
+        .expect("create");
+    assert_eq!(resp.status, 201, "{}", resp.body);
+
+    // Wait for the driver to finish all 12, then snapshot their means.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let resp = client
+            .request(&loadgen::get_request_keep_alive("/v1/leaderboard?limit=1"))
+            .expect("poll");
+        if json(&resp.body).get("live").unwrap().as_u64() == Some(0) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "fleet never went idle");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let resp = client
+        .request(&loadgen::get_request_keep_alive("/v1/leaderboard?limit=0"))
+        .expect("board");
+    let before = resp.body.clone();
+    client.disconnect();
+    first.shutdown();
+
+    // A fresh process on the same store directory: every campaign is
+    // back, already finished (resumed at its watermark), and the
+    // leaderboard is bit-identical.
+    let second = start_with(
+        ServeConfig {
+            store_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        },
+        Duration::ZERO,
+    );
+    let mut client = PooledClient::new(second.local_addr(), TIMEOUT);
+    let resp = client
+        .request(&loadgen::get_request_keep_alive("/v1/campaigns"))
+        .expect("roster");
+    let roster = json(&resp.body);
+    assert_eq!(roster.get("total").unwrap().as_u64(), Some(12));
+    for c in roster.get("campaigns").unwrap().as_array().unwrap() {
+        assert_eq!(c.get("state").unwrap().as_str(), Some("stopped"));
+    }
+    let resp = client
+        .request(&loadgen::get_request_keep_alive("/v1/leaderboard?limit=0"))
+        .expect("board");
+    assert_eq!(resp.body, before, "resumed ranking must match exactly");
+
+    // Deletes are durable too.
+    let top_id = json(&before).get("rows").unwrap().as_array().unwrap()[0]
+        .get("id")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    let raw = format!("DELETE /v1/campaigns/{top_id} HTTP/1.1\r\nconnection: keep-alive\r\n\r\n");
+    let resp = client.request(raw.as_bytes()).expect("delete");
+    assert_eq!(resp.status, 200);
+    client.disconnect();
+    second.shutdown();
+
+    let third = start_with(
+        ServeConfig {
+            store_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        },
+        Duration::ZERO,
+    );
+    let mut client = PooledClient::new(third.local_addr(), TIMEOUT);
+    let resp = client
+        .request(&loadgen::get_request_keep_alive("/v1/campaigns"))
+        .expect("roster");
+    assert_eq!(json(&resp.body).get("total").unwrap().as_u64(), Some(11));
+    client.disconnect();
+    third.shutdown();
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn tempdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "power-serve-fleet-api-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}

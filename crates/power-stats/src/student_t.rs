@@ -145,7 +145,24 @@ pub fn t_critical(confidence: f64, nu: f64) -> Result<f64> {
             reason: "confidence level must lie strictly in (0, 1)",
         });
     }
-    StudentT::new(nu)?.quantile(0.5 + confidence / 2.0)
+    // The quantile's Newton iteration costs several incomplete-beta
+    // evaluations, and hot paths (sequential estimators re-checking a
+    // stopped rule, leaderboard CIs) ask for the same `(confidence,
+    // nu)` repeatedly — memoize the last pair per thread. The function
+    // is deterministic, making the cache exact.
+    use std::cell::Cell;
+    thread_local! {
+        static LAST: Cell<(f64, f64, f64)> = const { Cell::new((f64::NAN, f64::NAN, 0.0)) };
+    }
+    LAST.with(|last| {
+        let (c, n, t) = last.get();
+        if c == confidence && n == nu {
+            return Ok(t);
+        }
+        let t = StudentT::new(nu)?.quantile(0.5 + confidence / 2.0)?;
+        last.set((confidence, nu, t));
+        Ok(t)
+    })
 }
 
 /// Ratio of the t critical value to the z critical value at the same

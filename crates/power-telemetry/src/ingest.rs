@@ -182,6 +182,17 @@ impl NodeIngest {
             self.late_dropped += 1;
             return;
         }
+        // In-order fast path: with no lateness allowance the watermark
+        // tracks the newest arrival exactly, so the next in-sequence
+        // sample finalizes immediately — skip the pending map entirely.
+        // (`pending` is always drained between offers when lateness is
+        // 0, so no buffered sample can be skipped past.)
+        if self.lateness == 0 && seq == self.ring.next_seq() && self.pending.is_empty() {
+            self.ring.push(watts);
+            self.accepted += 1;
+            self.max_seen = Some(seq);
+            return;
+        }
         match self.pending.entry(seq) {
             // A duplicate of a still-pending sample: keep the first
             // arrival's value and count the discard, so
@@ -232,6 +243,12 @@ impl NodeIngest {
 pub struct Collector {
     nodes: Vec<NodeIngest>,
     backpressure_dropped: u64,
+    /// Lane template, retained so [`Collector::add_node_slots`] can grow
+    /// the slot set after construction.
+    t0: f64,
+    dt: f64,
+    ring_capacity: usize,
+    lateness: u64,
 }
 
 impl Collector {
@@ -251,12 +268,39 @@ impl Collector {
         Ok(Collector {
             nodes,
             backpressure_dropped: 0,
+            t0,
+            dt,
+            ring_capacity: cfg.ring_capacity,
+            lateness: cfg.lateness,
         })
     }
 
     /// Number of node slots.
     pub fn node_slots(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Grows the slot set to at least `node_slots` lanes, each fresh and
+    /// empty. Existing lanes (and their counters) are untouched, so a
+    /// long-lived campaign can allocate ring memory only for the nodes
+    /// it actually meters. No-op if the collector is already that large.
+    pub fn ensure_node_slots(&mut self, node_slots: usize) -> Result<()> {
+        while self.nodes.len() < node_slots {
+            self.nodes.push(NodeIngest::new(
+                self.t0,
+                self.dt,
+                self.ring_capacity,
+                self.lateness,
+            )?);
+        }
+        Ok(())
+    }
+
+    /// Samples offered but still buffered ahead of a watermark (not yet
+    /// finalized into a ring, hence in neither `accepted` nor any drop
+    /// counter).
+    pub fn pending(&self) -> u64 {
+        self.nodes.iter().map(|n| n.pending.len() as u64).sum()
     }
 
     /// Ingests one sample. Unknown node slots are rejected.

@@ -23,7 +23,12 @@
 //!   (run length), dropped samples (watermark gaps);
 //! * [`live`] — a live-campaign driver that feeds `power-sim` engine
 //!   output through sampling meters sample-by-sample and stops the
-//!   campaign with a defensible accuracy statement.
+//!   campaign with a defensible accuracy statement;
+//! * [`plane`] — a sharded multi-campaign ingestion fabric: campaigns
+//!   are partitioned across independently locked shards so thousands of
+//!   concurrent campaigns share one sample plane without a global
+//!   watermark bottleneck, with per-shard conservation accounting that
+//!   sums exactly to the plane totals.
 
 #![warn(missing_docs)]
 // `!(a > b)` comparisons are deliberate throughout: unlike `a <= b` they
@@ -35,6 +40,7 @@ pub mod anomaly;
 pub mod ingest;
 pub mod live;
 pub mod online;
+pub mod plane;
 pub mod ring;
 
 pub use anomaly::{AnomalyEvent, AnomalyKind, AnomalyMonitor, DetectorConfig};
@@ -44,6 +50,7 @@ pub use live::{
     JournalReplay, LiveCampaignConfig, LiveCampaignReport,
 };
 pub use online::{CiQuantile, CvAssumption, Decision, SequentialEstimator, StoppingRule};
+pub use plane::{IngestPlane, PlaneConfig, PlaneStats, ShardStats};
 pub use ring::RingBuffer;
 
 /// Errors produced by the telemetry subsystem.
